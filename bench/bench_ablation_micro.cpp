@@ -1,0 +1,123 @@
+// Micro-benchmarks (google-benchmark) for the design choices DESIGN.md calls
+// out: the zero-skipping GEMM path that makes pattern-pruned kernels fast on
+// real hardware, per-kernel vs per-tensor quantization, Algorithm-2 pattern
+// generation, and the rotated-IoU/NMS geometry kernels.
+#include <benchmark/benchmark.h>
+
+#include "eval/box.h"
+#include "nn/conv.h"
+#include "prune/pattern.h"
+#include "quant/quantize.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace upaq;
+
+// Dense vs pattern-pruned convolution: the GEMM skips zero weight entries,
+// so semi-structured sparsity translates into genuine CPU time savings —
+// the mechanism behind the hardware model's SparsityMode::kSemiStructured.
+void BM_ConvDense(benchmark::State& state) {
+  Rng rng(1);
+  nn::Conv2d conv(32, 32, 3, 1, 1, false, rng, "c");
+  conv.set_training(false);
+  Tensor x = Tensor::uniform({1, 32, 48, 48}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+}
+BENCHMARK(BM_ConvDense);
+
+void BM_ConvPatternPruned(benchmark::State& state) {
+  const int nonzeros = static_cast<int>(state.range(0));
+  Rng rng(1);
+  nn::Conv2d conv(32, 32, 3, 1, 1, false, rng, "c");
+  conv.set_training(false);
+  const auto cands = prune::generate_candidates(nonzeros, 3, 16, rng);
+  Tensor mask(conv.weight().value.shape());
+  // Apply per-kernel best-L2 masks like the UPAQ compressor does.
+  const float* w = conv.weight().value.data();
+  for (std::int64_t k = 0; k < 32 * 32; ++k) {
+    double best_l2 = -1.0;
+    const prune::KernelPattern* best = nullptr;
+    for (const auto& c : cands) {
+      double l2 = 0.0;
+      for (const auto& [r, cc] : c.positions) {
+        const float v = w[k * 9 + r * 3 + cc];
+        l2 += static_cast<double>(v) * v;
+      }
+      if (l2 > best_l2) {
+        best_l2 = l2;
+        best = &c;
+      }
+    }
+    for (const auto& [r, cc] : best->positions) mask[k * 9 + r * 3 + cc] = 1.0f;
+  }
+  conv.weight().mask = mask;
+  conv.weight().project();
+  Tensor x = Tensor::uniform({1, 32, 48, 48}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+}
+BENCHMARK(BM_ConvPatternPruned)->Arg(2)->Arg(3);
+
+void BM_QuantizePerTensor(benchmark::State& state) {
+  Rng rng(2);
+  Tensor w = Tensor::normal({64, 64, 3, 3}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(quant::mp_quantize(w, 8));
+}
+BENCHMARK(BM_QuantizePerTensor);
+
+void BM_QuantizePerKernel(benchmark::State& state) {
+  Rng rng(2);
+  Tensor w = Tensor::normal({64, 64, 3, 3}, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(quant::mp_quantize_grouped(w, 8, 9));
+}
+BENCHMARK(BM_QuantizePerKernel);
+
+void BM_PatternGeneration(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(prune::generate_pattern(2, 3, rng));
+}
+BENCHMARK(BM_PatternGeneration);
+
+void BM_PatternCandidates(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(prune::generate_candidates(3, 3, 24, rng));
+}
+BENCHMARK(BM_PatternCandidates);
+
+void BM_RotatedIouBev(benchmark::State& state) {
+  eval::Box3D a, b;
+  a.x = 10; a.y = 2; a.length = 4.2f; a.width = 1.8f; a.height = 1.5f; a.yaw = 0.4f;
+  b = a;
+  b.x = 10.8f;
+  b.yaw = 1.1f;
+  for (auto _ : state) benchmark::DoNotOptimize(eval::iou_bev(a, b));
+}
+BENCHMARK(BM_RotatedIouBev);
+
+void BM_NmsBev(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<eval::Box3D> boxes;
+  for (int i = 0; i < 128; ++i) {
+    eval::Box3D b;
+    b.x = rng.uniform(0, 46);
+    b.y = rng.uniform(-22, 22);
+    b.length = 4.2f;
+    b.width = 1.8f;
+    b.height = 1.5f;
+    b.yaw = rng.uniform(-1.5f, 1.5f);
+    b.score = rng.uniform();
+    boxes.push_back(b);
+  }
+  for (auto _ : state) {
+    auto copy = boxes;
+    benchmark::DoNotOptimize(eval::nms_bev(std::move(copy), 0.2));
+  }
+}
+BENCHMARK(BM_NmsBev);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Fig. 4 reproduction: inference speedups relative to the base model for
+// (a) PointPillars and (b) SMOKE on both devices. Reuses the Table-2 cached
+// outcomes (runs the full pipeline first if the cache is cold) and renders
+// the speedup bars as ASCII.
+#include <cstdio>
+#include <string>
+
+#include "zoo/experiment.h"
+
+namespace {
+
+void bar(double value, double max_value) {
+  const int width = static_cast<int>(34.0 * value / max_value);
+  for (int i = 0; i < width; ++i) std::printf("#");
+  std::printf(" %.2fx\n", value);
+}
+
+void print_model(upaq::zoo::ExperimentRunner& runner,
+                 upaq::zoo::ModelKind kind, char label) {
+  using namespace upaq;
+  const auto rows = runner.table2_rows(kind);
+  const auto& base = rows.front();
+  std::printf("\n(%c) %s\n", label, zoo::model_kind_name(kind));
+  for (const char* device : {"RTX 4080", "Jetson Orin"}) {
+    std::printf("  %s:\n", device);
+    for (const auto& r : rows) {
+      const bool rtx = std::string(device) == "RTX 4080";
+      const double speedup = rtx ? base.latency_rtx_ms / r.latency_rtx_ms
+                                 : base.latency_orin_ms / r.latency_orin_ms;
+      std::printf("    %-12s ", r.framework.c_str());
+      bar(speedup, 2.5);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace upaq;
+  zoo::Zoo z;
+  zoo::ExperimentRunner runner(z);
+  std::printf("Fig. 4: Inference speedup vs base model after compression\n");
+  print_model(runner, zoo::ModelKind::kPointPillars, 'a');
+  print_model(runner, zoo::ModelKind::kSmoke, 'b');
+  std::printf("\nPaper reference (Jetson Orin): PointPillars UPAQ(HCK) 1.97x, "
+              "UPAQ(LCK) 1.81x;\nSMOKE UPAQ(HCK) 1.86x, UPAQ(LCK) 1.78x.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 5 reproduction: energy-usage reduction relative to the base model for
+// (a) PointPillars and (b) SMOKE on both devices, from the Table-2 cached
+// outcomes, rendered as ASCII bars.
+#include <cstdio>
+#include <string>
+
+#include "zoo/experiment.h"
+
+namespace {
+
+void bar(double value, double max_value) {
+  const int width = static_cast<int>(34.0 * value / max_value);
+  for (int i = 0; i < width; ++i) std::printf("#");
+  std::printf(" %.2fx\n", value);
+}
+
+void print_model(upaq::zoo::ExperimentRunner& runner,
+                 upaq::zoo::ModelKind kind, char label) {
+  using namespace upaq;
+  const auto rows = runner.table2_rows(kind);
+  const auto& base = rows.front();
+  std::printf("\n(%c) %s\n", label, zoo::model_kind_name(kind));
+  for (const char* device : {"RTX 4080", "Jetson Orin"}) {
+    std::printf("  %s:\n", device);
+    for (const auto& r : rows) {
+      const bool rtx = std::string(device) == "RTX 4080";
+      const double reduction =
+          rtx ? base.energy_rtx_j / r.energy_rtx_j
+              : base.energy_orin_j / r.energy_orin_j;
+      std::printf("    %-12s ", r.framework.c_str());
+      bar(reduction, 3.0);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace upaq;
+  zoo::Zoo z;
+  zoo::ExperimentRunner runner(z);
+  std::printf("Fig. 5: Energy-usage reduction vs base model after compression\n");
+  print_model(runner, zoo::ModelKind::kPointPillars, 'a');
+  print_model(runner, zoo::ModelKind::kSmoke, 'b');
+  std::printf("\nPaper reference (Jetson Orin): PointPillars UPAQ(HCK) 2.07x, "
+              "UPAQ(LCK) 1.83x;\nSMOKE UPAQ(HCK) 1.87x, UPAQ(LCK) 1.66x.\n");
+  return 0;
+}

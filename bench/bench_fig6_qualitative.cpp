@@ -1,0 +1,109 @@
+// Fig. 6 reproduction: qualitative comparison of PointPillars detections
+// across frameworks on one held-out scene. The paper overlays predicted
+// (red) and ground-truth (blue) boxes on the point cloud; this bench renders
+// the same comparison as an ASCII bird's-eye-view: '.' LiDAR points,
+// 'G' ground-truth box outline, 'P' predicted box outline, 'B' where a
+// prediction overlaps ground truth (good alignment).
+#include <cstdio>
+#include <cmath>
+#include <vector>
+
+#include "zoo/experiment.h"
+
+namespace {
+
+using namespace upaq;
+
+constexpr int kW = 92, kH = 46;
+constexpr float kXMin = 0.0f, kXMax = 46.0f, kYMin = -23.0f, kYMax = 23.0f;
+
+struct Canvas {
+  std::vector<char> cells = std::vector<char>(kW * kH, ' ');
+  char& at(int r, int c) { return cells[static_cast<std::size_t>(r * kW + c)]; }
+
+  void plot(float x, float y, char ch, bool overwrite = true) {
+    const int c = static_cast<int>((x - kXMin) / (kXMax - kXMin) * kW);
+    const int r = static_cast<int>((y - kYMin) / (kYMax - kYMin) * kH);
+    if (r < 0 || r >= kH || c < 0 || c >= kW) return;
+    char& cell = at(r, c);
+    if (overwrite || cell == ' ' || cell == '.') {
+      // 'G' + 'P' in the same cell reads as aligned -> 'B'.
+      if ((cell == 'G' && ch == 'P') || (cell == 'P' && ch == 'G'))
+        cell = 'B';
+      else
+        cell = ch;
+    }
+  }
+
+  void draw_box(const eval::Box3D& box, char ch) {
+    const auto corners = eval::bev_corners(box);
+    for (int e = 0; e < 4; ++e) {
+      const auto& a = corners[static_cast<std::size_t>(e)];
+      const auto& b = corners[static_cast<std::size_t>((e + 1) % 4)];
+      for (int s = 0; s <= 14; ++s) {
+        const double t = s / 14.0;
+        plot(static_cast<float>(a.x + (b.x - a.x) * t),
+             static_cast<float>(a.y + (b.y - a.y) * t), ch);
+      }
+    }
+  }
+
+  void print() const {
+    for (int r = kH - 1; r >= 0; --r) {
+      std::printf("  |");
+      for (int c = 0; c < kW; ++c) std::printf("%c", cells[static_cast<std::size_t>(r * kW + c)]);
+      std::printf("|\n");
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  zoo::Zoo z;
+  zoo::ExperimentRunner runner(z);
+
+  // The paper contrasts the base model with the three most accurate
+  // compressed models: R-TOSS, UPAQ (HCK) and UPAQ (LCK).
+  const zoo::Framework frameworks[] = {
+      zoo::Framework::kBase, zoo::Framework::kRtoss, zoo::Framework::kUpaqHck,
+      zoo::Framework::kUpaqLck};
+
+  // Pick the test scene with the most cars (the paper shows a busy scene).
+  const auto& test = z.dataset().test;
+  std::size_t scene_idx = 0;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    if (test[i].objects.size() > test[scene_idx].objects.size()) scene_idx = i;
+  const auto& scene = test[scene_idx];
+
+  std::printf("Fig. 6: PointPillars detections per framework (BEV)\n");
+  std::printf("legend: '.' LiDAR point  'G' ground truth  'P' prediction  "
+              "'B' prediction aligned with ground truth\n");
+  for (auto fw : frameworks) {
+    auto outcome = runner.run(fw, zoo::ModelKind::kPointPillars);
+    const auto dets = outcome.model->detect(scene);
+
+    Canvas canvas;
+    for (const auto& p : scene.points) canvas.plot(p.x, p.y, '.', false);
+    for (const auto& gt : scene.objects) canvas.draw_box(gt, 'G');
+    for (const auto& d : dets) canvas.draw_box(d, 'P');
+
+    double iou_sum = 0.0;
+    int matched = 0;
+    for (const auto& gt : scene.objects) {
+      double best = 0.0;
+      for (const auto& d : dets) best = std::max(best, eval::iou_bev(d, gt));
+      if (best > 0.1) {
+        iou_sum += best;
+        ++matched;
+      }
+    }
+    std::printf("\n--- %s: %zu detections, %d/%zu ground truths matched, "
+                "mean matched IoU %.2f ---\n",
+                outcome.row.framework.c_str(), dets.size(), matched,
+                scene.objects.size(),
+                matched > 0 ? iou_sum / matched : 0.0);
+    canvas.print();
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Deployment what-if explorer: sweep (sparsity, bitwidth) over the
+// paper-scale PointPillars spec on both devices and print the latency /
+// energy landscape the efficiency score optimizes over — plus an
+// NVpower-style power trace of one simulated inference.
+#include <cstdio>
+
+#include "detectors/pointpillars.h"
+#include "hw/power.h"
+
+int main() {
+  using namespace upaq;
+
+  const auto base = detectors::PointPillars::cost_profile_for(
+      detectors::PointPillarsConfig::full());
+
+  for (auto dev : {hw::Device::kJetsonOrinNano, hw::Device::kRtx4080}) {
+    const hw::CostModel model(hw::device_spec(dev));
+    const auto dense = model.model_cost(base);
+    std::printf("\n=== %s (dense fp32 base: %.2f ms, %.3f J) ===\n",
+                hw::device_spec(dev).name.c_str(), dense.latency_s * 1e3,
+                dense.energy_j);
+    std::printf("%-26s | %9s %9s | %8s %8s\n", "configuration", "lat ms",
+                "speedup", "energy J", "savings");
+    for (int bits : {16, 8, 4}) {
+      for (double sparsity : {0.0, 0.5, 0.78}) {
+        auto profile = base;
+        for (auto& l : profile) {
+          if (l.weight_count == 0) continue;  // pre/post stages untouched
+          l.weight_bits = bits;
+          l.weight_sparsity = sparsity;
+          l.mode = sparsity > 0.0 ? hw::SparsityMode::kSemiStructured
+                                  : hw::SparsityMode::kDense;
+        }
+        const auto cost = model.model_cost(profile);
+        std::printf("  %2d-bit, %3.0f%% pattern-sparse | %9.2f %8.2fx | "
+                    "%8.3f %7.2fx\n",
+                    bits, sparsity * 100.0, cost.latency_s * 1e3,
+                    dense.latency_s / cost.latency_s, cost.energy_j,
+                    dense.energy_j / cost.energy_j);
+      }
+    }
+  }
+
+  // NVpower-analogue trace of one Orin inference at the HCK operating point.
+  auto profile = base;
+  for (auto& l : profile) {
+    if (l.weight_count == 0) continue;
+    l.weight_bits = 8;
+    l.weight_sparsity = 0.78;
+    l.mode = hw::SparsityMode::kSemiStructured;
+  }
+  const auto spec = hw::device_spec(hw::Device::kJetsonOrinNano);
+  const hw::CostModel orin(spec);
+  const auto report = orin.model_cost(profile);
+  const hw::PowerMeter meter(50e3);
+  const auto trace = meter.trace(report, spec.idle_power_w);
+  std::printf("\nsimulated power trace (Orin, HCK operating point): %zu "
+              "samples, integrated %.3f J over %.2f ms\n",
+              trace.size(), hw::PowerMeter::integrate(trace),
+              trace.back().t_s * 1e3);
+  // Coarse ASCII sparkline of the power profile.
+  const int buckets = 60;
+  std::printf("  ");
+  for (int b = 0; b < buckets; ++b) {
+    const std::size_t idx = trace.size() * static_cast<std::size_t>(b) / buckets;
+    const double w = trace[idx].watts;
+    const char* glyphs[] = {"_", ".", "-", "=", "^", "#"};
+    const int level =
+        std::min(5, static_cast<int>((w - spec.idle_power_w) /
+                                     (spec.compute_power_w / 5.0)));
+    std::printf("%s", glyphs[std::max(0, level)]);
+  }
+  std::printf("\n");
+  return 0;
+}

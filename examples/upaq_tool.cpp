@@ -1,0 +1,162 @@
+// upaq_tool: command-line front end for the compression pipeline.
+//
+//   upaq_tool [--model pointpillars|smoke] [--preset hck|lck]
+//             [--nonzeros N] [--bits B1,B2,...] [--candidates K]
+//             [--connectivity F] [--finetune ITERS] [--alpha A] [--beta B]
+//             [--gamma G] [--cache DIR] [--no-finetune]
+//
+// Trains (or loads) the chosen detector, compresses it with the requested
+// configuration, optionally fine-tunes, and prints the accuracy /
+// compression / deployment-cost summary. Everything the Table-2 bench does,
+// but with the knobs exposed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/upaq.h"
+#include "zoo/zoo.h"
+
+namespace {
+
+using namespace upaq;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--model pointpillars|smoke] [--preset hck|lck]\n"
+               "          [--nonzeros N] [--bits B1,B2,...] [--candidates K]\n"
+               "          [--connectivity F] [--finetune ITERS]\n"
+               "          [--alpha A] [--beta B] [--gamma G] [--cache DIR]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::vector<int> parse_bits(const std::string& arg) {
+  std::vector<int> bits;
+  std::size_t start = 0;
+  while (start < arg.size()) {
+    const auto comma = arg.find(',', start);
+    const std::string tok =
+        arg.substr(start, comma == std::string::npos ? arg.npos : comma - start);
+    bits.push_back(std::atoi(tok.c_str()));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return bits;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_name = "pointpillars";
+  core::UpaqConfig cfg = core::UpaqConfig::lck();
+  int finetune = 300;
+  zoo::ZooConfig zcfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--model") {
+      model_name = next();
+    } else if (arg == "--preset") {
+      const std::string preset = next();
+      if (preset == "hck")
+        cfg = core::UpaqConfig::hck();
+      else if (preset == "lck")
+        cfg = core::UpaqConfig::lck();
+      else
+        usage(argv[0]);
+    } else if (arg == "--nonzeros") {
+      cfg.nonzeros = std::atoi(next());
+    } else if (arg == "--bits") {
+      cfg.quant_bits = parse_bits(next());
+    } else if (arg == "--candidates") {
+      cfg.candidates = std::atoi(next());
+    } else if (arg == "--connectivity") {
+      cfg.connectivity = std::atof(next());
+    } else if (arg == "--finetune") {
+      finetune = std::atoi(next());
+    } else if (arg == "--no-finetune") {
+      finetune = 0;
+    } else if (arg == "--alpha") {
+      cfg.es.alpha = std::atof(next());
+    } else if (arg == "--beta") {
+      cfg.es.beta = std::atof(next());
+    } else if (arg == "--gamma") {
+      cfg.es.gamma = std::atof(next());
+    } else if (arg == "--cache") {
+      zcfg.cache_dir = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  const bool is_pp = model_name == "pointpillars";
+  if (!is_pp && model_name != "smoke") usage(argv[0]);
+
+  zoo::Zoo z(zcfg);
+  std::unique_ptr<detectors::Detector3D> model;
+  std::vector<hw::LayerProfile> full_profile;
+  double base_latency_ms = 0.0, base_energy_j = 0.0, eval_iou = 0.25;
+  if (is_pp) {
+    model = z.pointpillars();
+    full_profile = detectors::PointPillars::cost_profile_for(
+        detectors::PointPillarsConfig::full());
+    base_latency_ms = 35.98;
+    base_energy_j = 0.863;
+  } else {
+    model = z.smoke();
+    full_profile =
+        detectors::Smoke::cost_profile_for(detectors::SmokeConfig::full());
+    base_latency_ms = 127.48;
+    base_energy_j = 25.85;
+    eval_iou = 0.10;
+  }
+  cfg.es_profile = full_profile;
+
+  const double base_map =
+      detectors::evaluate_map(*model, z.dataset().test, eval_iou);
+  std::printf("%s: %lld params, base mAP@%.2f = %.2f\n", model->model_name(),
+              static_cast<long long>(model->parameter_count()), eval_iou,
+              base_map);
+  std::printf("config: nonzeros=%d bits={", cfg.nonzeros);
+  for (std::size_t i = 0; i < cfg.quant_bits.size(); ++i)
+    std::printf("%s%d", i ? "," : "", cfg.quant_bits[i]);
+  std::printf("} candidates=%d connectivity=%.2f Es=(%.2f,%.2f,%.2f)\n",
+              cfg.candidates, cfg.connectivity, cfg.es.alpha, cfg.es.beta,
+              cfg.es.gamma);
+
+  core::UpaqCompressor compressor(cfg);
+  const auto result = compressor.compress(*model);
+  for (const auto& d : result.decisions)
+    std::printf("  group %-16s pattern=%-18s bits=%2d sparsity=%.2f "
+                "sqnr=%.1fdB Es=%.3f\n",
+                d.root.c_str(), d.pattern.empty() ? "-" : d.pattern.c_str(),
+                d.bits, d.sparsity, d.sqnr_db, d.es);
+
+  if (finetune > 0) {
+    std::printf("fine-tuning %d iterations...\n", finetune);
+    z.finetune(*model, finetune, 1e-3f);
+    core::requantize(*model, result.plan);
+    z.finetune(*model, finetune / 4, 3e-4f);
+    core::requantize(*model, result.plan);
+  }
+
+  const double final_map =
+      detectors::evaluate_map(*model, z.dataset().test, eval_iou);
+  const auto size = core::model_size(*model, result.plan);
+  const hw::CalibratedCost orin(hw::device_spec(hw::Device::kJetsonOrinNano),
+                                full_profile, base_latency_ms * 1e-3,
+                                base_energy_j);
+  const auto cost = orin.evaluate(core::apply_plan(full_profile, result.plan));
+
+  std::printf("\nresult: mAP %.2f -> %.2f | compression %.2fx | Orin "
+              "%.2f ms -> %.2f ms | %.3f J -> %.3f J\n",
+              base_map, final_map, size.ratio(), base_latency_ms,
+              cost.latency_s * 1e3, base_energy_j, cost.energy_j);
+  return 0;
+}

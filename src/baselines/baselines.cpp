@@ -1,0 +1,268 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "prune/pattern.h"
+#include "quant/quantize.h"
+#include "tensor/check.h"
+
+namespace upaq::baselines {
+
+namespace {
+
+/// All prunable (conv/linear) layer names of the model's graph, in order.
+std::vector<std::string> prunable_layers(const detectors::Detector3D& model) {
+  std::vector<std::string> out;
+  const auto& g = model.topology();
+  for (int id = 0; id < g.size(); ++id)
+    if (g.prunable(id)) out.push_back(g.node(id).name);
+  return out;
+}
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/// Kernel spatial size of the named layer (1 for Linear).
+int layer_kernel(const detectors::Detector3D& model, const std::string& name) {
+  const auto& g = model.topology();
+  return g.kernel_size(g.find(name));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- Ps&Qs
+
+core::CompressionPlan psqs_compress(detectors::Detector3D& model,
+                                    const PsQsConfig& cfg,
+                                    const std::function<void()>& finetune_round) {
+  UPAQ_CHECK(cfg.target_sparsity >= 0.0 && cfg.target_sparsity < 1.0,
+             "Ps&Qs target sparsity out of range");
+  UPAQ_CHECK(cfg.rounds >= 1, "Ps&Qs needs at least one round");
+  core::CompressionPlan plan;
+  plan.framework = "Ps&Qs";
+
+  std::vector<std::string> layers;
+  for (const auto& name : prunable_layers(model))
+    if (!contains(cfg.skip, name)) layers.push_back(name);
+
+  for (int round = 1; round <= cfg.rounds; ++round) {
+    const double sparsity =
+        cfg.target_sparsity * static_cast<double>(round) / cfg.rounds;
+    // Global magnitude threshold over every prunable weight.
+    std::vector<float> mags;
+    for (const auto& name : layers) {
+      const auto* w = core::find_weight(model, name);
+      for (float v : w->value.flat()) mags.push_back(std::fabs(v));
+    }
+    const auto nth = static_cast<std::size_t>(
+        sparsity * static_cast<double>(mags.size()));
+    if (nth == 0 || nth >= mags.size()) continue;
+    std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(nth),
+                     mags.end());
+    const float threshold = mags[nth];
+
+    for (const auto& name : layers) {
+      auto* w = core::find_weight(model, name);
+      Tensor mask(w->value.shape());
+      for (std::int64_t i = 0; i < w->value.numel(); ++i)
+        mask[i] = std::fabs(w->value[i]) > threshold ? 1.0f : 0.0f;
+      w->mask = std::move(mask);
+      w->project();
+    }
+    finetune_round();  // the QAT-style recovery between pruning rounds
+  }
+
+  // Uniform fake quantization of the kept weights (storage only: the fake-
+  // quant deployment still computes at fp32).
+  for (const auto& name : layers) {
+    auto* w = core::find_weight(model, name);
+    auto q = quant::mp_quantize(w->value, cfg.storage_bits);
+    w->value = std::move(q.values);
+    w->project();
+    w->quant_bits = cfg.storage_bits;
+
+    core::LayerState state;
+    state.sparsity = w->sparsity();
+    state.storage_bits = cfg.storage_bits;
+    state.compute_bits = 32;  // fake quant executes dense fp32
+    state.mode = hw::SparsityMode::kUnstructured;
+    state.format = quant::StorageFormat::kDense;  // zeros stored in-place
+    plan.layers[name] = state;
+  }
+  return plan;
+}
+
+// ------------------------------------------------------------------ CLIP-Q
+
+core::CompressionPlan clipq_compress(detectors::Detector3D& model,
+                                     const ClipQConfig& cfg) {
+  UPAQ_CHECK(cfg.clip_fraction >= 0.0 && cfg.clip_fraction < 1.0,
+             "CLIP-Q clip fraction out of range");
+  core::CompressionPlan plan;
+  plan.framework = "CLIP-Q";
+
+  std::vector<std::string> layers;
+  for (const auto& name : prunable_layers(model))
+    if (!contains(cfg.skip, name)) layers.push_back(name);
+
+  const auto quantized_count = static_cast<std::size_t>(
+      cfg.quantized_layer_fraction * static_cast<double>(layers.size()));
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    auto* w = core::find_weight(model, layers[li]);
+    // Per-layer clip threshold: the smallest `clip_fraction` magnitudes are
+    // pruned ("clipped weights are pruned").
+    std::vector<float> mags;
+    mags.reserve(static_cast<std::size_t>(w->value.numel()));
+    for (float v : w->value.flat()) mags.push_back(std::fabs(v));
+    const auto nth = static_cast<std::size_t>(
+        cfg.clip_fraction * static_cast<double>(mags.size()));
+    float threshold = 0.0f;
+    if (nth > 0 && nth < mags.size()) {
+      std::nth_element(mags.begin(),
+                       mags.begin() + static_cast<std::ptrdiff_t>(nth), mags.end());
+      threshold = mags[nth];
+    }
+    Tensor mask(w->value.shape());
+    for (std::int64_t i = 0; i < w->value.numel(); ++i)
+      mask[i] = std::fabs(w->value[i]) > threshold ? 1.0f : 0.0f;
+    w->mask = std::move(mask);
+    w->project();
+
+    core::LayerState state;
+    state.sparsity = w->sparsity();
+    state.mode = hw::SparsityMode::kUnstructured;
+    state.format = quant::StorageFormat::kDense;
+    state.compute_bits = 32;  // in-parallel pruning-quantization trains fp32
+    // Partitioning: only a prefix of layers is quantized, the rest is left
+    // at full precision (the "parts of the model" criticism in Sec. II).
+    if (li < quantized_count) {
+      auto q = quant::mp_quantize(w->value, cfg.storage_bits);
+      w->value = std::move(q.values);
+      w->project();
+      w->quant_bits = cfg.storage_bits;
+      state.storage_bits = cfg.storage_bits;
+    } else {
+      state.storage_bits = 32;
+    }
+    plan.layers[layers[li]] = state;
+  }
+  return plan;
+}
+
+// ------------------------------------------------------------------ R-TOSS
+
+core::CompressionPlan rtoss_compress(detectors::Detector3D& model,
+                                     const RtossConfig& cfg) {
+  core::CompressionPlan plan;
+  plan.framework = "R-TOSS";
+  const auto dictionary = prune::entry_pattern_dictionary(cfg.entries);
+
+  for (const auto& name : prunable_layers(model)) {
+    if (contains(cfg.skip, name)) continue;
+    if (layer_kernel(model, name) != 3) continue;  // EPs are 3x3 masks
+    auto* w = core::find_weight(model, name);
+    const auto& shape = w->value.shape();
+    const std::int64_t kernels = shape[0] * shape[1];
+
+    // Per-kernel entry-pattern choice by kept-L2 (quantization-noise-blind).
+    Tensor mask(shape);
+    std::vector<std::pair<double, std::int64_t>> kernel_norms;
+    kernel_norms.reserve(static_cast<std::size_t>(kernels));
+    for (std::int64_t k = 0; k < kernels; ++k) {
+      const float* kw = w->value.data() + k * 9;
+      double best_l2 = -1.0;
+      std::size_t best_ep = 0;
+      for (std::size_t e = 0; e < dictionary.size(); ++e) {
+        const Tensor& ep = dictionary[e];
+        double l2 = 0.0;
+        for (int i = 0; i < 9; ++i)
+          if (ep[i] != 0.0f) l2 += static_cast<double>(kw[i]) * kw[i];
+        if (l2 > best_l2) {
+          best_l2 = l2;
+          best_ep = e;
+        }
+      }
+      const Tensor& ep = dictionary[best_ep];
+      for (int i = 0; i < 9; ++i) mask[k * 9 + i] = ep[i];
+      kernel_norms.emplace_back(best_l2, k);
+    }
+
+    // Connectivity pruning: fully remove the weakest kernels.
+    const auto drop = static_cast<std::size_t>(
+        cfg.connectivity_fraction * static_cast<double>(kernels));
+    std::nth_element(kernel_norms.begin(),
+                     kernel_norms.begin() + static_cast<std::ptrdiff_t>(drop),
+                     kernel_norms.end());
+    for (std::size_t i = 0; i < drop; ++i) {
+      const std::int64_t k = kernel_norms[i].second;
+      for (int j = 0; j < 9; ++j) mask[k * 9 + j] = 0.0f;
+    }
+
+    w->mask = std::move(mask);
+    w->project();
+
+    core::LayerState state;
+    state.sparsity = w->sparsity();
+    state.storage_bits = 32;  // pruning-only framework: fp32 weights
+    state.compute_bits = 32;
+    state.mode = hw::SparsityMode::kSemiStructured;
+    state.format = quant::StorageFormat::kBitmapSparse;
+    state.pattern = "entry-pattern(" + std::to_string(cfg.entries) + ")";
+    plan.layers[name] = state;
+  }
+  return plan;
+}
+
+// --------------------------------------------------------------- LiDAR-PTQ
+
+core::CompressionPlan lidarptq_compress(detectors::Detector3D& model,
+                                        const LidarPtqConfig& cfg) {
+  core::CompressionPlan plan;
+  plan.framework = "LiDAR-PTQ";
+  for (const auto& name : prunable_layers(model)) {
+    auto* w = core::find_weight(model, name);
+    // Per-output-channel max-min calibration: each output channel gets its
+    // own symmetric scale (finer than the per-tensor Algorithm 6).
+    const auto& shape = w->value.shape();
+    const std::int64_t out_c = shape[0];
+    const std::int64_t per_channel = w->value.numel() / out_c;
+    const double max_q = std::pow(2.0, cfg.bits - 1) - 1.0;
+    for (std::int64_t oc = 0; oc < out_c; ++oc) {
+      float* row = w->value.data() + oc * per_channel;
+      float alpha = 0.0f;
+      for (std::int64_t i = 0; i < per_channel; ++i)
+        alpha = std::max(alpha, std::fabs(row[i]));
+      if (alpha == 0.0f) continue;
+      const float scale = static_cast<float>(alpha / max_q);
+      // Adaptive rounding: keep a running channel bias and choose the
+      // rounding direction that cancels accumulated error (AdaRound-lite).
+      double carried_error = 0.0;
+      for (std::int64_t i = 0; i < per_channel; ++i) {
+        const double exact = row[i] / scale;
+        double q = std::round(exact);
+        if (cfg.adaptive_rounding) {
+          const double frac = exact - std::floor(exact);
+          // Near-ties are resolved against the carried error.
+          if (std::fabs(frac - 0.5) < 0.25)
+            q = carried_error > 0.0 ? std::floor(exact) : std::ceil(exact);
+          carried_error += q - exact;
+        }
+        q = std::clamp(q, -max_q, max_q);
+        row[i] = static_cast<float>(q * scale);
+      }
+    }
+    w->quant_bits = cfg.bits;
+
+    core::LayerState state;
+    state.storage_bits = cfg.bits;
+    state.compute_bits = cfg.bits;  // true int8 deployment
+    state.mode = hw::SparsityMode::kDense;
+    state.format = quant::StorageFormat::kDense;
+    plan.layers[name] = state;
+  }
+  return plan;
+}
+
+}  // namespace upaq::baselines

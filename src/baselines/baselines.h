@@ -1,0 +1,71 @@
+// State-of-the-art compression baselines the paper compares UPAQ against.
+//
+// All four mutate the detector in place (like UpaqCompressor) and return a
+// CompressionPlan with the per-layer storage/compute state that drives the
+// compression-ratio accounting and the hardware cost model:
+//
+// * Ps&Qs  (Hawks et al., Frontiers in AI 2021): quantization-aware pruning —
+//   iterative global-magnitude unstructured pruning with fine-tuning between
+//   rounds, then uniform per-layer fake quantization. Unstructured zeros and
+//   fake quant mean dense fp32 execution: checkpoint shrinks, latency barely
+//   moves (the paper's criticism: long training, little runtime gain).
+// * CLIP-Q (Tung & Mori, CVPR 2018): in-parallel clipping + quantization —
+//   per-layer clip band prunes small weights, the survivors of a subset of
+//   layers are quantized; no convergence balancing across the whole model.
+// * R-TOSS (Balasubramaniam et al., DAC 2023): semi-structured entry-pattern
+//   pruning with an L2-norm (quantization-noise-blind) mask choice plus
+//   connectivity pruning; weights stay fp32 (pruning-only framework).
+// * LiDAR-PTQ (Zhou et al., 2024): post-training quantization with max-min
+//   calibration and adaptive (error-aware) rounding; int8 deployment, no
+//   pruning, no fine-tuning.
+#pragma once
+
+#include <functional>
+
+#include "core/plan.h"
+#include "detectors/detector.h"
+
+namespace upaq::baselines {
+
+struct PsQsConfig {
+  double target_sparsity = 0.5;
+  int rounds = 3;
+  int storage_bits = 16;
+  /// Detection heads stay dense (training stability), as in common practice.
+  std::vector<std::string> skip = {"head.cls", "head.reg", "hm.out", "reg.out"};
+};
+
+/// `finetune_round` is invoked after each pruning round (the QAT part);
+/// pass a no-op to study the pruning alone.
+core::CompressionPlan psqs_compress(detectors::Detector3D& model,
+                                    const PsQsConfig& cfg,
+                                    const std::function<void()>& finetune_round);
+
+struct ClipQConfig {
+  double clip_fraction = 0.4;    ///< per-layer fraction of weights clipped to 0
+  int storage_bits = 8;
+  double quantized_layer_fraction = 0.6;  ///< partitioning: rest stays fp32
+  std::vector<std::string> skip = {"head.cls", "head.reg", "hm.out", "reg.out"};
+};
+
+core::CompressionPlan clipq_compress(detectors::Detector3D& model,
+                                     const ClipQConfig& cfg);
+
+struct RtossConfig {
+  int entries = 3;                      ///< entry-pattern dictionary (3 or 4)
+  double connectivity_fraction = 0.2;   ///< kernels fully removed per layer
+  std::vector<std::string> skip = {"head.cls", "head.reg", "hm.out", "reg.out"};
+};
+
+core::CompressionPlan rtoss_compress(detectors::Detector3D& model,
+                                     const RtossConfig& cfg);
+
+struct LidarPtqConfig {
+  int bits = 8;
+  bool adaptive_rounding = true;  ///< error-aware rounding refinement
+};
+
+core::CompressionPlan lidarptq_compress(detectors::Detector3D& model,
+                                        const LidarPtqConfig& cfg);
+
+}  // namespace upaq::baselines

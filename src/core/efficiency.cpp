@@ -1,0 +1,28 @@
+#include "core/efficiency.h"
+
+#include "quant/quantize.h"
+#include "tensor/check.h"
+
+namespace upaq::core {
+
+EfficiencyScorer::EfficiencyScorer(hw::CostModel model,
+                                   std::vector<hw::LayerProfile> base_profile,
+                                   EsWeights weights)
+    : model_(std::move(model)), weights_(weights) {
+  UPAQ_CHECK(!base_profile.empty(), "EfficiencyScorer needs a base profile");
+  base_ = model_.model_cost(base_profile);
+}
+
+double EfficiencyScorer::score(const std::vector<hw::LayerProfile>& profile,
+                               double sqnr) const {
+  const hw::CostReport cur = model_.model_cost(profile);
+  UPAQ_ASSERT(cur.latency_s > 0.0 && cur.energy_j > 0.0,
+              "candidate profile produced non-positive cost");
+  const double sqnr_norm = quant::sqnr_db(sqnr) / 40.0;
+  const double lat_term = base_.latency_s / cur.latency_s;
+  const double energy_term = base_.energy_j / cur.energy_j;
+  return weights_.alpha * sqnr_norm + weights_.beta * lat_term +
+         weights_.gamma * energy_term;
+}
+
+}  // namespace upaq::core

@@ -1,0 +1,43 @@
+// Efficiency score Es (paper eq. 2): the objective the UPAQ search maximizes.
+//
+//   Es = alpha * sqnr_norm + beta * (1/latency) + gamma * (1/energy)
+//
+// The three terms have incompatible units, so each is normalized against the
+// dense base model: the latency and energy terms are expressed as base/current
+// ratios (>= 1 means the candidate is faster / more frugal than dense fp32),
+// and SQNR enters in dB scaled by 1/40 (≈1.0 at 8-bit quality). The paper's
+// alpha=0.3, beta=0.4, gamma=0.3 weighting is the default.
+#pragma once
+
+#include <vector>
+
+#include "hw/cost.h"
+
+namespace upaq::core {
+
+struct EsWeights {
+  double alpha = 0.3;  ///< SQNR (accuracy proxy)
+  double beta = 0.4;   ///< 1/latency
+  double gamma = 0.3;  ///< 1/energy
+};
+
+class EfficiencyScorer {
+ public:
+  EfficiencyScorer(hw::CostModel model, std::vector<hw::LayerProfile> base_profile,
+                   EsWeights weights = {});
+
+  /// Scores a candidate profile with the given (linear-scale) SQNR.
+  double score(const std::vector<hw::LayerProfile>& profile, double sqnr) const;
+
+  double base_latency_s() const { return base_.latency_s; }
+  double base_energy_j() const { return base_.energy_j; }
+  const hw::CostModel& cost_model() const { return model_; }
+  const EsWeights& weights() const { return weights_; }
+
+ private:
+  hw::CostModel model_;
+  hw::CostReport base_;
+  EsWeights weights_;
+};
+
+}  // namespace upaq::core

@@ -1,0 +1,243 @@
+#include "core/upaq.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "prune/structured.h"
+#include "quant/quantize.h"
+#include "tensor/check.h"
+
+namespace upaq::core {
+
+UpaqConfig UpaqConfig::hck() {
+  UpaqConfig cfg;
+  cfg.nonzeros = 2;
+  cfg.quant_bits = {4, 8};
+  return cfg;
+}
+
+UpaqConfig UpaqConfig::lck() {
+  UpaqConfig cfg;
+  cfg.nonzeros = 3;
+  cfg.quant_bits = {8, 16};
+  return cfg;
+}
+
+Tensor UpaqCompressor::build_mask(const Shape& weight_shape,
+                                  const prune::KernelPattern& pattern) {
+  if (weight_shape.size() == 4 && weight_shape[2] > 1) {
+    UPAQ_CHECK(weight_shape[2] == pattern.d && weight_shape[3] == pattern.d,
+               "pattern does not match kernel size");
+    return prune::expand_kernel_mask(pattern, weight_shape);
+  }
+  // Algorithm 5: flatten, regroup into d x d tiles, mask each tile with the
+  // pattern; the partial tail tile (Alg. 5 line 12) stays dense.
+  const std::int64_t n = shape_numel(weight_shape);
+  const std::int64_t kk = static_cast<std::int64_t>(pattern.d) * pattern.d;
+  Tensor mask({n});
+  const std::int64_t full_tiles = n / kk;
+  for (std::int64_t t = 0; t < full_tiles; ++t)
+    for (const auto& [r, c] : pattern.positions)
+      mask[t * kk + r * pattern.d + c] = 1.0f;
+  for (std::int64_t i = full_tiles * kk; i < n; ++i) mask[i] = 1.0f;
+  return mask.reshape(weight_shape);
+}
+
+Tensor UpaqCompressor::assign_masks(
+    const Tensor& weight, const std::vector<prune::KernelPattern>& candidates,
+    int transform_k) {
+  UPAQ_CHECK(!candidates.empty(), "assign_masks needs candidates");
+  const int d = candidates.front().d;
+  for (const auto& c : candidates)
+    UPAQ_CHECK(c.d == d, "assign_masks: mixed kernel dimensions");
+  const bool is_kxk = weight.rank() == 4 && weight.shape()[2] > 1;
+  if (is_kxk) {
+    UPAQ_CHECK(weight.shape()[2] == d && weight.shape()[3] == d,
+               "pattern dimension does not match kernel size");
+  } else {
+    UPAQ_CHECK(d == transform_k,
+               "1x1 candidates must use the transform tile size");
+  }
+
+  const std::int64_t kk = static_cast<std::int64_t>(d) * d;
+  const std::int64_t n = weight.numel();
+  Tensor mask({n});
+  const float* w = weight.data();
+  const std::int64_t full_tiles = n / kk;  // == kernel count for kxk weights
+  for (std::int64_t t = 0; t < full_tiles; ++t) {
+    // Per-kernel choice: keep the candidate retaining the most L2 mass
+    // (Algorithm 4 iterates kernels of the root layer; quantization noise is
+    // handled at group level by the Es bitwidth search).
+    double best_l2 = -1.0;
+    const prune::KernelPattern* best = nullptr;
+    for (const auto& cand : candidates) {
+      double l2 = 0.0;
+      for (const auto& [r, c] : cand.positions) {
+        const float v = w[t * kk + r * d + c];
+        l2 += static_cast<double>(v) * v;
+      }
+      if (l2 > best_l2) {
+        best_l2 = l2;
+        best = &cand;
+      }
+    }
+    for (const auto& [r, c] : best->positions) mask[t * kk + r * d + c] = 1.0f;
+  }
+  // Algorithm 5's partial tail tile stays dense (erratum note in DESIGN.md).
+  for (std::int64_t i = full_tiles * kk; i < n; ++i) mask[i] = 1.0f;
+  return mask.reshape(weight.shape());
+}
+
+UpaqResult UpaqCompressor::compress(detectors::Detector3D& model) {
+  UpaqResult result;
+  result.plan.framework =
+      cfg_.nonzeros <= 2 ? "UPAQ (HCK)" : "UPAQ (LCK)";
+
+  const graph::Graph& graph = model.topology();
+  const auto groups = graph.build_groups();  // Algorithm 1 output
+  graph::validate_groups(graph, groups);
+
+  // Es is scored against the dense base cost of the deployment profile on
+  // the target device; the running plan carries the already-decided groups
+  // so later groups are scored in the context of earlier decisions.
+  const std::vector<hw::LayerProfile> base_profile =
+      cfg_.es_profile.empty() ? model.cost_profile() : cfg_.es_profile;
+  EfficiencyScorer scorer(hw::CostModel(hw::device_spec(cfg_.es_device)),
+                          base_profile, cfg_.es);
+  auto make_state = [](double sparsity, int bits, hw::SparsityMode mode) {
+    LayerState st;
+    st.sparsity = sparsity;
+    st.storage_bits = bits;
+    st.compute_bits = bits;
+    st.mode = mode;
+    return st;
+  };
+
+  Rng rng(cfg_.seed);
+  for (const auto& group : groups) {
+    const std::string root_name = graph.node(group.root).name;
+    nn::Parameter* root_w = find_weight(model, root_name);
+    UPAQ_ASSERT(root_w != nullptr, "group root has no weight: " + root_name);
+    std::vector<std::string> member_names;
+    for (int m : group.members) member_names.push_back(graph.node(m).name);
+
+    const bool skip_pruning =
+        std::any_of(member_names.begin(), member_names.end(), [&](const auto& n) {
+          return std::find(cfg_.skip_prune.begin(), cfg_.skip_prune.end(), n) !=
+                 cfg_.skip_prune.end();
+        });
+
+    const int k = graph.kernel_size(group.root);
+    const int d = k > 1 ? k : cfg_.transform_k;
+    const std::int64_t tile = static_cast<std::int64_t>(d) * d;
+
+    // Candidate patterns (Algorithm 2 draws), organized into families: each
+    // arrangement type on its own plus the mixed set. The Es search picks the
+    // (family, bitwidth) pair; kernels inside the layer pick their member
+    // pattern by kept-L2 (Algorithm 4's per-kernel loop).
+    std::vector<std::pair<std::string, std::vector<prune::KernelPattern>>>
+        families;
+    if (!skip_pruning) {
+      const int n = std::min(cfg_.nonzeros, d);
+      const auto candidates = prune::generate_candidates(n, d, cfg_.candidates, rng);
+      std::map<std::string, std::vector<prune::KernelPattern>> by_type;
+      for (const auto& c : candidates)
+        by_type[prune::pattern_type_name(c.type)].push_back(c);
+      for (auto& [type, members] : by_type)
+        families.emplace_back(type, std::move(members));
+      families.emplace_back("mixed", candidates);
+    } else {
+      families.emplace_back("", std::vector<prune::KernelPattern>{});
+    }
+
+    // Algorithm 4 / 5 search: every (family, bitwidth) pair, Es argmax.
+    double best_es = -std::numeric_limits<double>::infinity();
+    std::vector<prune::KernelPattern> best_family;
+    GroupDecision best;
+    best.root = root_name;
+    best.members = member_names;
+    for (const auto& [family_name, family] : families) {
+      Tensor masked = root_w->value;
+      double sparsity = 0.0;
+      if (!skip_pruning) {
+        Tensor mask = assign_masks(root_w->value, family, cfg_.transform_k);
+        if (cfg_.connectivity > 0.0)
+          mask = prune::connectivity_prune(root_w->value, mask,
+                                           cfg_.connectivity, tile);
+        masked.mul_(mask);
+        sparsity = prune::tensor_sparsity(mask);
+      }
+      for (int bits : cfg_.quant_bits) {
+        // Algorithm 6 runs per kernel/tile: each gets its own scale.
+        const auto q = quant::mp_quantize_grouped(masked, bits, tile);
+        ++result.candidates_evaluated;
+        // SQNR "relative to the original kernel" (paper Sec. IV.C.2): the
+        // error term includes both the pruned and the quantized weights, so
+        // Es can discriminate pattern families, not just bitwidths.
+        const Tensor err = root_w->value - q.values;
+        const double verr = err.var();
+        const double sqnr =
+            verr > 0.0 ? root_w->value.var() / verr
+                       : std::numeric_limits<double>::infinity();
+        const auto mode = skip_pruning ? hw::SparsityMode::kDense
+                                       : hw::SparsityMode::kSemiStructured;
+        CompressionPlan trial_plan = result.plan;
+        for (const auto& mn : member_names)
+          trial_plan.layers[mn] = make_state(sparsity, bits, mode);
+        const double es =
+            scorer.score(apply_plan(base_profile, trial_plan), sqnr);
+        if (es > best_es) {
+          best_es = es;
+          best.pattern = skip_pruning
+                             ? std::string()
+                             : family_name + "(n=" +
+                                   std::to_string(std::min(cfg_.nonzeros, d)) +
+                                   ",d=" + std::to_string(d) + ")";
+          best.bits = bits;
+          best.es = es;
+          best.sparsity = sparsity;
+          best.sqnr_db = quant::sqnr_db(sqnr);
+          if (!skip_pruning) best_family = family;
+        }
+      }
+    }
+
+    // Apply the winner to every member (root + leaves): the leaves adopt the
+    // root's family and bitwidth, each kernel with its own per-kernel scale.
+    for (const auto& mn : member_names) {
+      nn::Parameter* w = find_weight(model, mn);
+      UPAQ_ASSERT(w != nullptr, "group member has no weight: " + mn);
+      double sparsity = 0.0;
+      if (!skip_pruning) {
+        Tensor mask = assign_masks(w->value, best_family, cfg_.transform_k);
+        if (cfg_.connectivity > 0.0)
+          mask = prune::connectivity_prune(w->value, mask, cfg_.connectivity,
+                                           tile);
+        w->value.mul_(mask);
+        sparsity = prune::tensor_sparsity(mask);
+        w->mask = std::move(mask);
+      }
+      auto q = quant::mp_quantize_grouped(w->value, best.bits, tile);
+      w->value = std::move(q.values);
+      w->project();
+      w->quant_bits = best.bits;
+
+      LayerState state;
+      state.sparsity = sparsity;
+      state.storage_bits = best.bits;
+      state.compute_bits = best.bits;
+      state.mode = skip_pruning ? hw::SparsityMode::kDense
+                                : hw::SparsityMode::kSemiStructured;
+      state.format = skip_pruning ? quant::StorageFormat::kDense
+                                  : quant::StorageFormat::kBitmapSparse;
+      state.quant_group = tile;
+      state.pattern = best.pattern;
+      result.plan.layers[mn] = state;
+    }
+    result.decisions.push_back(std::move(best));
+  }
+  return result;
+}
+
+}  // namespace upaq::core

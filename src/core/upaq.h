@@ -1,0 +1,108 @@
+// The UPAQ compressor: Algorithms 3 (driver), 4 (kxk kernel compression),
+// 5 (1x1 -> kxk transform compression) and the HCK/LCK presets.
+//
+// Per Algorithm-1 root group, the compressor samples candidate patterns
+// (Algorithm 2), applies each to the root layer's kernels, quantizes at every
+// bitwidth in `quant_bits` (Algorithm 6), scores the resulting model with the
+// efficiency score Es (eq. 2, evaluated through the hardware cost model) and
+// keeps the argmax. The winning pattern + bitwidth is then replicated to all
+// leaf layers of the group, exactly as the paper replicates bestfit_pattern.
+//
+// The model is mutated in place; Algorithm 3's deepcopy(M) corresponds to the
+// caller snapshotting the pretrained weights (zoo::load or state_dict) before
+// compressing, which keeps the baseline model intact for comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "core/efficiency.h"
+#include "core/plan.h"
+#include "detectors/detector.h"
+#include "prune/pattern.h"
+
+namespace upaq::core {
+
+struct UpaqConfig {
+  /// Non-zero weights kept per kxk kernel pattern (HCK: 2, LCK: 3).
+  int nonzeros = 3;
+  /// Bitwidths the mixed-precision search may assign (HCK: {4,8}, LCK: {8,16}).
+  std::vector<int> quant_bits = {8, 16};
+  /// Candidate patterns sampled per root group (Algorithm 2 draws).
+  int candidates = 24;
+  /// Tile size of the 1x1 -> kxk transform (Algorithm 5).
+  int transform_k = 3;
+  /// Optional connectivity pruning: fraction of kernels per layer fully
+  /// removed on top of the pattern masks (0 disables; the paper discusses it
+  /// as a sparsity booster with an accuracy cost — see the ablation bench).
+  double connectivity = 0.0;
+  /// Efficiency-score weights (paper: 0.3 / 0.4 / 0.3).
+  EsWeights es;
+  /// Device whose cost model drives the Es latency/energy terms.
+  hw::Device es_device = hw::Device::kJetsonOrinNano;
+  /// Deployment profile the Es latency/energy terms are evaluated on (the
+  /// paper measures the deployed model on-device). When empty, the model's
+  /// own cost profile is used. Plans map onto this profile by name with the
+  /// same prefix/stem fallback as apply_plan, so a scaled trained model can
+  /// be scored against its full-width deployment spec.
+  std::vector<hw::LayerProfile> es_profile;
+  /// Layers that are quantized but never pruned (detection heads — pruning
+  /// the final 1x1 predictors costs disproportionate accuracy).
+  std::vector<std::string> skip_prune = {"head.cls", "head.reg", "hm.out",
+                                         "reg.out"};
+  std::uint64_t seed = 17;
+
+  /// High-compression preset: 2 non-zeros per 3x3 kernel, 4/8-bit mix.
+  static UpaqConfig hck();
+  /// Low-compression (accuracy-biased) preset: 3 non-zeros, 8/16-bit mix.
+  static UpaqConfig lck();
+};
+
+/// One root group's winning configuration (for reports and ablations).
+struct GroupDecision {
+  std::string root;
+  std::vector<std::string> members;
+  std::string pattern;  ///< pattern key; empty for quantize-only groups
+  int bits = 32;
+  double es = 0.0;
+  double sparsity = 0.0;
+  double sqnr_db = 0.0;
+};
+
+struct UpaqResult {
+  CompressionPlan plan;
+  std::vector<GroupDecision> decisions;
+  int candidates_evaluated = 0;
+};
+
+class UpaqCompressor {
+ public:
+  explicit UpaqCompressor(UpaqConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// Runs the full compression stage on `model` (mutating weights, masks and
+  /// bookkeeping bitwidths) and returns the plan.
+  UpaqResult compress(detectors::Detector3D& model);
+
+  const UpaqConfig& config() const { return cfg_; }
+
+  /// Builds the pruning mask for a weight tensor under a single pattern.
+  /// For rank-4 kxk weights the pattern tiles every kernel; for 1x1 / linear
+  /// weights the flattened tensor is regrouped into transform_k x transform_k
+  /// tiles (Algorithm 5); the partial tail tile is kept dense (see DESIGN.md
+  /// note on the Alg. 5 line-12 erratum).
+  static Tensor build_mask(const Shape& weight_shape,
+                           const prune::KernelPattern& pattern);
+
+  /// Per-kernel pattern assignment: every kxk kernel (or Algorithm-5 tile)
+  /// picks, from the group's candidate set, the pattern keeping the largest
+  /// L2 mass. This is the PatDNN-style reading of Algorithm 4's per-kernel
+  /// loop; the group-level Es search chooses the candidate *family* and
+  /// bitwidth (see DESIGN.md). All candidates must share (n, d).
+  static Tensor assign_masks(const Tensor& weight,
+                             const std::vector<prune::KernelPattern>& candidates,
+                             int transform_k);
+
+ private:
+  UpaqConfig cfg_;
+};
+
+}  // namespace upaq::core

@@ -1,0 +1,229 @@
+#include "data/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace upaq::data {
+
+namespace {
+
+/// Coarse overlap check in BEV using circumscribed circles — placement only
+/// needs "not on top of each other", not exact separation.
+bool too_close(const eval::Box3D& a, const eval::Box3D& b) {
+  const float dx = a.x - b.x, dy = a.y - b.y;
+  const float ra = 0.5f * std::hypot(a.length, a.width);
+  const float rb = 0.5f * std::hypot(b.length, b.width);
+  return std::hypot(dx, dy) < (ra + rb) * 1.1f;
+}
+
+}  // namespace
+
+void SceneGenerator::place_cars(Scene& scene, Rng& rng) const {
+  const int target = rng.uniform_int(cfg_.min_cars, cfg_.max_cars);
+  int attempts = 0;
+  while (static_cast<int>(scene.objects.size()) < target && attempts < 200) {
+    ++attempts;
+    eval::Box3D car;
+    car.length = std::max(3.0f, rng.normal(cfg_.car_length_mean, cfg_.car_length_sd));
+    car.width = std::max(1.4f, rng.normal(cfg_.car_width_mean, cfg_.car_width_sd));
+    car.height = std::max(1.2f, rng.normal(cfg_.car_height_mean, cfg_.car_height_sd));
+    car.x = rng.uniform(cfg_.x_min + 3.0f, cfg_.x_max - 3.0f);
+    car.y = rng.uniform(cfg_.y_min + 2.0f, cfg_.y_max - 2.0f);
+    car.z = car.height * 0.5f;
+    car.yaw = rng.uniform(-3.14159265f, 3.14159265f);
+    car.label = 0;
+    bool ok = true;
+    for (const auto& other : scene.objects)
+      if (too_close(car, other)) {
+        ok = false;
+        break;
+      }
+    if (ok) scene.objects.push_back(car);
+  }
+}
+
+void SceneGenerator::simulate_lidar(Scene& scene, Rng& rng) const {
+  // Car returns: sample the two faces oriented toward the sensor plus the
+  // roof; density decays with distance like a real spinning LiDAR.
+  for (const auto& car : scene.objects) {
+    const float dist = std::max(2.0f, std::hypot(car.x, car.y));
+    const int budget = std::max(
+        6, static_cast<int>(cfg_.points_at_10m * 10.0f / dist));
+    const float c = std::cos(car.yaw), s = std::sin(car.yaw);
+    // Direction from car to sensor, expressed in the car's local frame.
+    const float to_sensor_x = -(c * car.x + s * car.y);
+    const float to_sensor_y = -(-s * car.x + c * car.y);
+    for (int i = 0; i < budget; ++i) {
+      // Pick a face biased toward the visible sides. Local frame: +-l/2 on
+      // x (front/back), +-w/2 on y (sides), top at +h/2.
+      float lx, ly, lz;
+      const int face = rng.uniform_int(0, 9);
+      if (face < 4) {
+        // Length-side face toward the sensor.
+        lx = rng.uniform(-car.length * 0.5f, car.length * 0.5f);
+        ly = (to_sensor_y >= 0 ? 1.0f : -1.0f) * car.width * 0.5f;
+        lz = rng.uniform(0.0f, car.height);
+      } else if (face < 8) {
+        // Front/back face toward the sensor.
+        lx = (to_sensor_x >= 0 ? 1.0f : -1.0f) * car.length * 0.5f;
+        ly = rng.uniform(-car.width * 0.5f, car.width * 0.5f);
+        lz = rng.uniform(0.0f, car.height);
+      } else {
+        // Roof.
+        lx = rng.uniform(-car.length * 0.5f, car.length * 0.5f);
+        ly = rng.uniform(-car.width * 0.5f, car.width * 0.5f);
+        lz = car.height;
+      }
+      LidarPoint p;
+      p.x = car.x + c * lx - s * ly + rng.normal(0.0f, cfg_.point_noise_sd);
+      p.y = car.y + s * lx + c * ly + rng.normal(0.0f, cfg_.point_noise_sd);
+      p.z = lz + rng.normal(0.0f, cfg_.point_noise_sd);
+      p.intensity = rng.uniform(0.3f, 0.9f);
+      scene.points.push_back(p);
+    }
+  }
+  // Ground clutter.
+  for (int i = 0; i < cfg_.ground_clutter_points; ++i) {
+    LidarPoint p;
+    p.x = rng.uniform(cfg_.x_min, cfg_.x_max);
+    p.y = rng.uniform(cfg_.y_min, cfg_.y_max);
+    p.z = std::fabs(rng.normal(0.0f, 0.04f));
+    p.intensity = rng.uniform(0.05f, 0.4f);
+    scene.points.push_back(p);
+  }
+  // Distractor clusters: bush/pole-shaped blobs that are NOT cars; they put
+  // false-positive pressure on the detector so AP is a meaningful number.
+  for (int d = 0; d < cfg_.distractor_clusters; ++d) {
+    const float ox = rng.uniform(cfg_.x_min + 2.0f, cfg_.x_max - 2.0f);
+    const float oy = rng.uniform(cfg_.y_min + 1.0f, cfg_.y_max - 1.0f);
+    const float radius = rng.uniform(0.25f, 0.8f);
+    const float height = rng.uniform(0.5f, 2.2f);
+    const int count = rng.uniform_int(10, 40);
+    for (int i = 0; i < count; ++i) {
+      LidarPoint p;
+      p.x = ox + rng.normal(0.0f, radius);
+      p.y = oy + rng.normal(0.0f, radius);
+      p.z = rng.uniform(0.0f, height);
+      p.intensity = rng.uniform(0.2f, 0.8f);
+      scene.points.push_back(p);
+    }
+  }
+}
+
+Scene SceneGenerator::sample(Rng& rng) const {
+  Scene scene;
+  place_cars(scene, rng);
+  simulate_lidar(scene, rng);
+  return scene;
+}
+
+bool Camera::project(float x, float y, float z, float& u, float& v) const {
+  if (x <= 0.5f) return false;
+  u = cx - fx * (y / x);
+  v = cy - fy * ((z - height_above_ground) / x);
+  return true;
+}
+
+void Camera::unproject(float u, float v, float depth, float& x, float& y,
+                       float& z) const {
+  x = depth;
+  y = -(u - cx) * depth / fx;
+  z = height_above_ground - (v - cy) * depth / fy;
+}
+
+Tensor render_camera(const Scene& scene, const Camera& cam, Rng& rng) {
+  Tensor img({3, cam.height, cam.width});
+  // Background: sky gradient above the horizon line, textured road below.
+  const float horizon = cam.cy - 2.0f;
+  for (int v = 0; v < cam.height; ++v) {
+    for (int u = 0; u < cam.width; ++u) {
+      float r, g, b;
+      if (static_cast<float>(v) < horizon) {
+        const float t = static_cast<float>(v) / std::max(horizon, 1.0f);
+        r = 0.45f + 0.1f * t;
+        g = 0.55f + 0.1f * t;
+        b = 0.75f;
+      } else {
+        const float t = (static_cast<float>(v) - horizon) /
+                        std::max(static_cast<float>(cam.height) - horizon, 1.0f);
+        r = g = b = 0.28f + 0.1f * t;
+      }
+      img.at(0, v, u) = r;
+      img.at(1, v, u) = g;
+      img.at(2, v, u) = b;
+    }
+  }
+  // Draw cars far-to-near so nearer cars occlude farther ones.
+  std::vector<const eval::Box3D*> order;
+  for (const auto& car : scene.objects) order.push_back(&car);
+  std::sort(order.begin(), order.end(),
+            [](const eval::Box3D* a, const eval::Box3D* b) { return a->x > b->x; });
+  for (const auto* car : order) {
+    // Project all 8 corners; fill the projected axis-aligned hull.
+    const auto corners = eval::bev_corners(*car);
+    float umin = 1e9f, umax = -1e9f, vmin = 1e9f, vmax = -1e9f;
+    bool visible = false;
+    for (const auto& cpt : corners) {
+      for (float zz : {car->z - car->height * 0.5f, car->z + car->height * 0.5f}) {
+        float u, v;
+        if (cam.project(static_cast<float>(cpt.x), static_cast<float>(cpt.y), zz,
+                        u, v)) {
+          visible = true;
+          umin = std::min(umin, u);
+          umax = std::max(umax, u);
+          vmin = std::min(vmin, v);
+          vmax = std::max(vmax, v);
+        }
+      }
+    }
+    if (!visible) continue;
+    // Albedo jitter makes brightness an imperfect depth cue (monocular depth
+    // must come from size/position, like real SMOKE).
+    const float albedo = rng.uniform(0.35f, 0.95f);
+    const float shade = albedo * std::min(1.0f, 14.0f / car->x);
+    const float hue = rng.uniform(-0.12f, 0.12f);
+    const int u0 = std::max(0, static_cast<int>(std::floor(umin)));
+    const int u1 = std::min(cam.width - 1, static_cast<int>(std::ceil(umax)));
+    const int v0 = std::max(0, static_cast<int>(std::floor(vmin)));
+    const int v1 = std::min(cam.height - 1, static_cast<int>(std::ceil(vmax)));
+    for (int v = v0; v <= v1; ++v) {
+      for (int u = u0; u <= u1; ++u) {
+        // Simple body shading: darker toward the bottom (shadow).
+        const float frac = (v1 > v0) ? static_cast<float>(v - v0) / (v1 - v0) : 0.0f;
+        const float body = shade * (1.0f - 0.35f * frac);
+        img.at(0, v, u) = std::clamp(body + hue, 0.0f, 1.0f);
+        img.at(1, v, u) = std::clamp(body, 0.0f, 1.0f);
+        img.at(2, v, u) = std::clamp(body - hue, 0.0f, 1.0f);
+      }
+    }
+  }
+  // Sensor noise.
+  for (auto& p : img.flat()) {
+    p = std::clamp(p + rng.normal(0.0f, 0.02f), 0.0f, 1.0f);
+  }
+  return img;
+}
+
+Dataset make_dataset(int scene_count, std::uint64_t seed, const SceneConfig& cfg) {
+  UPAQ_CHECK(scene_count >= 10, "dataset needs at least 10 scenes");
+  SceneGenerator gen(cfg);
+  Rng rng(seed);
+  Dataset ds;
+  const int n_train = scene_count * 8 / 10;
+  const int n_val = scene_count / 10;
+  for (int i = 0; i < scene_count; ++i) {
+    Scene s = gen.sample(rng);
+    if (i < n_train) {
+      ds.train.push_back(std::move(s));
+    } else if (i < n_train + n_val) {
+      ds.val.push_back(std::move(s));
+    } else {
+      ds.test.push_back(std::move(s));
+    }
+  }
+  return ds;
+}
+
+}  // namespace upaq::data

@@ -1,0 +1,92 @@
+// Synthetic KITTI-like scenes: the dataset substitute.
+//
+// Each scene is a ground plane with 1..N car-sized boxes at random poses
+// inside the detection range, observed by (a) a simulated LiDAR that samples
+// the box faces visible from the sensor plus ground clutter and distractor
+// objects, and (b) a pinhole camera rendering shaded box silhouettes with
+// perspective scaling. Ground truth is the exact 9-DoF box list, so the
+// KITTI-style AP evaluation runs unchanged. All sampling is driven by an
+// injected Rng; a fixed dataset seed gives identical 80:10:10 splits on
+// every run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/box.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace upaq::data {
+
+struct LidarPoint {
+  float x = 0.0f, y = 0.0f, z = 0.0f;
+  float intensity = 0.0f;
+};
+
+struct Scene {
+  std::vector<eval::Box3D> objects;  ///< ground truth (label 0 = car)
+  std::vector<LidarPoint> points;    ///< simulated LiDAR return
+};
+
+struct SceneConfig {
+  // Detection range (vehicle frame: x forward, y left, z up; sensor at origin).
+  float x_min = 2.0f, x_max = 46.0f;
+  float y_min = -22.0f, y_max = 22.0f;
+  int min_cars = 1, max_cars = 6;
+  // Car size distribution (KITTI car means with mild spread).
+  float car_length_mean = 4.2f, car_length_sd = 0.35f;
+  float car_width_mean = 1.8f, car_width_sd = 0.12f;
+  float car_height_mean = 1.55f, car_height_sd = 0.1f;
+  // LiDAR point budget for a car at 10 m; decays with 1/r.
+  float points_at_10m = 220.0f;
+  float point_noise_sd = 0.035f;  ///< metres, per-coordinate
+  int ground_clutter_points = 260;
+  int distractor_clusters = 3;  ///< bush/pole-like clusters (hard negatives)
+};
+
+class SceneGenerator {
+ public:
+  explicit SceneGenerator(SceneConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Draws one scene: non-overlapping car placement, LiDAR simulation.
+  Scene sample(Rng& rng) const;
+
+  const SceneConfig& config() const { return cfg_; }
+
+ private:
+  void place_cars(Scene& scene, Rng& rng) const;
+  void simulate_lidar(Scene& scene, Rng& rng) const;
+  SceneConfig cfg_;
+};
+
+/// Pinhole camera for the SMOKE pipeline. The camera sits at the origin
+/// looking along +x; u grows to the right (negative y), v grows downward
+/// (negative z). Depth is the forward distance x.
+struct Camera {
+  float fx = 120.0f, fy = 120.0f;
+  float cx = 64.0f, cy = 52.0f;
+  int width = 128, height = 96;
+  float height_above_ground = 1.6f;  ///< camera z in the vehicle frame
+
+  /// Projects a vehicle-frame point; returns false when behind the camera.
+  bool project(float x, float y, float z, float& u, float& v) const;
+  /// Inverse of project at a known depth (the SMOKE uplift).
+  void unproject(float u, float v, float depth, float& x, float& y, float& z) const;
+};
+
+/// Renders the scene into a (3, H, W) image in [0,1]: sky/road background,
+/// shaded perspective car silhouettes (intensity falls with distance, with
+/// per-car albedo jitter so apparent brightness is an imperfect depth cue),
+/// plus sensor noise.
+Tensor render_camera(const Scene& scene, const Camera& cam, Rng& rng);
+
+/// A reproducible dataset with the paper's 80:10:10 split.
+struct Dataset {
+  std::vector<Scene> train, val, test;
+};
+
+Dataset make_dataset(int scene_count, std::uint64_t seed,
+                     const SceneConfig& cfg = {});
+
+}  // namespace upaq::data

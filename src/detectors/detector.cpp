@@ -1,0 +1,24 @@
+#include "detectors/detector.h"
+
+namespace upaq::detectors {
+
+double evaluate_map(Detector3D& det, const std::vector<data::Scene>& scenes,
+                    double iou_threshold) {
+  return eval::map_percent(collect_detections(det, scenes), iou_threshold);
+}
+
+std::vector<eval::FrameDetections> collect_detections(
+    Detector3D& det, const std::vector<data::Scene>& scenes) {
+  std::vector<eval::FrameDetections> frames;
+  frames.reserve(scenes.size());
+  for (const auto& scene : scenes) {
+    eval::FrameDetections fd;
+    fd.detections = det.detect(scene);
+    for (const auto& gt : scene.objects)
+      if (det.observes(gt)) fd.ground_truth.push_back(gt);
+    frames.push_back(std::move(fd));
+  }
+  return frames;
+}
+
+}  // namespace upaq::detectors

@@ -1,0 +1,65 @@
+// Common interface of the 3-D object detectors.
+//
+// Both detectors are nn::Modules with an explicit computation-graph
+// registration (consumed by Algorithm 1) and an analytic cost profile
+// (consumed by the hardware model). Training happens through
+// compute_loss_and_grad — the Trainer owns the optimizer loop, so the
+// detector only defines loss and backward wiring.
+#pragma once
+
+#include <vector>
+
+#include "data/scene.h"
+#include "eval/box.h"
+#include "eval/map.h"
+#include "graph/graph.h"
+#include "hw/cost.h"
+#include "nn/module.h"
+
+namespace upaq::detectors {
+
+class Detector3D : public nn::Module {
+ public:
+  ~Detector3D() override = default;
+
+  /// Full eval-mode inference on one scene: forward, decode, NMS.
+  virtual std::vector<eval::Box3D> detect(const data::Scene& scene) = 0;
+
+  /// Forward + loss + backward over a minibatch of scenes; gradients are
+  /// accumulated into the parameters (call Module::zero_grad first).
+  virtual double compute_loss_and_grad(
+      const std::vector<const data::Scene*>& batch) = 0;
+
+  /// Computation DAG registered at construction (Algorithm 1 input).
+  const graph::Graph& topology() const { return graph_; }
+
+  /// Analytic per-layer cost profile of this instance, names matching the
+  /// topology's prunable nodes. Dense fp32 by default; the compression
+  /// driver rewrites sparsity/bits before handing it to the hw model.
+  virtual std::vector<hw::LayerProfile> cost_profile() const = 0;
+
+  /// Human-readable model name ("PointPillars", "SMOKE").
+  virtual const char* model_name() const = 0;
+
+  /// True when a ground-truth object is observable by this detector's sensor
+  /// (e.g. inside the camera frustum for monocular models). Evaluation only
+  /// counts observable ground truth, mirroring KITTI's image-domain rule.
+  virtual bool observes(const eval::Box3D& box) const {
+    (void)box;
+    return true;
+  }
+
+ protected:
+  graph::Graph graph_;
+};
+
+/// Runs detect() over `scenes` and evaluates mAP (percent) at the given BEV
+/// IoU threshold. Used by Table 2 and by fine-tuning validation.
+double evaluate_map(Detector3D& det, const std::vector<data::Scene>& scenes,
+                    double iou_threshold = 0.5);
+
+/// Per-frame detections for qualitative output (Fig. 6).
+std::vector<eval::FrameDetections> collect_detections(
+    Detector3D& det, const std::vector<data::Scene>& scenes);
+
+}  // namespace upaq::detectors

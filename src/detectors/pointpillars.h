@@ -1,0 +1,113 @@
+// PointPillars: LiDAR point-cloud 3-D detector (Lang et al., CVPR 2019),
+// reimplemented from scratch at configurable width.
+//
+// Pipeline: points are grouped into vertical pillars; a Pillar Feature
+// Network (a 1x1-kernel linear layer + max-pool over the pillar's points —
+// the exact layer population Algorithm 5 targets) embeds each pillar; the
+// embeddings are scattered into a pseudo-image; a three-block stride-2 CNN
+// backbone with upsampled feature concatenation feeds an SSD-style head
+// with two rotated anchors per cell (0 and 90 degrees).
+//
+// The `scaled()` config trains on CPU in about a minute; the `full()` config
+// matches the paper's 4.8 M-parameter deployment model and is used for the
+// hardware-model cost reporting (same graph, wider channels).
+#pragma once
+
+#include <utility>
+
+#include "detectors/detector.h"
+#include "train/losses.h"
+
+namespace upaq::detectors {
+
+struct PointPillarsConfig {
+  // BEV range; the pillar grid is square over this region.
+  float x_min = 0.0f, x_max = 46.08f;
+  float y_min = -23.04f, y_max = 23.04f;
+  int grid = 64;                 ///< pillars per side
+  int max_points_per_pillar = 12;
+
+  // Architecture.
+  int pfn_channels = 16;
+  /// Backbone blocks as (conv_count, channels); each block downsamples 2x
+  /// at its first conv.
+  std::vector<std::pair<int, int>> blocks = {{2, 20}, {2, 32}, {2, 48}};
+  int up_channels = 24;   ///< per-branch channels after the 1x1 lateral conv
+  int head_channels = 48; ///< head trunk width
+
+  // Anchors (car class).
+  float anchor_length = 4.2f, anchor_width = 1.8f, anchor_height = 1.55f;
+
+  // Decoding.
+  float score_threshold = 0.25f;
+  double nms_iou = 0.2;
+  int max_detections = 40;
+
+  // Loss.
+  float focal_alpha = 0.75f, focal_gamma = 2.0f;
+  float reg_weight = 2.0f;
+
+  /// Assumed pillar occupancy / point fill for the analytic cost profile.
+  double nominal_occupancy = 0.12;
+
+  float pillar_size() const { return (x_max - x_min) / static_cast<float>(grid); }
+
+  /// CPU-trainable configuration (the model the accuracy numbers come from).
+  static PointPillarsConfig scaled();
+  /// Paper-scale deployment spec: ~4.8 M parameters, 448x448 pillar grid.
+  static PointPillarsConfig full();
+};
+
+class PointPillars final : public Detector3D {
+ public:
+  PointPillars(PointPillarsConfig cfg, Rng& rng);
+
+  std::vector<eval::Box3D> detect(const data::Scene& scene) override;
+  double compute_loss_and_grad(
+      const std::vector<const data::Scene*>& batch) override;
+  std::vector<hw::LayerProfile> cost_profile() const override;
+  const char* model_name() const override { return "PointPillars"; }
+
+  const PointPillarsConfig& config() const { return cfg_; }
+
+  /// Analytic cost profile for an arbitrary config (used for the full-width
+  /// spec without instantiating weights).
+  static std::vector<hw::LayerProfile> cost_profile_for(
+      const PointPillarsConfig& cfg);
+
+ private:
+  struct Pillars {
+    Tensor features;                 ///< (P * max_pts, 9) padded point features
+    std::vector<int> valid_counts;   ///< points actually in each pillar
+    std::vector<std::pair<int, int>> coords;  ///< (row, col) per pillar
+  };
+  struct ForwardState {
+    Pillars pillars;
+    std::vector<std::int64_t> max_argmax;  ///< PFN max-pool winners
+    Tensor cls_logits, reg_out;            ///< head outputs
+  };
+
+  Pillars pillarize(const data::Scene& scene) const;
+  /// Runs the network; fills `state` when training (for backward).
+  void forward(const data::Scene& scene, ForwardState& state);
+  void backward(const ForwardState& state, const Tensor& grad_cls,
+                const Tensor& grad_reg);
+  std::vector<eval::Box3D> decode(const Tensor& cls_logits,
+                                  const Tensor& reg_out) const;
+
+  PointPillarsConfig cfg_;
+
+  // Layers (owned by Module::layers_; these are typed handles).
+  nn::Linear* pfn_ = nullptr;
+  std::vector<std::vector<nn::Layer*>> block_layers_;  ///< per block, in order
+  std::vector<nn::Sequential> block_seq_;
+  std::vector<nn::Sequential> up_seq_;
+  std::vector<nn::Conv2d*> up_convs_;
+  nn::Sequential head_trunk_;
+  nn::Conv2d* cls_head_ = nullptr;
+  nn::Conv2d* reg_head_ = nullptr;
+
+  int head_grid_ = 0;  ///< head spatial size (grid / 2)
+};
+
+}  // namespace upaq::detectors

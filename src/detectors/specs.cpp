@@ -1,0 +1,176 @@
+#include "detectors/specs.h"
+
+#include "detectors/pointpillars.h"
+#include "detectors/smoke.h"
+
+namespace upaq::detectors::specs {
+
+namespace {
+
+/// Dense conv layer profile helper.
+void conv(std::vector<hw::LayerProfile>& out, const std::string& name,
+          std::int64_t in_c, std::int64_t out_c, int k, std::int64_t oh,
+          std::int64_t ow, double occupancy = 1.0) {
+  hw::LayerProfile p;
+  p.name = name;
+  p.weight_count = in_c * out_c * k * k;
+  // Sparse 3-D convolutions only touch occupied sites; `occupancy` scales
+  // the effective MACs without changing the parameter count.
+  p.macs = static_cast<std::int64_t>(
+      static_cast<double>(p.weight_count) * static_cast<double>(oh) *
+      static_cast<double>(ow) * occupancy);
+  p.in_elems = static_cast<std::int64_t>(in_c * oh * ow * occupancy);
+  p.out_elems = static_cast<std::int64_t>(out_c * oh * ow * occupancy);
+  out.push_back(p);
+}
+
+/// 3-D submanifold conv block (kernel 3x3x3 = 27 weights per filter pair).
+void conv3d(std::vector<hw::LayerProfile>& out, const std::string& name,
+            std::int64_t in_c, std::int64_t out_c, std::int64_t sites,
+            double occupancy) {
+  hw::LayerProfile p;
+  p.name = name;
+  p.weight_count = in_c * out_c * 27;
+  p.macs = static_cast<std::int64_t>(static_cast<double>(p.weight_count) *
+                                     static_cast<double>(sites) * occupancy);
+  p.in_elems = static_cast<std::int64_t>(in_c * sites * occupancy);
+  p.out_elems = static_cast<std::int64_t>(out_c * sites * occupancy);
+  out.push_back(p);
+}
+
+/// PointPillars/SECOND-style RPN: three stride-2 blocks + lateral 1x1 convs.
+void rpn(std::vector<hw::LayerProfile>& out, const std::string& prefix,
+         std::int64_t in_c, std::int64_t grid,
+         const std::vector<std::pair<int, int>>& blocks, std::int64_t up_c) {
+  std::int64_t size = grid;
+  std::int64_t c = in_c;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    size /= 2;
+    for (int i = 0; i < blocks[b].first; ++i) {
+      conv(out, prefix + ".block" + std::to_string(b) + ".conv" + std::to_string(i),
+           c, blocks[b].second, 3, size, size);
+      c = blocks[b].second;
+    }
+  }
+  std::int64_t up_size = grid;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    up_size /= 2;
+    conv(out, prefix + ".up" + std::to_string(b), blocks[b].second, up_c, 1,
+         up_size, up_size);
+  }
+  conv(out, prefix + ".head", static_cast<std::int64_t>(blocks.size()) * up_c,
+       up_c, 3, grid / 2, grid / 2);
+}
+
+void host_stage(std::vector<hw::LayerProfile>& out, const std::string& name,
+                std::int64_t serial_ops, std::int64_t elems) {
+  hw::LayerProfile p;
+  p.name = name;
+  p.serial_ops = serial_ops;
+  p.in_elems = elems;
+  p.out_elems = elems;
+  out.push_back(p);
+}
+
+}  // namespace
+
+ModelSpec pointpillars_spec() {
+  ModelSpec s;
+  s.name = "PointPillars";
+  s.profile = PointPillars::cost_profile_for(PointPillarsConfig::full());
+  s.paper_params_m = 4.8;
+  s.paper_exec_ms = 6.85;
+  return s;
+}
+
+ModelSpec smoke_spec() {
+  ModelSpec s;
+  s.name = "SMOKE";
+  s.profile = Smoke::cost_profile_for(SmokeConfig::full());
+  s.paper_params_m = 19.51;
+  s.paper_exec_ms = 30.65;
+  return s;
+}
+
+ModelSpec second_spec() {
+  // SECOND (Yan et al., Sensors 2018): voxel feature extractor, sparse 3-D
+  // middle encoder over a 1600x1408x40 voxel grid, then a PointPillars-style
+  // RPN over a 400-cell BEV grid. ~5.4 M parameters.
+  ModelSpec s;
+  s.name = "SECOND";
+  s.paper_params_m = 5.3;
+  s.paper_exec_ms = 9.83;
+  auto& p = s.profile;
+  host_stage(p, "pre.voxelize", 120'000 * 4, 120'000 * 4);
+  conv(p, "vfe.linear", 10, 32, 1, 16'000, 4);  // per-voxel point embedding
+  const std::int64_t sites = 1600LL * 1408 / 16 * 40 / 8;  // occupied-site grid
+  conv3d(p, "middle.conv0", 32, 64, sites, 0.05);
+  conv3d(p, "middle.conv1", 64, 64, sites / 2, 0.08);
+  conv3d(p, "middle.conv2", 64, 128, sites / 4, 0.12);
+  conv3d(p, "middle.conv3", 128, 128, sites / 8, 0.18);
+  rpn(p, "rpn", 128, 400, {{3, 64}, {5, 128}, {5, 256}}, 192);
+  host_stage(p, "post.nms", 200 * 176 * 2, 200 * 176 * 10);
+  return s;
+}
+
+ModelSpec focals_conv_spec() {
+  // Focals Conv (Chen et al., CVPR 2022): focal sparse convolutions with
+  // learned importance (extra prediction kernels per layer), deeper 3-D
+  // encoder on top of a SECOND-like detector. ~13.8 M parameters.
+  ModelSpec s;
+  s.name = "Focals Conv";
+  s.paper_params_m = 13.70;
+  s.paper_exec_ms = 26.5;
+  auto& p = s.profile;
+  host_stage(p, "pre.voxelize", 140'000 * 4, 140'000 * 4);
+  conv(p, "vfe.linear", 10, 32, 1, 18'000, 4);
+  const std::int64_t sites = 1600LL * 1408 / 16 * 40 / 8;
+  conv3d(p, "focal.conv0", 32, 96, sites, 0.06);
+  conv3d(p, "focal.conv1", 96, 96, sites, 0.06);
+  conv3d(p, "focal.conv2", 96, 192, sites / 2, 0.10);
+  conv3d(p, "focal.conv3", 192, 192, sites / 2, 0.10);
+  conv3d(p, "focal.conv4", 192, 256, sites / 4, 0.15);
+  conv3d(p, "focal.conv5", 256, 256, sites / 4, 0.15);
+  // Importance-prediction branches (the "focal" part).
+  conv3d(p, "focal.imp0", 96, 48, sites, 0.06);
+  conv3d(p, "focal.imp1", 192, 48, sites / 2, 0.10);
+  rpn(p, "rpn", 256, 400, {{3, 96}, {6, 192}, {6, 320}}, 192);
+  host_stage(p, "post.nms", 200 * 176 * 2, 200 * 176 * 10);
+  return s;
+}
+
+ModelSpec vsc_spec() {
+  // VSC (Wu et al., CVPR 2023): virtual sparse convolution for multimodal
+  // detection — virtual points densify the cloud (higher occupancy), with a
+  // wide 3-D encoder and a large two-stage RPN. ~24 M parameters.
+  ModelSpec s;
+  s.name = "VSC";
+  s.paper_params_m = 24.5;
+  s.paper_exec_ms = 40.56;
+  auto& p = s.profile;
+  host_stage(p, "pre.virtual_points", 380'000 * 6, 380'000 * 4);
+  conv(p, "vfe.linear", 13, 64, 1, 26'000, 4);
+  const std::int64_t sites = 1600LL * 1408 / 16 * 40 / 8;
+  conv3d(p, "vsc.conv0", 64, 128, sites, 0.12);
+  conv3d(p, "vsc.conv1", 128, 128, sites, 0.12);
+  conv3d(p, "vsc.conv2", 128, 256, sites / 2, 0.18);
+  conv3d(p, "vsc.conv3", 256, 256, sites / 2, 0.18);
+  conv3d(p, "vsc.conv4", 256, 320, sites / 4, 0.25);
+  conv3d(p, "vsc.conv5", 320, 320, sites / 4, 0.25);
+  rpn(p, "rpn", 320, 400, {{4, 128}, {6, 256}, {6, 448}}, 224);
+  host_stage(p, "post.nms", 200 * 176 * 3, 200 * 176 * 12);
+  return s;
+}
+
+std::vector<ModelSpec> table1_specs() {
+  return {pointpillars_spec(), smoke_spec(), second_spec(), focals_conv_spec(),
+          vsc_spec()};
+}
+
+std::int64_t spec_param_count(const ModelSpec& spec) {
+  std::int64_t n = 0;
+  for (const auto& layer : spec.profile) n += layer.weight_count;
+  return n;
+}
+
+}  // namespace upaq::detectors::specs

@@ -1,0 +1,40 @@
+// Full-width architecture cost specs for Table 1: parameter counts and
+// analytic execution profiles for the five 3-D detectors the paper sizes
+// (PointPillars, SMOKE, SECOND, Focals Conv, VSC).
+//
+// PointPillars and SMOKE reuse the detectors' own full() profiles; the other
+// three are cost-spec-only models (Table 1 reports #params and execution
+// time, so no weights are needed): SECOND's sparse-voxel middle encoder,
+// Focals Conv's focal sparse convolutions, and VSC's virtual sparse convs
+// are modeled as conv stacks whose MAC counts carry the papers' reported
+// sparsity behaviour through the hardware model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/cost.h"
+
+namespace upaq::detectors::specs {
+
+struct ModelSpec {
+  std::string name;
+  std::vector<hw::LayerProfile> profile;
+  /// Paper Table 1 reference values (for side-by-side reporting).
+  double paper_params_m = 0.0;
+  double paper_exec_ms = 0.0;
+};
+
+ModelSpec pointpillars_spec();
+ModelSpec smoke_spec();
+ModelSpec second_spec();
+ModelSpec focals_conv_spec();
+ModelSpec vsc_spec();
+
+/// All five Table-1 rows in the paper's order.
+std::vector<ModelSpec> table1_specs();
+
+/// Total trainable parameters of a spec.
+std::int64_t spec_param_count(const ModelSpec& spec);
+
+}  // namespace upaq::detectors::specs

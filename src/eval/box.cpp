@@ -1,0 +1,126 @@
+#include "eval/box.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace upaq::eval {
+
+std::string Box3D::to_string() const {
+  std::ostringstream os;
+  os << "Box3D{xyz=(" << x << "," << y << "," << z << ") lwh=(" << length
+     << "," << width << "," << height << ") yaw=" << yaw << " score=" << score
+     << " label=" << label << "}";
+  return os.str();
+}
+
+std::array<Vec2, 4> bev_corners(const Box3D& b) {
+  const double c = std::cos(b.yaw), s = std::sin(b.yaw);
+  const double hl = b.length * 0.5, hw = b.width * 0.5;
+  // Local corners CCW: (+l,+w), (-l,+w), (-l,-w), (+l,-w).
+  const double lx[4] = {hl, -hl, -hl, hl};
+  const double ly[4] = {hw, hw, -hw, -hw};
+  std::array<Vec2, 4> out;
+  for (int i = 0; i < 4; ++i) {
+    out[static_cast<std::size_t>(i)] = Vec2{b.x + c * lx[i] - s * ly[i],
+                                            b.y + s * lx[i] + c * ly[i]};
+  }
+  return out;
+}
+
+double polygon_area(const std::vector<Vec2>& poly) {
+  if (poly.size() < 3) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    const Vec2& p = poly[i];
+    const Vec2& q = poly[(i + 1) % poly.size()];
+    acc += p.x * q.y - q.x * p.y;
+  }
+  return std::fabs(acc) * 0.5;
+}
+
+std::vector<Vec2> clip_polygon(const std::vector<Vec2>& subject,
+                               const std::vector<Vec2>& clip) {
+  std::vector<Vec2> output = subject;
+  for (std::size_t i = 0; i < clip.size() && !output.empty(); ++i) {
+    const Vec2 a = clip[i];
+    const Vec2 b = clip[(i + 1) % clip.size()];
+    // "Inside" = left of the directed edge a->b for a CCW clip polygon.
+    auto inside = [&](const Vec2& p) {
+      return (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x) >= -1e-12;
+    };
+    auto intersect = [&](const Vec2& p, const Vec2& q) {
+      const double a1 = b.y - a.y, b1 = a.x - b.x;
+      const double c1 = a1 * a.x + b1 * a.y;
+      const double a2 = q.y - p.y, b2 = p.x - q.x;
+      const double c2 = a2 * p.x + b2 * p.y;
+      const double det = a1 * b2 - a2 * b1;
+      if (std::fabs(det) < 1e-18) return p;  // parallel; degenerate sliver
+      return Vec2{(b2 * c1 - b1 * c2) / det, (a1 * c2 - a2 * c1) / det};
+    };
+    std::vector<Vec2> input;
+    input.swap(output);
+    for (std::size_t j = 0; j < input.size(); ++j) {
+      const Vec2& cur = input[j];
+      const Vec2& prev = input[(j + input.size() - 1) % input.size()];
+      const bool cur_in = inside(cur), prev_in = inside(prev);
+      if (cur_in) {
+        if (!prev_in) output.push_back(intersect(prev, cur));
+        output.push_back(cur);
+      } else if (prev_in) {
+        output.push_back(intersect(prev, cur));
+      }
+    }
+  }
+  return output;
+}
+
+double bev_intersection(const Box3D& a, const Box3D& b) {
+  const auto ca = bev_corners(a);
+  const auto cb = bev_corners(b);
+  const std::vector<Vec2> pa(ca.begin(), ca.end());
+  const std::vector<Vec2> pb(cb.begin(), cb.end());
+  return polygon_area(clip_polygon(pa, pb));
+}
+
+double iou_bev(const Box3D& a, const Box3D& b) {
+  const double inter = bev_intersection(a, b);
+  const double area_a = static_cast<double>(a.length) * a.width;
+  const double area_b = static_cast<double>(b.length) * b.width;
+  const double uni = area_a + area_b - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+double iou_3d(const Box3D& a, const Box3D& b) {
+  const double inter_bev = bev_intersection(a, b);
+  const double za0 = a.z - a.height * 0.5, za1 = a.z + a.height * 0.5;
+  const double zb0 = b.z - b.height * 0.5, zb1 = b.z + b.height * 0.5;
+  const double zi = std::max(0.0, std::min(za1, zb1) - std::max(za0, zb0));
+  const double inter = inter_bev * zi;
+  const double va = static_cast<double>(a.length) * a.width * a.height;
+  const double vb = static_cast<double>(b.length) * b.width * b.height;
+  const double uni = va + vb - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+std::vector<Box3D> nms_bev(std::vector<Box3D> boxes, double iou_threshold) {
+  UPAQ_CHECK(iou_threshold >= 0.0 && iou_threshold <= 1.0,
+             "NMS threshold must be in [0,1]");
+  std::stable_sort(boxes.begin(), boxes.end(),
+                   [](const Box3D& a, const Box3D& b) { return a.score > b.score; });
+  std::vector<Box3D> kept;
+  std::vector<bool> suppressed(boxes.size(), false);
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    if (suppressed[i]) continue;
+    kept.push_back(boxes[i]);
+    for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+      if (suppressed[j] || boxes[j].label != boxes[i].label) continue;
+      if (iou_bev(boxes[i], boxes[j]) > iou_threshold) suppressed[j] = true;
+    }
+  }
+  return kept;
+}
+
+}  // namespace upaq::eval

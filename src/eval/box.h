@@ -1,0 +1,56 @@
+// 3-D object boxes and geometric overlap (rotated BEV IoU, 3-D IoU).
+//
+// Boxes follow the KITTI convention used by PointPillars/SMOKE: centre
+// (x, y, z), size (length along heading, width, height), yaw around the
+// vertical axis. BEV IoU intersects the two rotated rectangles with
+// Sutherland–Hodgman polygon clipping; 3-D IoU adds the vertical overlap.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace upaq::eval {
+
+struct Box3D {
+  float x = 0.0f, y = 0.0f, z = 0.0f;  ///< centre, metres
+  float length = 0.0f;                 ///< extent along heading
+  float width = 0.0f;                  ///< extent across heading
+  float height = 0.0f;                 ///< vertical extent
+  float yaw = 0.0f;                    ///< heading, radians, CCW around +z
+  float score = 1.0f;                  ///< detection confidence
+  int label = 0;                       ///< class id (0 = car)
+
+  std::string to_string() const;
+};
+
+/// 2-D point for BEV geometry.
+struct Vec2 {
+  double x = 0.0, y = 0.0;
+};
+
+/// The four BEV corners of a box, CCW order.
+std::array<Vec2, 4> bev_corners(const Box3D& b);
+
+/// Area of a simple polygon (shoelace), non-negative for CCW input.
+double polygon_area(const std::vector<Vec2>& poly);
+
+/// Sutherland–Hodgman clip of `subject` against convex `clip` polygon (CCW).
+std::vector<Vec2> clip_polygon(const std::vector<Vec2>& subject,
+                               const std::vector<Vec2>& clip);
+
+/// Intersection area of the two boxes' BEV rectangles.
+double bev_intersection(const Box3D& a, const Box3D& b);
+
+/// Rotated IoU in the BEV plane.
+double iou_bev(const Box3D& a, const Box3D& b);
+
+/// Full 3-D IoU: BEV intersection times vertical overlap over 3-D union.
+double iou_3d(const Box3D& a, const Box3D& b);
+
+/// Greedy non-maximum suppression on BEV IoU; boxes must be pre-scored.
+/// Returns the kept boxes sorted by descending score.
+std::vector<Box3D> nms_bev(std::vector<Box3D> boxes, double iou_threshold);
+
+}  // namespace upaq::eval

@@ -1,0 +1,95 @@
+#include "eval/map.h"
+
+#include <algorithm>
+#include <set>
+
+#include "tensor/check.h"
+
+namespace upaq::eval {
+
+ApResult average_precision(const std::vector<FrameDetections>& frames,
+                           int label, double iou_threshold) {
+  // Flatten detections with frame ids, sort globally by descending score.
+  struct Det {
+    double score;
+    std::size_t frame;
+    std::size_t index;
+  };
+  std::vector<Det> dets;
+  int gt_count = 0;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    for (std::size_t i = 0; i < frames[f].detections.size(); ++i)
+      if (frames[f].detections[i].label == label)
+        dets.push_back({frames[f].detections[i].score, f, i});
+    for (const auto& g : frames[f].ground_truth)
+      if (g.label == label) ++gt_count;
+  }
+  std::stable_sort(dets.begin(), dets.end(),
+                   [](const Det& a, const Det& b) { return a.score > b.score; });
+
+  ApResult res;
+  res.ground_truth_count = gt_count;
+  if (gt_count == 0) return res;
+
+  // Greedy matching: each ground truth can absorb one detection.
+  std::vector<std::set<std::size_t>> matched(frames.size());
+  int tp = 0, fp = 0;
+  res.curve.reserve(dets.size());
+  for (const auto& d : dets) {
+    const auto& frame = frames[d.frame];
+    const Box3D& box = frame.detections[d.index];
+    double best_iou = 0.0;
+    std::size_t best_gt = 0;
+    bool found = false;
+    for (std::size_t g = 0; g < frame.ground_truth.size(); ++g) {
+      if (frame.ground_truth[g].label != label) continue;
+      if (matched[d.frame].count(g)) continue;
+      const double iou = iou_bev(box, frame.ground_truth[g]);
+      if (iou > best_iou) {
+        best_iou = iou;
+        best_gt = g;
+        found = true;
+      }
+    }
+    if (found && best_iou >= iou_threshold) {
+      matched[d.frame].insert(best_gt);
+      ++tp;
+    } else {
+      ++fp;
+    }
+    PrCurvePoint pt;
+    pt.recall = static_cast<double>(tp) / gt_count;
+    pt.precision = static_cast<double>(tp) / (tp + fp);
+    pt.score = d.score;
+    res.curve.push_back(pt);
+  }
+  res.true_positives = tp;
+  res.false_positives = fp;
+
+  // KITTI 11-point interpolation: AP = mean over r in {0, .1, ..., 1} of the
+  // maximum precision at recall >= r.
+  double ap = 0.0;
+  for (int i = 0; i <= 10; ++i) {
+    const double r = i / 10.0;
+    double pmax = 0.0;
+    for (const auto& pt : res.curve)
+      if (pt.recall >= r - 1e-12) pmax = std::max(pmax, pt.precision);
+    ap += pmax;
+  }
+  res.ap = ap / 11.0;
+  return res;
+}
+
+double map_percent(const std::vector<FrameDetections>& frames,
+                   double iou_threshold) {
+  std::set<int> labels;
+  for (const auto& f : frames)
+    for (const auto& g : f.ground_truth) labels.insert(g.label);
+  if (labels.empty()) return 0.0;
+  double acc = 0.0;
+  for (int label : labels)
+    acc += average_precision(frames, label, iou_threshold).ap;
+  return 100.0 * acc / static_cast<double>(labels.size());
+}
+
+}  // namespace upaq::eval

@@ -1,0 +1,46 @@
+// KITTI-style average-precision evaluation.
+//
+// Detections are matched to ground truth greedily by descending score; a
+// detection is a true positive when its BEV IoU with an unmatched ground
+// truth of the same class exceeds the threshold. AP uses the KITTI 11-point
+// interpolated precision at recall {0, 0.1, ..., 1.0}; mAP averages over
+// classes (our synthetic benchmark has the single "car" class, so mAP == AP,
+// reported as a percentage like the paper's Table 2).
+#pragma once
+
+#include <vector>
+
+#include "eval/box.h"
+
+namespace upaq::eval {
+
+/// One frame's detections and ground truth.
+struct FrameDetections {
+  std::vector<Box3D> detections;
+  std::vector<Box3D> ground_truth;
+};
+
+struct PrCurvePoint {
+  double recall = 0.0;
+  double precision = 0.0;
+  double score = 0.0;  ///< score threshold that produced this point
+};
+
+struct ApResult {
+  double ap = 0.0;  ///< 11-point interpolated AP in [0, 1]
+  std::vector<PrCurvePoint> curve;
+  int true_positives = 0;
+  int false_positives = 0;
+  int ground_truth_count = 0;
+};
+
+/// AP for one class over a set of frames at the given BEV IoU threshold.
+ApResult average_precision(const std::vector<FrameDetections>& frames,
+                           int label, double iou_threshold);
+
+/// Mean AP over the class labels present in the ground truth, scaled to
+/// percent (paper's convention, e.g. 78.96).
+double map_percent(const std::vector<FrameDetections>& frames,
+                   double iou_threshold);
+
+}  // namespace upaq::eval

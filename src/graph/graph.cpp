@@ -1,0 +1,143 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace upaq::graph {
+
+int Graph::add_node(std::string name, nn::Layer* layer, std::vector<int> inputs) {
+  UPAQ_CHECK(by_name_.find(name) == by_name_.end(),
+             "duplicate graph node name: " + name);
+  for (int in : inputs)
+    UPAQ_CHECK(in >= 0 && in < size(),
+               "graph node " + name + " references unknown input " +
+                   std::to_string(in));
+  const int id = size();
+  by_name_.emplace(name, id);
+  nodes_.push_back(Node{std::move(name), layer, std::move(inputs)});
+  return id;
+}
+
+const Node& Graph::node(int id) const {
+  UPAQ_CHECK(id >= 0 && id < size(), "graph node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+int Graph::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+bool Graph::prunable(int id) const {
+  const auto* l = node(id).layer;
+  if (l == nullptr) return false;
+  return l->kind() == nn::LayerKind::kConv2d ||
+         l->kind() == nn::LayerKind::kLinear;
+}
+
+int Graph::kernel_size(int id) const {
+  const auto* l = node(id).layer;
+  UPAQ_CHECK(l != nullptr, "kernel_size of dataflow node");
+  if (const auto* conv = dynamic_cast<const nn::Conv2d*>(l)) return conv->kernel();
+  if (dynamic_cast<const nn::Linear*>(l) != nullptr) return 1;
+  UPAQ_CHECK(false, "kernel_size of non-prunable node " + node(id).name);
+  return 0;
+}
+
+int Graph::find_root(int id, const std::map<int, int>& assigned_roots) const {
+  UPAQ_CHECK(prunable(id), "find_root on non-prunable node " + node(id).name);
+  const int want_k = kernel_size(id);
+  // Iterative DFS upward through dataflow/norm/activation nodes. Stops at
+  // the first prunable ancestor on each path; only geometry-compatible
+  // ancestors can act as roots.
+  std::vector<int> stack(node(id).inputs.begin(), node(id).inputs.end());
+  std::set<int> seen;
+  while (!stack.empty()) {
+    const int cur = stack.back();
+    stack.pop_back();
+    if (!seen.insert(cur).second) continue;
+    if (prunable(cur)) {
+      if (kernel_size(cur) == want_k) {
+        // Path compression: adopt the ancestor's root when it already has
+        // one, otherwise the ancestor itself is the root.
+        auto it = assigned_roots.find(cur);
+        return it == assigned_roots.end() ? cur : it->second;
+      }
+      // Geometry-incompatible prunable ancestor terminates this path: its
+      // own mask cannot be shared across kernel sizes.
+      continue;
+    }
+    for (int in : node(cur).inputs) stack.push_back(in);
+  }
+  return id;  // no compatible ancestor: the layer is its own root
+}
+
+std::vector<LayerGroup> Graph::build_groups() const {
+  // Mirrors Algorithm 1: iterate layers in graph order, find each layer's
+  // root, and append to (or create) the root's group.
+  std::map<int, int> assigned_roots;           // node id -> root id
+  std::map<int, LayerGroup> groups_init;       // root id -> group
+  std::vector<int> root_order;                 // stable output ordering
+  for (int id = 0; id < size(); ++id) {
+    if (!prunable(id)) continue;
+    const int root = find_root(id, assigned_roots);
+    assigned_roots[id] = root;
+    auto it = groups_init.find(root);
+    if (it == groups_init.end()) {
+      LayerGroup g;
+      g.root = root;
+      g.members.push_back(id);
+      groups_init.emplace(root, std::move(g));
+      root_order.push_back(root);
+    } else {
+      it->second.members.push_back(id);
+    }
+  }
+  std::vector<LayerGroup> out;
+  out.reserve(root_order.size());
+  for (int root : root_order) out.push_back(groups_init.at(root));
+  return out;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  for (int id = 0; id < size(); ++id) {
+    const auto& n = nodes_[static_cast<std::size_t>(id)];
+    os << id << ": " << n.name;
+    if (n.layer != nullptr) os << " [" << nn::layer_kind_name(n.layer->kind()) << "]";
+    os << " <- (";
+    for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+      if (i) os << ", ";
+      os << n.inputs[i];
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+void validate_groups(const Graph& g, const std::vector<LayerGroup>& groups) {
+  std::set<int> seen;
+  for (const auto& grp : groups) {
+    UPAQ_ASSERT(grp.root >= 0 && grp.root < g.size(), "group root out of range");
+    UPAQ_ASSERT(g.prunable(grp.root), "group root is not prunable");
+    UPAQ_ASSERT(!grp.members.empty(), "empty group");
+    UPAQ_ASSERT(std::find(grp.members.begin(), grp.members.end(), grp.root) !=
+                    grp.members.end(),
+                "group does not contain its root");
+    const int k = g.kernel_size(grp.root);
+    for (int m : grp.members) {
+      UPAQ_ASSERT(g.prunable(m), "group member is not prunable");
+      UPAQ_ASSERT(g.kernel_size(m) == k,
+                  "group member kernel size differs from root");
+      UPAQ_ASSERT(seen.insert(m).second, "node appears in two groups");
+    }
+  }
+  for (int id = 0; id < g.size(); ++id)
+    if (g.prunable(id))
+      UPAQ_ASSERT(seen.count(id) == 1, "prunable node missing from groups");
+}
+
+}  // namespace upaq::graph

@@ -1,0 +1,77 @@
+// Computation graph over model layers + Algorithm 1 (preprocessing).
+//
+// The paper derives the computation graph of the pretrained model and runs a
+// depth-first search to partition prunable layers into root/leaf groups:
+// a layer with no prunable ancestor of compatible kernel geometry becomes its
+// own root; every other layer adopts the root of its nearest compatible
+// prunable ancestor. UPAQ then optimizes only root layers and replicates the
+// chosen pattern/bitwidth to the leaves.
+//
+// Our models register their topology explicitly when they are built (the
+// paper traces it "through backpropagation"; an explicit registration gives
+// the same DAG without a tape).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace upaq::graph {
+
+/// One vertex of the computation DAG. A node usually wraps a registered
+/// layer; pure-dataflow vertices (concat, add, input) have layer == nullptr.
+struct Node {
+  std::string name;
+  nn::Layer* layer = nullptr;  ///< non-owning; may be null for dataflow nodes
+  std::vector<int> inputs;     ///< producer node ids
+};
+
+/// Root/leaf group from Algorithm 1: `root` plus every layer that adopted it.
+struct LayerGroup {
+  int root = -1;
+  std::vector<int> members;  ///< includes the root, in discovery order
+};
+
+class Graph {
+ public:
+  /// Adds a node and returns its id. Input ids must already exist.
+  int add_node(std::string name, nn::Layer* layer, std::vector<int> inputs);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(int id) const;
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// Finds a node id by name; -1 when absent.
+  int find(const std::string& name) const;
+
+  /// True when the node wraps a prunable layer (Conv2d or Linear).
+  bool prunable(int id) const;
+
+  /// Kernel spatial size of a prunable node (Linear counts as 1x1).
+  int kernel_size(int id) const;
+
+  /// Algorithm 1, line 4: DFS upward from `id` to the nearest prunable
+  /// ancestor with the same kernel geometry; returns that ancestor's root
+  /// (path-compressed) or `id` itself when no compatible ancestor exists.
+  int find_root(int id, const std::map<int, int>& assigned_roots) const;
+
+  /// Algorithm 1 end-to-end: partitions all prunable nodes into root/leaf
+  /// groups; every prunable node appears in exactly one group.
+  std::vector<LayerGroup> build_groups() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::map<std::string, int> by_name_;
+};
+
+/// Sanity check: each prunable node is in exactly one group, each group's
+/// members share the root's kernel geometry. Throws std::logic_error on
+/// violation; used by tests and by the compression driver in debug paths.
+void validate_groups(const Graph& g, const std::vector<LayerGroup>& groups);
+
+}  // namespace upaq::graph

@@ -1,0 +1,97 @@
+// Analytic per-layer latency and energy model (the substitute for measuring
+// on a Jetson Orin Nano / RTX 4080 with NVpower).
+//
+// Per layer, latency is a roofline max of compute time and memory time:
+//   compute = effective_macs / (macs_per_s * bitwidth_speedup(bits))
+//   memory  = (weight_bytes + activation_bytes) / mem_bandwidth
+// Effective MACs shrink with weight sparsity, but how much depends on the
+// sparsity *mode*: unstructured sparsity leaves thread-level load imbalance
+// (small win), semi-structured pattern sparsity vectorizes (large win), and
+// structured channel removal is a dense smaller layer (full win). This is
+// exactly the hardware argument of the paper's Section III.A.
+//
+// Energy integrates a two-term power model over the layer's execution:
+// dynamic compute energy per effective MAC (scaled by bitwidth) plus
+// memory energy per byte, plus idle power over the whole latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/device.h"
+
+namespace upaq::hw {
+
+/// How a layer's zero weights are organized; decides how much of the
+/// nominal sparsity turns into actual MAC reduction.
+enum class SparsityMode { kDense, kUnstructured, kSemiStructured, kStructured };
+
+const char* sparsity_mode_name(SparsityMode m);
+
+/// Fraction of the nominal weight sparsity the device can convert into
+/// skipped work for the given mode (0..1).
+double sparsity_efficiency(SparsityMode m);
+
+/// Architecture-level description of one layer, independent of any weight
+/// values. Detectors generate these analytically from their configs.
+struct LayerProfile {
+  std::string name;
+  std::int64_t macs = 0;          ///< dense multiply-accumulate count
+  std::int64_t weight_count = 0;  ///< parameter scalars
+  std::int64_t in_elems = 0;      ///< activation scalars read
+  std::int64_t out_elems = 0;     ///< activation scalars written
+  double weight_sparsity = 0.0;   ///< fraction of zero weights [0,1)
+  int weight_bits = 32;           ///< storage/compute bitwidth
+  SparsityMode mode = SparsityMode::kDense;
+  /// Poorly-parallelizable host-side work (point binning, NMS, decode...).
+  /// Charged at the device's serial rate; never reduced by compression —
+  /// this is what caps end-to-end speedups on embedded boards.
+  std::int64_t serial_ops = 0;
+};
+
+struct LayerCost {
+  double latency_s = 0.0;
+  double energy_j = 0.0;
+  double compute_s = 0.0;
+  double memory_s = 0.0;
+};
+
+struct CostReport {
+  double latency_s = 0.0;
+  double energy_j = 0.0;
+  std::vector<LayerCost> per_layer;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  LayerCost layer_cost(const LayerProfile& p) const;
+  CostReport model_cost(const std::vector<LayerProfile>& profile) const;
+  const DeviceSpec& spec() const { return spec_; }
+
+ private:
+  DeviceSpec spec_;
+};
+
+/// Cost model with a one-time affine calibration so that a *base* profile
+/// reproduces a measured (here: paper-reported) latency and energy on the
+/// device. All compressed variants are then evaluated with the same scale,
+/// so ratios emerge purely from the sparsity/bitwidth accounting.
+class CalibratedCost {
+ public:
+  CalibratedCost(DeviceSpec spec, const std::vector<LayerProfile>& base_profile,
+                 double target_latency_s, double target_energy_j);
+
+  CostReport evaluate(const std::vector<LayerProfile>& profile) const;
+  double latency_scale() const { return lat_scale_; }
+  double energy_scale() const { return energy_scale_; }
+
+ private:
+  CostModel model_;
+  double lat_scale_ = 1.0;
+  double energy_scale_ = 1.0;
+};
+
+}  // namespace upaq::hw

@@ -1,0 +1,50 @@
+// Device specifications for the analytic hardware model.
+//
+// The paper measures latency/energy on a Jetson Orin Nano and an RTX 4080
+// and feeds those measurements into the efficiency score. This repo replaces
+// the physical devices with an analytic per-layer roofline model (see
+// cost.h); the DeviceSpec holds the constants that model needs. Values are
+// effective *sustained* figures for convolution workloads, not datasheet
+// peaks, and the absolute scale is later calibrated against the paper's
+// base-model measurements (see CalibratedCost).
+#pragma once
+
+#include <string>
+
+namespace upaq::hw {
+
+enum class Device { kJetsonOrinNano, kRtx4080 };
+
+const char* device_name(Device d);
+
+struct DeviceSpec {
+  std::string name;
+  /// Sustained fp32 multiply-accumulates per second for dense conv work.
+  double macs_per_s_fp32 = 0.0;
+  /// Sustained DRAM bandwidth in bytes/second.
+  double mem_bytes_per_s = 0.0;
+  /// Power draw at idle (board-level), watts.
+  double idle_power_w = 0.0;
+  /// Additional power at full compute utilization, watts.
+  double compute_power_w = 0.0;
+  /// Fixed per-inference framework overhead (kernel launches, pre/post
+  /// processing outside the network), seconds.
+  double fixed_overhead_s = 0.0;
+  /// Per-layer dispatch overhead, seconds.
+  double per_layer_overhead_s = 0.0;
+  /// Throughput for serial host-side work (pre/post-processing), ops/s.
+  double serial_ops_per_s = 100e6;
+
+  /// Compute-throughput multiplier of running at `bits` precision relative
+  /// to fp32 (int8 tensor cores etc.). Piecewise-linear between the anchors
+  /// 32->1x, 16->1.9x, 8->3.4x, 4->5.2x.
+  double bitwidth_speedup(int bits) const;
+
+  /// Energy per MAC relative to fp32 (narrower datapaths toggle less logic).
+  double bitwidth_energy_scale(int bits) const;
+};
+
+/// Built-in device table.
+DeviceSpec device_spec(Device d);
+
+}  // namespace upaq::hw

@@ -1,0 +1,55 @@
+#include "hw/power.h"
+
+#include "tensor/check.h"
+
+namespace upaq::hw {
+
+PowerMeter::PowerMeter(double sample_hz) : sample_hz_(sample_hz) {
+  UPAQ_CHECK(sample_hz > 0.0, "sample rate must be positive");
+}
+
+std::vector<PowerSample> PowerMeter::trace(const CostReport& report,
+                                           double idle_w) const {
+  // Build the plateau schedule: each layer runs back-to-back at its average
+  // power (energy / latency), bracketed by short idle shoulders.
+  struct Segment {
+    double dur;
+    double watts;
+  };
+  std::vector<Segment> segments;
+  const double shoulder = 0.05 * report.latency_s;
+  segments.push_back({shoulder, idle_w});
+  for (const auto& l : report.per_layer) {
+    const double w = l.latency_s > 0.0 ? l.energy_j / l.latency_s : idle_w;
+    segments.push_back({l.latency_s, w});
+  }
+  segments.push_back({shoulder, idle_w});
+
+  double total = 0.0;
+  for (const auto& s : segments) total += s.dur;
+  const double dt = 1.0 / sample_hz_;
+  std::vector<PowerSample> out;
+  out.reserve(static_cast<std::size_t>(total / dt) + 2);
+  double seg_start = 0.0;
+  std::size_t seg = 0;
+  for (double t = 0.0; t <= total; t += dt) {
+    while (seg < segments.size() && t > seg_start + segments[seg].dur) {
+      seg_start += segments[seg].dur;
+      ++seg;
+    }
+    const double w = seg < segments.size() ? segments[seg].watts : idle_w;
+    out.push_back({t, w});
+  }
+  return out;
+}
+
+double PowerMeter::integrate(const std::vector<PowerSample>& trace) {
+  double joules = 0.0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const double dt = trace[i].t_s - trace[i - 1].t_s;
+    joules += 0.5 * (trace[i].watts + trace[i - 1].watts) * dt;
+  }
+  return joules;
+}
+
+}  // namespace upaq::hw

@@ -1,0 +1,39 @@
+// PowerMeter: NVpower-style sampled power trace over a simulated inference.
+//
+// The paper measures energy with the NVpower tool, which samples board power
+// at a fixed rate during inference. This analogue replays a CostReport as a
+// time series: each layer contributes a plateau at its average power, and
+// the trace integrates back (trapezoid rule) to approximately the report's
+// total energy. Used by the deploy_profile example and tested for the
+// integral-consistency property.
+#pragma once
+
+#include <vector>
+
+#include "hw/cost.h"
+
+namespace upaq::hw {
+
+struct PowerSample {
+  double t_s = 0.0;
+  double watts = 0.0;
+};
+
+class PowerMeter {
+ public:
+  /// `sample_hz`: sampling rate of the simulated meter (NVpower uses ~1 kHz;
+  /// we default higher since the simulated inferences are milliseconds).
+  explicit PowerMeter(double sample_hz = 100e3);
+
+  /// Samples the power profile of one inference described by `report`,
+  /// assuming idle power `idle_w` between/after layers.
+  std::vector<PowerSample> trace(const CostReport& report, double idle_w) const;
+
+  /// Trapezoidal integral of a trace, joules.
+  static double integrate(const std::vector<PowerSample>& trace);
+
+ private:
+  double sample_hz_;
+};
+
+}  // namespace upaq::hw

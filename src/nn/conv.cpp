@@ -1,0 +1,176 @@
+#include "nn/conv.h"
+
+#include "tensor/ops.h"
+
+namespace upaq::nn {
+
+namespace {
+
+/// Copies batch item n of a (N,C,H,W) tensor into a (C,H,W) tensor.
+Tensor batch_item(const Tensor& x, std::int64_t n) {
+  const std::int64_t c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor out({c, h, w});
+  const std::int64_t count = c * h * w;
+  const float* src = x.data() + n * count;
+  std::copy(src, src + count, out.data());
+  return out;
+}
+
+/// 2-D transpose.
+Tensor transpose2d(const Tensor& a) {
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  return t;
+}
+
+}  // namespace
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, int kernel,
+               int stride, int pad, bool bias, Rng& rng, std::string name)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias) {
+  UPAQ_CHECK(in_channels > 0 && out_channels > 0, "channels must be positive");
+  UPAQ_CHECK(kernel > 0 && stride > 0 && pad >= 0, "bad conv geometry");
+  set_name(std::move(name));
+  weight_ = Parameter(name_ + ".weight",
+                      Tensor::kaiming({out_c_, in_c_, kernel_, kernel_}, rng));
+  if (has_bias_) bias_ = Parameter(name_ + ".bias", Tensor({out_c_}));
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  std::vector<Parameter*> ps{&weight_};
+  if (has_bias_) ps.push_back(&bias_);
+  return ps;
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  UPAQ_CHECK(x.rank() == 4, "Conv2d expects (N,C,H,W), got " +
+                                shape_to_string(x.shape()));
+  UPAQ_CHECK(x.dim(1) == in_c_,
+             name_ + ": input channels " + std::to_string(x.dim(1)) +
+                 " != expected " + std::to_string(in_c_));
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = ops::conv_out_size(h, kernel_, stride_, pad_);
+  const std::int64_t ow = ops::conv_out_size(w, kernel_, stride_, pad_);
+  last_out_h_ = oh;
+  last_out_w_ = ow;
+  if (training_) input_cache_ = x;
+
+  const Tensor w2d = weight_.value.reshape({out_c_, in_c_ * kernel_ * kernel_});
+  Tensor out({n, out_c_, oh, ow});
+  for (std::int64_t b = 0; b < n; ++b) {
+    const Tensor cols = ops::im2col(batch_item(x, b), kernel_, kernel_, stride_, pad_);
+    Tensor y({out_c_, oh * ow});
+    ops::gemm_accumulate(w2d, cols, y);
+    float* dst = out.data() + b * out_c_ * oh * ow;
+    const float* src = y.data();
+    if (has_bias_) {
+      for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+        const float bv = bias_.value[oc];
+        for (std::int64_t i = 0; i < oh * ow; ++i)
+          dst[oc * oh * ow + i] = src[oc * oh * ow + i] + bv;
+      }
+    } else {
+      std::copy(src, src + out_c_ * oh * ow, dst);
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  UPAQ_CHECK(!input_cache_.empty(),
+             name_ + ": backward without forward (or eval mode)");
+  const Tensor& x = input_cache_;
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = last_out_h_, ow = last_out_w_;
+  UPAQ_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == n &&
+                 grad_out.dim(1) == out_c_ && grad_out.dim(2) == oh &&
+                 grad_out.dim(3) == ow,
+             name_ + ": grad_out shape mismatch");
+
+  const Tensor w2d = weight_.value.reshape({out_c_, in_c_ * kernel_ * kernel_});
+  const Tensor w2d_t = transpose2d(w2d);
+  Tensor grad_w2d({out_c_, in_c_ * kernel_ * kernel_});
+  Tensor grad_x({n, in_c_, h, w});
+
+  for (std::int64_t b = 0; b < n; ++b) {
+    const Tensor cols = ops::im2col(batch_item(x, b), kernel_, kernel_, stride_, pad_);
+    Tensor g({out_c_, oh * ow});
+    const float* src = grad_out.data() + b * out_c_ * oh * ow;
+    std::copy(src, src + out_c_ * oh * ow, g.data());
+
+    // dW += g * cols^T
+    ops::gemm_accumulate(g, transpose2d(cols), grad_w2d);
+    // dX_cols = W^T * g, then scatter back via col2im.
+    Tensor gcols({in_c_ * kernel_ * kernel_, oh * ow});
+    ops::gemm_accumulate(w2d_t, g, gcols);
+    const Tensor gx = ops::col2im(gcols, in_c_, h, w, kernel_, kernel_, stride_, pad_);
+    std::copy(gx.data(), gx.data() + in_c_ * h * w,
+              grad_x.data() + b * in_c_ * h * w);
+
+    if (has_bias_) {
+      for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < oh * ow; ++i) acc += src[oc * oh * ow + i];
+        bias_.grad[oc] += static_cast<float>(acc);
+      }
+    }
+  }
+  weight_.grad.add_(grad_w2d.reshape(weight_.value.shape()));
+  // Masked weights stay masked: zero the gradient where the mask is zero so
+  // fine-tuning cannot regrow pruned connections.
+  if (!weight_.mask.empty()) weight_.grad.mul_(weight_.mask);
+  return grad_x;
+}
+
+Tensor concat_channels(const std::vector<Tensor>& parts) {
+  UPAQ_CHECK(!parts.empty(), "concat_channels: no inputs");
+  const std::int64_t n = parts[0].dim(0), h = parts[0].dim(2), w = parts[0].dim(3);
+  std::int64_t total_c = 0;
+  for (const auto& p : parts) {
+    UPAQ_CHECK(p.rank() == 4 && p.dim(0) == n && p.dim(2) == h && p.dim(3) == w,
+               "concat_channels: mismatched shapes");
+    total_c += p.dim(1);
+  }
+  Tensor out({n, total_c, h, w});
+  for (std::int64_t b = 0; b < n; ++b) {
+    std::int64_t c_off = 0;
+    for (const auto& p : parts) {
+      const std::int64_t pc = p.dim(1);
+      const float* src = p.data() + b * pc * h * w;
+      float* dst = out.data() + (b * total_c + c_off) * h * w;
+      std::copy(src, src + pc * h * w, dst);
+      c_off += pc;
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> split_channels(const Tensor& x,
+                                   const std::vector<std::int64_t>& channels) {
+  UPAQ_CHECK(x.rank() == 4, "split_channels expects NCHW");
+  std::int64_t total = 0;
+  for (auto c : channels) total += c;
+  UPAQ_CHECK(total == x.dim(1), "split_channels: channel counts do not sum");
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  std::vector<Tensor> parts;
+  std::int64_t c_off = 0;
+  for (auto pc : channels) {
+    Tensor p({n, pc, h, w});
+    for (std::int64_t b = 0; b < n; ++b) {
+      const float* src = x.data() + (b * x.dim(1) + c_off) * h * w;
+      std::copy(src, src + pc * h * w, p.data() + b * pc * h * w);
+    }
+    parts.push_back(std::move(p));
+    c_off += pc;
+  }
+  return parts;
+}
+
+}  // namespace upaq::nn

@@ -1,0 +1,58 @@
+// 2-D convolution with explicit backward pass and pruning-mask support.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/rng.h"
+
+namespace upaq::nn {
+
+/// NCHW convolution. Weight layout (out_c, in_c, kh, kw); square kernels.
+/// The forward path goes through im2col + GEMM; the GEMM skips zero weight
+/// entries, so pattern-pruned kernels get a genuine CPU speedup (exercised
+/// by the sparse-conv ablation benchmark).
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels, int kernel,
+         int stride, int pad, bool bias, Rng& rng, std::string name);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  LayerKind kind() const override { return LayerKind::kConv2d; }
+  std::vector<Parameter*> parameters() override;
+
+  Parameter& weight() { return weight_; }
+  const Parameter& weight() const { return weight_; }
+  Parameter* bias() { return has_bias_ ? &bias_ : nullptr; }
+
+  std::int64_t in_channels() const { return in_c_; }
+  std::int64_t out_channels() const { return out_c_; }
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+  int pad() const { return pad_; }
+
+  /// Output spatial size recorded at the most recent forward pass; the cost
+  /// model reads these after a shape-probing forward.
+  std::int64_t last_out_h() const { return last_out_h_; }
+  std::int64_t last_out_w() const { return last_out_w_; }
+
+ private:
+  std::int64_t in_c_, out_c_;
+  int kernel_, stride_, pad_;
+  bool has_bias_;
+  Parameter weight_;
+  Parameter bias_;
+
+  // Cached activations for backward.
+  Tensor input_cache_;
+  std::int64_t last_out_h_ = 0, last_out_w_ = 0;
+};
+
+/// Channel-wise concat of NCHW tensors (all must share N, H, W).
+Tensor concat_channels(const std::vector<Tensor>& parts);
+
+/// Inverse of concat_channels for gradients: splits grad along the channel
+/// axis into chunks of the given channel counts.
+std::vector<Tensor> split_channels(const Tensor& x,
+                                   const std::vector<std::int64_t>& channels);
+
+}  // namespace upaq::nn

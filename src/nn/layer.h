@@ -1,0 +1,99 @@
+// Layer and Parameter: the building blocks of the UPAQ NN framework.
+//
+// Layers own their parameters and implement explicit forward/backward
+// passes (reverse-mode differentiation with cached activations). Parameters
+// carry an optional pruning mask and a bookkeeping bitwidth so the
+// compression stack can account model size without a separate registry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace upaq::nn {
+
+/// A trainable tensor with gradient storage, an optional pruning mask, and
+/// quantization bookkeeping used by the compression-ratio accounting.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  /// Pruning mask: empty means dense; otherwise same shape as `value` with
+  /// entries in {0,1}. `project()` keeps `value` consistent with the mask.
+  Tensor mask;
+  /// Storage bitwidth this parameter is *accounted* at (32 = uncompressed
+  /// fp32). Quantization applies fake-quant to `value` and records the
+  /// bitwidth here for size accounting.
+  int quant_bits = 32;
+  bool requires_grad = true;
+
+  Parameter() = default;
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.zero(); }
+
+  /// Re-applies the pruning mask to the value (no-op when dense). Called
+  /// after every optimizer step during mask-frozen fine-tuning.
+  void project() {
+    if (!mask.empty()) value.mul_(mask);
+  }
+
+  /// Fraction of zero entries in the mask (0 when dense).
+  double sparsity() const {
+    if (mask.empty() || mask.numel() == 0) return 0.0;
+    return 1.0 - static_cast<double>(mask.count_nonzero()) /
+                     static_cast<double>(mask.numel());
+  }
+};
+
+/// Kinds of layers the cost model and the compression driver dispatch on.
+enum class LayerKind {
+  kConv2d,
+  kLinear,
+  kBatchNorm,
+  kRelu,
+  kLeakyRelu,
+  kMaxPool,
+  kUpsample,
+  kOther,
+};
+
+const char* layer_kind_name(LayerKind k);
+
+/// Abstract differentiable layer. forward() caches whatever backward() needs;
+/// backward() accumulates parameter gradients and returns the gradient with
+/// respect to the input.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& x) = 0;
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+  virtual LayerKind kind() const = 0;
+
+  /// Trainable parameters (may be empty for stateless layers).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+  std::vector<const Parameter*> parameters() const {
+    std::vector<const Parameter*> out;
+    for (auto* p : const_cast<Layer*>(this)->parameters()) out.push_back(p);
+    return out;
+  }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  bool training() const { return training_; }
+  virtual void set_training(bool t) { training_ = t; }
+
+ protected:
+  std::string name_;
+  bool training_ = true;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace upaq::nn

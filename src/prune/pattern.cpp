@@ -1,0 +1,180 @@
+#include "prune/pattern.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace upaq::prune {
+
+const char* pattern_type_name(PatternType t) {
+  switch (t) {
+    case PatternType::kMainDiagonal: return "main_diagonal";
+    case PatternType::kAntiDiagonal: return "anti_diagonal";
+    case PatternType::kRow: return "row";
+    case PatternType::kColumn: return "column";
+  }
+  return "unknown";
+}
+
+Tensor KernelPattern::mask() const {
+  Tensor m({d, d});
+  for (const auto& [r, c] : positions) m.at(r, c) = 1.0f;
+  return m;
+}
+
+std::string KernelPattern::key() const {
+  std::ostringstream os;
+  os << pattern_type_name(type) << ":";
+  for (const auto& [r, c] : positions) os << "(" << r << "," << c << ")";
+  return os.str();
+}
+
+KernelPattern generate_pattern(int n, int d, Rng& rng) {
+  UPAQ_CHECK(d >= 1, "kernel dimension must be >= 1");
+  UPAQ_CHECK(n >= 1 && n <= d,
+             "non-zero count must be in [1, d]; got n=" + std::to_string(n) +
+                 " d=" + std::to_string(d));
+  KernelPattern p;
+  p.d = d;
+  // Algorithm 2 line 1: random choice among the four arrangements.
+  const int choice = rng.uniform_int(0, 3);
+  p.type = static_cast<PatternType>(choice);
+  const int count = std::min(n, d);
+  switch (p.type) {
+    case PatternType::kMainDiagonal:
+      // lines 3-4: (i, i) for i in [0, min(n, d))
+      for (int i = 0; i < count; ++i) p.positions.emplace_back(i, i);
+      break;
+    case PatternType::kAntiDiagonal:
+      // lines 5-6: (i, d-i-1)
+      for (int i = 0; i < count; ++i) p.positions.emplace_back(i, d - i - 1);
+      break;
+    case PatternType::kRow: {
+      // lines 7-10: random row, random start column, n consecutive cells.
+      const int row = rng.uniform_int(0, d - 1);
+      const int start_col = rng.uniform_int(0, d - n);
+      for (int i = 0; i < n; ++i) p.positions.emplace_back(row, start_col + i);
+      break;
+    }
+    case PatternType::kColumn: {
+      // lines 11-14: random column, random start row.
+      const int col = rng.uniform_int(0, d - 1);
+      const int start_row = rng.uniform_int(0, d - n);
+      for (int i = 0; i < n; ++i) p.positions.emplace_back(start_row + i, col);
+      break;
+    }
+  }
+  return p;
+}
+
+std::vector<KernelPattern> generate_candidates(int n, int d, int count, Rng& rng) {
+  UPAQ_CHECK(count >= 1, "candidate count must be >= 1");
+  std::vector<KernelPattern> out;
+  std::set<std::string> seen;
+  // Draw up to 4x the requested count to compensate for duplicates (the
+  // diagonal arrangements are unique per (n,d), so small kernels saturate).
+  for (int attempt = 0; attempt < count * 4 && static_cast<int>(out.size()) < count;
+       ++attempt) {
+    KernelPattern p = generate_pattern(n, d, rng);
+    if (seen.insert(p.key()).second) out.push_back(std::move(p));
+  }
+  UPAQ_ASSERT(!out.empty(), "generate_candidates produced nothing");
+  return out;
+}
+
+std::vector<KernelPattern> all_patterns(int n, int d) {
+  UPAQ_CHECK(n >= 1 && n <= d, "all_patterns requires 1 <= n <= d");
+  std::vector<KernelPattern> out;
+  std::set<std::string> seen;
+  auto push = [&](KernelPattern p) {
+    if (seen.insert(p.key()).second) out.push_back(std::move(p));
+  };
+  {
+    KernelPattern p;
+    p.type = PatternType::kMainDiagonal;
+    p.d = d;
+    for (int i = 0; i < std::min(n, d); ++i) p.positions.emplace_back(i, i);
+    push(std::move(p));
+  }
+  {
+    KernelPattern p;
+    p.type = PatternType::kAntiDiagonal;
+    p.d = d;
+    for (int i = 0; i < std::min(n, d); ++i) p.positions.emplace_back(i, d - i - 1);
+    push(std::move(p));
+  }
+  for (int row = 0; row < d; ++row) {
+    for (int start = 0; start + n <= d; ++start) {
+      KernelPattern p;
+      p.type = PatternType::kRow;
+      p.d = d;
+      for (int i = 0; i < n; ++i) p.positions.emplace_back(row, start + i);
+      push(std::move(p));
+    }
+  }
+  for (int col = 0; col < d; ++col) {
+    for (int start = 0; start + n <= d; ++start) {
+      KernelPattern p;
+      p.type = PatternType::kColumn;
+      p.d = d;
+      for (int i = 0; i < n; ++i) p.positions.emplace_back(start + i, col);
+      push(std::move(p));
+    }
+  }
+  return out;
+}
+
+Tensor expand_kernel_mask(const KernelPattern& pattern, const Shape& weight_shape) {
+  UPAQ_CHECK(weight_shape.size() == 4, "expand_kernel_mask expects conv weight");
+  UPAQ_CHECK(weight_shape[2] == pattern.d && weight_shape[3] == pattern.d,
+             "pattern dimension does not match kernel size");
+  Tensor mask(weight_shape);
+  const std::int64_t kernels = weight_shape[0] * weight_shape[1];
+  const std::int64_t kk = static_cast<std::int64_t>(pattern.d) * pattern.d;
+  for (std::int64_t k = 0; k < kernels; ++k)
+    for (const auto& [r, c] : pattern.positions)
+      mask[k * kk + r * pattern.d + c] = 1.0f;
+  return mask;
+}
+
+double tensor_sparsity(const Tensor& t) {
+  if (t.numel() == 0) return 0.0;
+  return 1.0 - static_cast<double>(t.count_nonzero()) /
+                   static_cast<double>(t.numel());
+}
+
+std::vector<Tensor> entry_pattern_dictionary(int entries) {
+  UPAQ_CHECK(entries == 3 || entries == 4,
+             "entry-pattern dictionary supports 3 or 4 entries");
+  // The R-TOSS entry patterns keep the kernel centre plus neighbours in
+  // corner-anchored arrangements. Expressed as (row, col) offsets in a 3x3.
+  using Cells = std::vector<std::pair<int, int>>;
+  std::vector<Cells> shapes;
+  if (entries == 3) {
+    shapes = {
+        {{1, 1}, {0, 0}, {0, 2}}, {{1, 1}, {2, 0}, {2, 2}},
+        {{1, 1}, {0, 0}, {2, 0}}, {{1, 1}, {0, 2}, {2, 2}},
+        {{1, 1}, {0, 1}, {2, 1}}, {{1, 1}, {1, 0}, {1, 2}},
+        {{1, 1}, {0, 0}, {2, 2}}, {{1, 1}, {0, 2}, {2, 0}},
+    };
+  } else {
+    shapes = {
+        {{1, 1}, {0, 0}, {0, 2}, {2, 1}}, {{1, 1}, {2, 0}, {2, 2}, {0, 1}},
+        {{1, 1}, {0, 0}, {2, 0}, {1, 2}}, {{1, 1}, {0, 2}, {2, 2}, {1, 0}},
+        {{1, 1}, {0, 1}, {2, 1}, {1, 0}}, {{1, 1}, {0, 1}, {2, 1}, {1, 2}},
+        {{1, 1}, {1, 0}, {1, 2}, {0, 1}}, {{1, 1}, {1, 0}, {1, 2}, {2, 1}},
+    };
+  }
+  std::vector<Tensor> dict;
+  dict.reserve(shapes.size());
+  for (const auto& cells : shapes) {
+    Tensor m({3, 3});
+    for (const auto& [r, c] : cells) m.at(r, c) = 1.0f;
+    dict.push_back(std::move(m));
+  }
+  return dict;
+}
+
+}  // namespace upaq::prune

@@ -1,0 +1,70 @@
+// Algorithm 2: the UPAQ pattern generator, plus kernel-mask utilities and
+// the fixed entry-pattern dictionary used by the R-TOSS baseline.
+//
+// A pattern places `n` non-zero weights inside a d×d kernel along one of four
+// arrangements: main diagonal, anti diagonal, a random row segment, or a
+// random column segment. UPAQ samples many candidate patterns per root layer
+// and keeps the one with the best efficiency score; R-TOSS instead picks from
+// a fixed dictionary by L2 norm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace upaq::prune {
+
+enum class PatternType { kMainDiagonal, kAntiDiagonal, kRow, kColumn };
+
+const char* pattern_type_name(PatternType t);
+
+/// A semi-structured kernel pattern: the set of positions that stay non-zero
+/// in a d×d kernel.
+struct KernelPattern {
+  PatternType type = PatternType::kMainDiagonal;
+  int d = 0;  ///< kernel spatial size
+  std::vector<std::pair<int, int>> positions;  ///< (row, col) of kept weights
+
+  int nonzeros() const { return static_cast<int>(positions.size()); }
+  double sparsity() const {
+    return 1.0 - static_cast<double>(positions.size()) /
+                     (static_cast<double>(d) * d);
+  }
+  /// d×d tensor with 1 at kept positions, 0 elsewhere.
+  Tensor mask() const;
+  /// Canonical key for dedup / test assertions, e.g. "row:(1,0)(1,1)(1,2)".
+  std::string key() const;
+};
+
+/// Algorithm 2 verbatim: random pattern type, then `n` positions within a
+/// d×d kernel. Requires 1 <= n <= d (the paper places at most d weights per
+/// pattern: a full diagonal / one row segment / one column segment).
+KernelPattern generate_pattern(int n, int d, Rng& rng);
+
+/// Draws `count` patterns and deduplicates by key, so the compression search
+/// never scores the same mask twice. The result has at least one pattern and
+/// at most `count`.
+std::vector<KernelPattern> generate_candidates(int n, int d, int count, Rng& rng);
+
+/// Exhaustive pattern set for given (n, d): all diagonals + all row/column
+/// segments. Used by the ablation comparing random search to full search.
+std::vector<KernelPattern> all_patterns(int n, int d);
+
+/// Expands a kernel pattern to a full conv-weight mask of shape
+/// (out_c, in_c, d, d) — the same spatial pattern replicated over every
+/// kernel, exactly how Algorithm 3 applies a root's pattern to a layer.
+Tensor expand_kernel_mask(const KernelPattern& pattern, const Shape& weight_shape);
+
+/// Fraction of zero entries in a tensor.
+double tensor_sparsity(const Tensor& t);
+
+/// R-TOSS-style entry-pattern dictionary for 3x3 kernels: all masks keeping
+/// exactly `entries` weights arranged in the fixed dictionary shapes
+/// (corner-anchored L/T shapes). `entries` must be 3 or 4.
+std::vector<Tensor> entry_pattern_dictionary(int entries);
+
+}  // namespace upaq::prune

@@ -1,0 +1,123 @@
+#include "prune/structured.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/check.h"
+
+namespace upaq::prune {
+
+namespace {
+
+/// Indices of the `count` smallest values in `norms`.
+std::vector<std::size_t> smallest_indices(const std::vector<double>& norms,
+                                          std::size_t count) {
+  std::vector<std::size_t> order(norms.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(count, order.size())),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return norms[a] < norms[b];
+                    });
+  order.resize(std::min(count, order.size()));
+  return order;
+}
+
+}  // namespace
+
+std::vector<double> filter_l2_norms(const Tensor& weight) {
+  UPAQ_CHECK(weight.rank() >= 2, "filter norms need a (out, ...) weight");
+  const std::int64_t out_c = weight.shape()[0];
+  const std::int64_t per = weight.numel() / out_c;
+  std::vector<double> norms(static_cast<std::size_t>(out_c));
+  for (std::int64_t oc = 0; oc < out_c; ++oc) {
+    double acc = 0.0;
+    const float* row = weight.data() + oc * per;
+    for (std::int64_t i = 0; i < per; ++i)
+      acc += static_cast<double>(row[i]) * row[i];
+    norms[static_cast<std::size_t>(oc)] = std::sqrt(acc);
+  }
+  return norms;
+}
+
+std::vector<double> channel_l2_norms(const Tensor& weight) {
+  UPAQ_CHECK(weight.rank() >= 2, "channel norms need a (out, in, ...) weight");
+  const std::int64_t out_c = weight.shape()[0];
+  const std::int64_t in_c = weight.shape()[1];
+  const std::int64_t per = weight.numel() / (out_c * in_c);
+  std::vector<double> norms(static_cast<std::size_t>(in_c), 0.0);
+  for (std::int64_t oc = 0; oc < out_c; ++oc) {
+    for (std::int64_t ic = 0; ic < in_c; ++ic) {
+      const float* chunk = weight.data() + (oc * in_c + ic) * per;
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < per; ++i)
+        acc += static_cast<double>(chunk[i]) * chunk[i];
+      norms[static_cast<std::size_t>(ic)] += acc;
+    }
+  }
+  for (auto& n : norms) n = std::sqrt(n);
+  return norms;
+}
+
+Tensor filter_prune_mask(const Tensor& weight, double fraction) {
+  UPAQ_CHECK(fraction >= 0.0 && fraction < 1.0, "fraction out of range");
+  const auto norms = filter_l2_norms(weight);
+  const auto drop = smallest_indices(
+      norms, static_cast<std::size_t>(fraction * static_cast<double>(norms.size())));
+  Tensor mask(weight.shape(), 1.0f);
+  const std::int64_t per = weight.numel() / weight.shape()[0];
+  for (std::size_t oc : drop) {
+    float* row = mask.data() + static_cast<std::int64_t>(oc) * per;
+    std::fill(row, row + per, 0.0f);
+  }
+  return mask;
+}
+
+Tensor channel_prune_mask(const Tensor& weight, double fraction) {
+  UPAQ_CHECK(fraction >= 0.0 && fraction < 1.0, "fraction out of range");
+  const auto norms = channel_l2_norms(weight);
+  const auto drop = smallest_indices(
+      norms, static_cast<std::size_t>(fraction * static_cast<double>(norms.size())));
+  Tensor mask(weight.shape(), 1.0f);
+  const std::int64_t out_c = weight.shape()[0];
+  const std::int64_t in_c = weight.shape()[1];
+  const std::int64_t per = weight.numel() / (out_c * in_c);
+  for (std::int64_t oc = 0; oc < out_c; ++oc) {
+    for (std::size_t ic : drop) {
+      float* chunk =
+          mask.data() + (oc * in_c + static_cast<std::int64_t>(ic)) * per;
+      std::fill(chunk, chunk + per, 0.0f);
+    }
+  }
+  return mask;
+}
+
+Tensor connectivity_prune(const Tensor& weight, const Tensor& mask,
+                          double fraction, std::int64_t tile) {
+  UPAQ_CHECK(fraction >= 0.0 && fraction < 1.0, "fraction out of range");
+  UPAQ_CHECK(tile >= 1, "tile must be positive");
+  UPAQ_CHECK(mask.numel() == weight.numel(), "mask/weight size mismatch");
+  const std::int64_t tiles = weight.numel() / tile;
+  std::vector<double> kept_l2(static_cast<std::size_t>(tiles), 0.0);
+  for (std::int64_t t = 0; t < tiles; ++t) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < tile; ++i) {
+      const std::int64_t idx = t * tile + i;
+      if (mask[idx] != 0.0f)
+        acc += static_cast<double>(weight[idx]) * weight[idx];
+    }
+    kept_l2[static_cast<std::size_t>(t)] = acc;
+  }
+  const auto drop = smallest_indices(
+      kept_l2, static_cast<std::size_t>(fraction * static_cast<double>(tiles)));
+  Tensor out = mask;
+  for (std::size_t t : drop) {
+    for (std::int64_t i = 0; i < tile; ++i)
+      out[static_cast<std::int64_t>(t) * tile + i] = 0.0f;
+  }
+  return out;
+}
+
+}  // namespace upaq::prune

@@ -1,0 +1,42 @@
+// Structured pruning utilities (paper Fig. 2b/2c) and connectivity pruning.
+//
+// Structured pruning removes whole filters (output channels) or channels
+// (input channels); it maps perfectly onto hardware (a smaller dense layer)
+// but removes essential weights together with redundant ones — the accuracy
+// argument of Sec. III.A. Connectivity pruning fully removes the weakest
+// kernels on top of a semi-structured pattern, buying extra sparsity at some
+// accuracy cost (the paper cites it as R-TOSS's sparsity booster and an
+// optional UPAQ extension).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace upaq::prune {
+
+/// L2 norm of each output-channel filter of a conv weight (out,in,k,k)
+/// or linear weight (out,in).
+std::vector<double> filter_l2_norms(const Tensor& weight);
+
+/// L2 norm of each input channel aggregated over all filters.
+std::vector<double> channel_l2_norms(const Tensor& weight);
+
+/// Mask zeroing the `fraction` of output filters with the smallest L2 norm
+/// (Fig. 2c). The mask has the weight's shape.
+Tensor filter_prune_mask(const Tensor& weight, double fraction);
+
+/// Mask zeroing the `fraction` of input channels with the smallest
+/// aggregated L2 norm (Fig. 2b).
+Tensor channel_prune_mask(const Tensor& weight, double fraction);
+
+/// Connectivity pruning: given an existing mask (same shape as the weight),
+/// fully zeroes the `fraction` of kxk kernels (or tiles of `tile` weights
+/// for flat tensors) whose *kept* L2 mass is smallest. Returns the combined
+/// mask. `tile` must divide into the tensor as kernel-sized chunks (the
+/// trailing partial tile is never dropped).
+Tensor connectivity_prune(const Tensor& weight, const Tensor& mask,
+                          double fraction, std::int64_t tile);
+
+}  // namespace upaq::prune

@@ -1,0 +1,102 @@
+#include "quant/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace upaq::quant {
+
+QuantResult mp_quantize(const Tensor& x, int quant_bit) {
+  UPAQ_CHECK(quant_bit >= 2 && quant_bit <= 32,
+             "quant_bit must be in [2, 32], got " + std::to_string(quant_bit));
+  QuantResult res;
+  res.bits = quant_bit;
+
+  // Line 2: alpha_x = max(|min(x)|, |max(x)|).
+  const float alpha = x.numel() > 0 ? x.abs_max() : 0.0f;
+  // Lines 3-4: symmetric integer range.
+  const double max_value = std::pow(2.0, quant_bit - 1) - 1.0;
+  const double min_value = -max_value;
+  if (alpha == 0.0f) {
+    // All-zero input: identity mapping, zero quantization error.
+    res.values = x;
+    res.scale = 1.0f;
+    res.sqnr = std::numeric_limits<double>::infinity();
+    return res;
+  }
+  // Line 5: scale maps the largest magnitude onto the largest integer.
+  const float scale = static_cast<float>(alpha / max_value);
+  res.scale = scale;
+
+  // Lines 6-7: round to grid and clip, then return to the float domain.
+  res.values = Tensor(x.shape());
+  const float* src = x.data();
+  float* dst = res.values.data();
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    double q = std::round(static_cast<double>(src[i]) / scale);
+    q = std::min(std::max(q, min_value), max_value);
+    dst[i] = static_cast<float>(q * scale);
+  }
+
+  // Line 8: SQNR = var(x) / var(x - x_hat) in the de-quantized domain.
+  const Tensor err = x - res.values;
+  const double verr = err.var();
+  const double vx = x.var();
+  res.sqnr = verr > 0.0 ? vx / verr : std::numeric_limits<double>::infinity();
+  return res;
+}
+
+QuantResult mp_quantize_grouped(const Tensor& x, int quant_bit,
+                                std::int64_t group_size) {
+  UPAQ_CHECK(group_size >= 1, "group size must be positive");
+  QuantResult res;
+  res.bits = quant_bit;
+  res.values = Tensor(x.shape());
+  res.scale = 0.0f;
+  const std::int64_t n = x.numel();
+  std::vector<float> chunk;
+  for (std::int64_t start = 0; start < n; start += group_size) {
+    const std::int64_t len = std::min(group_size, n - start);
+    chunk.assign(x.data() + start, x.data() + start + len);
+    const QuantResult part = mp_quantize(Tensor({len}, chunk), quant_bit);
+    std::copy(part.values.data(), part.values.data() + len,
+              res.values.data() + start);
+    res.scale = std::max(res.scale, part.scale);
+  }
+  const Tensor err = x - res.values;
+  const double verr = err.var();
+  const double vx = x.var();
+  res.sqnr = verr > 0.0 ? vx / verr : std::numeric_limits<double>::infinity();
+  return res;
+}
+
+double sqnr_db(double sqnr) {
+  if (!std::isfinite(sqnr)) return 200.0;  // treated as "lossless"
+  if (sqnr <= 0.0) return -200.0;
+  return 10.0 * std::log10(sqnr);
+}
+
+std::int64_t storage_bits(std::int64_t numel, std::int64_t nonzeros,
+                          int value_bits, StorageFormat format) {
+  UPAQ_CHECK(numel >= 0 && nonzeros >= 0 && nonzeros <= numel,
+             "storage_bits: bad counts");
+  UPAQ_CHECK(value_bits >= 1 && value_bits <= 32, "storage_bits: bad bitwidth");
+  switch (format) {
+    case StorageFormat::kDense:
+      return numel * value_bits;
+    case StorageFormat::kBitmapSparse:
+      // Occupancy bitmap (1 bit per position) + packed kept values.
+      return numel + nonzeros * value_bits;
+    case StorageFormat::kPatternSparse:
+      // One pattern descriptor per tensor (type + geometry fits in 16 bits)
+      // because the same spatial pattern repeats across every kernel.
+      return 16 + nonzeros * value_bits;
+  }
+  UPAQ_ASSERT(false, "unreachable");
+  return 0;
+}
+
+}  // namespace upaq::quant

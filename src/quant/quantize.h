@@ -1,0 +1,65 @@
+// Algorithm 6 (mp_quantizer): symmetric per-kernel quantization with SQNR,
+// plus the storage-size accounting used for compression ratios.
+//
+// Quantization here is "fake quant": values are mapped to the integer grid
+// and back to floats, so the rest of the pipeline keeps operating on float
+// tensors while the size accounting records the bitwidth actually needed.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace upaq::quant {
+
+/// Result of quantizing one tensor at one bitwidth.
+struct QuantResult {
+  Tensor values;  ///< de-quantized (float) values on the integer grid
+  float scale = 1.0f;
+  int bits = 32;
+  /// Signal-to-quantization-noise ratio: var(x) / var(x - x_hat). The paper's
+  /// Algorithm 6 line 8 divides by var(x - x_q) with x_q still in the integer
+  /// domain, which is dimensionally inconsistent; we evaluate the error in
+  /// the de-quantized domain (see DESIGN.md erratum note). Infinite when the
+  /// error is exactly zero.
+  double sqnr = 0.0;
+};
+
+/// Algorithm 6: symmetric linear quantization of `x` to `quant_bit` bits.
+///   scale  = max(|min x|, |max x|) / (2^(b-1) - 1)
+///   x_q    = clip(round(x / scale), -(2^(b-1)-1), 2^(b-1)-1)
+/// Requires 2 <= quant_bit <= 32. An all-zero tensor quantizes to itself with
+/// infinite SQNR.
+QuantResult mp_quantize(const Tensor& x, int quant_bit);
+
+/// SQNR expressed in dB (10*log10), clamped for infinite ratios.
+double sqnr_db(double sqnr);
+
+/// Algorithm 4/5 apply mp_quantizer per kernel: quantizes each consecutive
+/// `group_size` chunk of the flattened tensor with its own symmetric scale
+/// (chunk = one kxk kernel for conv weights, one transform tile for 1x1
+/// weights; a partial tail chunk gets its own scale too). Returns the
+/// fake-quantized tensor and the aggregate SQNR; `scale` is the largest
+/// per-chunk scale (for reporting).
+QuantResult mp_quantize_grouped(const Tensor& x, int quant_bit,
+                                std::int64_t group_size);
+
+/// How a parameter's zero structure is stored, which determines the index
+/// overhead charged by storage_bits().
+enum class StorageFormat {
+  kDense,          ///< every value stored: numel * bits
+  kBitmapSparse,   ///< unstructured: 1-bit occupancy map + nonzero values
+  kPatternSparse,  ///< semi-structured: per-layer pattern id only (the same
+                   ///< pattern repeats across kernels), + nonzero values
+};
+
+/// Storage cost in bits for a weight tensor with `numel` entries of which
+/// `nonzeros` are kept, at `value_bits` per kept value.
+/// kPatternSparse charges a fixed 16-bit pattern descriptor per tensor.
+std::int64_t storage_bits(std::int64_t numel, std::int64_t nonzeros,
+                          int value_bits, StorageFormat format);
+
+/// Convenience: dense fp32 baseline cost.
+inline std::int64_t dense_fp32_bits(std::int64_t numel) { return numel * 32; }
+
+}  // namespace upaq::quant

@@ -1,0 +1,45 @@
+// Contract-checking helpers used across the UPAQ codebase.
+//
+// UPAQ_CHECK is used for preconditions on public APIs (throws
+// std::invalid_argument so callers can recover / tests can assert), while
+// UPAQ_ASSERT marks internal invariants (throws std::logic_error: if one
+// fires, the library itself has a bug).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace upaq {
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "UPAQ_CHECK") throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace upaq
+
+#define UPAQ_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::upaq::detail::throw_check_failure("UPAQ_CHECK", #cond, __FILE__,   \
+                                          __LINE__, (msg));                \
+    }                                                                      \
+  } while (false)
+
+#define UPAQ_ASSERT(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::upaq::detail::throw_check_failure("UPAQ_ASSERT", #cond, __FILE__,  \
+                                          __LINE__, (msg));                \
+    }                                                                      \
+  } while (false)

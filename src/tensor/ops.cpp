@@ -1,0 +1,141 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace upaq::ops {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  UPAQ_CHECK(a.rank() == 2 && b.rank() == 2, "matmul expects 2-D tensors");
+  UPAQ_CHECK(a.dim(1) == b.dim(0), "matmul inner dimension mismatch: " +
+                                       shape_to_string(a.shape()) + " x " +
+                                       shape_to_string(b.shape()));
+  Tensor c({a.dim(0), b.dim(1)});
+  gemm_accumulate(a, b, c, 1.0f);
+  return c;
+}
+
+void gemm_accumulate(const Tensor& a, const Tensor& b, Tensor& c, float alpha) {
+  UPAQ_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
+             "gemm expects 2-D tensors");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  UPAQ_CHECK(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n,
+             "gemm shape mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order keeps the inner loop contiguous over B and C rows.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = alpha * pa[i * k + kk];
+      if (av == 0.0f) continue;  // free zero-skipping for pruned rows
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+std::int64_t conv_out_size(std::int64_t in, int k, int stride, int pad) {
+  UPAQ_CHECK(stride > 0, "stride must be positive");
+  const std::int64_t eff = in + 2 * pad - k;
+  UPAQ_CHECK(eff >= 0, "kernel larger than padded input");
+  return eff / stride + 1;
+}
+
+Tensor im2col(const Tensor& input, int kh, int kw, int stride, int pad) {
+  UPAQ_CHECK(input.rank() == 3, "im2col expects (C,H,W)");
+  const std::int64_t c = input.dim(0), h = input.dim(1), w = input.dim(2);
+  const std::int64_t oh = conv_out_size(h, kh, stride, pad);
+  const std::int64_t ow = conv_out_size(w, kw, stride, pad);
+  Tensor cols({c * kh * kw, oh * ow});
+  const float* in = input.data();
+  float* out = cols.data();
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        const std::int64_t row = (ch * kh + ky) * kw + kx;
+        float* dst = out + row * oh * ow;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * stride - pad + ky;
+          if (iy < 0 || iy >= h) {
+            std::fill(dst + oy * ow, dst + (oy + 1) * ow, 0.0f);
+            continue;
+          }
+          const float* src = in + (ch * h + iy) * w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * stride - pad + kx;
+            dst[oy * ow + ox] = (ix >= 0 && ix < w) ? src[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, std::int64_t channels, std::int64_t height,
+              std::int64_t width, int kh, int kw, int stride, int pad) {
+  UPAQ_CHECK(cols.rank() == 2, "col2im expects 2-D columns");
+  const std::int64_t oh = conv_out_size(height, kh, stride, pad);
+  const std::int64_t ow = conv_out_size(width, kw, stride, pad);
+  UPAQ_CHECK(cols.dim(0) == channels * kh * kw && cols.dim(1) == oh * ow,
+             "col2im shape mismatch");
+  Tensor img({channels, height, width});
+  const float* in = cols.data();
+  float* out = img.data();
+  for (std::int64_t ch = 0; ch < channels; ++ch) {
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        const std::int64_t row = (ch * kh + ky) * kw + kx;
+        const float* src = in + row * oh * ow;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * stride - pad + ky;
+          if (iy < 0 || iy >= height) continue;
+          float* dst = out + (ch * height + iy) * width;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * stride - pad + kx;
+            if (ix >= 0 && ix < width) dst[ix] += src[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+  return img;
+}
+
+float sigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+void sigmoid_(Tensor& t) {
+  for (auto& v : t.flat()) v = sigmoid(v);
+}
+
+void softmax_rows_(Tensor& t) {
+  UPAQ_CHECK(t.rank() == 2, "softmax_rows_ expects a 2-D tensor");
+  const std::int64_t rows = t.dim(0), cols = t.dim(1);
+  float* p = t.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = p + r * cols;
+    const float mx = *std::max_element(row, row + cols);
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv;
+  }
+}
+
+void clamp_min_(Tensor& t, float floor) {
+  for (auto& v : t.flat()) v = std::max(v, floor);
+}
+
+}  // namespace upaq::ops

@@ -1,0 +1,44 @@
+// Low-level numeric kernels: GEMM, im2col/col2im, softmax/sigmoid helpers.
+//
+// These are the primitives the NN layers are written against. They are plain
+// functions over Tensor so the compression code can reuse them (e.g. the
+// sparse-conv micro-benchmarks compare gemm-based dense conv with the
+// zero-skipping path).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace upaq::ops {
+
+/// C = A(mxk) * B(kxn); all matrices row-major 2-D tensors.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C += alpha * A(mxk) * B(kxn) into a pre-allocated 2-D tensor.
+void gemm_accumulate(const Tensor& a, const Tensor& b, Tensor& c, float alpha = 1.0f);
+
+/// im2col for NCHW input: input (C,H,W) -> columns (C*kh*kw, out_h*out_w).
+Tensor im2col(const Tensor& input, int kh, int kw, int stride, int pad);
+
+/// col2im: inverse scatter-add of im2col, columns (C*kh*kw, out_h*out_w)
+/// -> (C,H,W). Used by the conv backward pass.
+Tensor col2im(const Tensor& cols, std::int64_t channels, std::int64_t height,
+              std::int64_t width, int kh, int kw, int stride, int pad);
+
+/// Output spatial size of a convolution: floor((in + 2p - k)/s) + 1.
+std::int64_t conv_out_size(std::int64_t in, int k, int stride, int pad);
+
+/// Numerically-stable sigmoid.
+float sigmoid(float x);
+
+/// In-place sigmoid over a tensor.
+void sigmoid_(Tensor& t);
+
+/// Numerically-stable in-place softmax over the last dimension of a 2-D tensor.
+void softmax_rows_(Tensor& t);
+
+/// Elementwise maximum against a scalar (ReLU when floor = 0).
+void clamp_min_(Tensor& t, float floor);
+
+}  // namespace upaq::ops

@@ -1,0 +1,30 @@
+// Minimal binary (de)serialization for tensors and named tensor maps.
+//
+// Used by the model zoo to cache trained weights on disk so benchmarks load
+// instantly after the first run. The format is a tiny tagged container:
+//   magic "UPAQTNSR" | u32 version | u32 count | repeated entries of
+//   (u32 name_len, name bytes, u32 rank, i64 dims..., f32 data...).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace upaq::io {
+
+void write_tensor(std::ostream& os, const Tensor& t);
+Tensor read_tensor(std::istream& is);
+
+/// Writes a named map of tensors; throws std::runtime_error on I/O failure.
+void save_tensor_map(const std::string& path,
+                     const std::map<std::string, Tensor>& tensors);
+
+/// Reads a named map of tensors; throws std::runtime_error on parse failure.
+std::map<std::string, Tensor> load_tensor_map(const std::string& path);
+
+/// True if `path` exists and starts with the tensor-map magic.
+bool is_tensor_map_file(const std::string& path);
+
+}  // namespace upaq::io

@@ -1,0 +1,230 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace upaq {
+
+std::string shape_to_string(const Shape& s) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ", ";
+    os << s[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::int64_t shape_numel(const Shape& s) {
+  std::int64_t n = 1;
+  for (auto d : s) {
+    UPAQ_CHECK(d >= 0, "negative dimension in shape " + shape_to_string(s));
+    n *= d;
+  }
+  return n;
+}
+
+bool shape_equal(const Shape& a, const Shape& b) { return a == b; }
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  UPAQ_CHECK(static_cast<std::int64_t>(data_.size()) == shape_numel(shape_),
+             "data size " + std::to_string(data_.size()) +
+                 " does not match shape " + shape_to_string(shape_));
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::kaiming(Shape shape, Rng& rng) {
+  UPAQ_CHECK(!shape.empty(), "kaiming init needs a non-empty shape");
+  std::int64_t fan_in = 1;
+  for (std::size_t i = 1; i < shape.size(); ++i) fan_in *= shape[i];
+  if (shape.size() == 1) fan_in = shape[0];
+  const float stddev = std::sqrt(2.0f / static_cast<float>(std::max<std::int64_t>(fan_in, 1)));
+  return normal(std::move(shape), rng, 0.0f, stddev);
+}
+
+Tensor Tensor::arange(std::int64_t n) {
+  Tensor t({n});
+  for (std::int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+float& Tensor::at_flat(std::int64_t i) {
+  UPAQ_CHECK(i >= 0 && i < numel(), "flat index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float Tensor::at_flat(std::int64_t i) const {
+  UPAQ_CHECK(i >= 0 && i < numel(), "flat index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+std::size_t Tensor::idx(std::initializer_list<std::int64_t> indices) const {
+  UPAQ_ASSERT(indices.size() == shape_.size(),
+              "indexing rank mismatch: got " + std::to_string(indices.size()) +
+                  " indices for shape " + shape_to_string(shape_));
+  std::size_t flat = 0;
+  std::size_t d = 0;
+  for (std::int64_t i : indices) {
+    flat = flat * static_cast<std::size_t>(shape_[d]) + static_cast<std::size_t>(i);
+    ++d;
+  }
+  return flat;
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  UPAQ_CHECK(shape_numel(new_shape) == numel(),
+             "reshape from " + shape_to_string(shape_) + " to " +
+                 shape_to_string(new_shape) + " changes element count");
+  Tensor out = *this;
+  out.shape_ = std::move(new_shape);
+  return out;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor& Tensor::add_(const Tensor& other) {
+  UPAQ_CHECK(other.numel() == numel(), "add_: element count mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  UPAQ_CHECK(other.numel() == numel(), "sub_: element count mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  UPAQ_CHECK(other.numel() == numel(), "mul_: element count mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Tensor& Tensor::apply_(const std::function<float(float)>& f) {
+  for (auto& v : data_) v = f(v);
+  return *this;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) return 0.0f;
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  UPAQ_CHECK(!data_.empty(), "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  UPAQ_CHECK(!data_.empty(), "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::var() const {
+  if (data_.empty()) return 0.0f;
+  const double mu = mean();
+  double acc = 0.0;
+  for (float v : data_) {
+    const double d = v - mu;
+    acc += d * d;
+  }
+  return static_cast<float>(acc / static_cast<double>(data_.size()));
+}
+
+float Tensor::l2_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+std::int64_t Tensor::count_nonzero() const {
+  std::int64_t n = 0;
+  for (float v : data_)
+    if (v != 0.0f) ++n;
+  return n;
+}
+
+std::int64_t Tensor::argmax() const {
+  UPAQ_CHECK(!data_.empty(), "argmax of empty tensor");
+  return static_cast<std::int64_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+std::string Tensor::to_string(int max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_to_string(shape_) << " {";
+  const std::int64_t n = std::min<std::int64_t>(numel(), max_elems);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[static_cast<std::size_t>(i)];
+  }
+  if (numel() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+Tensor operator+(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.add_(b);
+  return out;
+}
+
+Tensor operator-(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.sub_(b);
+  return out;
+}
+
+Tensor operator*(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.mul_(b);
+  return out;
+}
+
+Tensor operator*(const Tensor& a, float s) {
+  Tensor out = a;
+  out.scale_(s);
+  return out;
+}
+
+}  // namespace upaq

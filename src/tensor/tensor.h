@@ -1,0 +1,139 @@
+// Dense float32 tensor with row-major (C-contiguous) layout.
+//
+// This is the storage type shared by the NN framework, the compression
+// algorithms, and the evaluation code. It deliberately stays small: dense
+// row-major float storage, shape bookkeeping, and elementwise helpers.
+// Layout convention for 4-D tensors is NCHW; convolution kernels are
+// (out_channels, in_channels, kh, kw).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/check.h"
+#include "tensor/rng.h"
+
+namespace upaq {
+
+/// Shape of a tensor; up to any rank, but the library mostly uses 1-4 dims.
+using Shape = std::vector<std::int64_t>;
+
+std::string shape_to_string(const Shape& s);
+std::int64_t shape_numel(const Shape& s);
+bool shape_equal(const Shape& a, const Shape& b);
+
+class Tensor {
+ public:
+  /// Empty 0-element tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value);
+
+  /// Tensor adopting the given flat data (size must match the shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+  /// i.i.d. U[lo, hi) entries.
+  static Tensor uniform(Shape shape, Rng& rng, float lo = -1.0f, float hi = 1.0f);
+  /// i.i.d. N(mean, stddev^2) entries.
+  static Tensor normal(Shape shape, Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+  /// Kaiming/He-style init for a conv/linear weight: N(0, sqrt(2/fan_in)).
+  static Tensor kaiming(Shape shape, Rng& rng);
+  /// 1-D tensor [0, 1, ..., n-1].
+  static Tensor arange(std::int64_t n);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const {
+    UPAQ_CHECK(i < shape_.size(), "dim index out of range");
+    return shape_[i];
+  }
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return std::span<float>(data_); }
+  std::span<const float> flat() const { return std::span<const float>(data_); }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// Bounds-checked flat access.
+  float& at_flat(std::int64_t i);
+  float at_flat(std::int64_t i) const;
+
+  // Multi-dimensional accessors (unchecked in release hot paths; the index
+  // computation itself asserts rank).
+  float& at(std::int64_t i0) { return data_[idx({i0})]; }
+  float& at(std::int64_t i0, std::int64_t i1) { return data_[idx({i0, i1})]; }
+  float& at(std::int64_t i0, std::int64_t i1, std::int64_t i2) {
+    return data_[idx({i0, i1, i2})];
+  }
+  float& at(std::int64_t i0, std::int64_t i1, std::int64_t i2, std::int64_t i3) {
+    return data_[idx({i0, i1, i2, i3})];
+  }
+  float at(std::int64_t i0) const { return data_[idx({i0})]; }
+  float at(std::int64_t i0, std::int64_t i1) const { return data_[idx({i0, i1})]; }
+  float at(std::int64_t i0, std::int64_t i1, std::int64_t i2) const {
+    return data_[idx({i0, i1, i2})];
+  }
+  float at(std::int64_t i0, std::int64_t i1, std::int64_t i2, std::int64_t i3) const {
+    return data_[idx({i0, i1, i2, i3})];
+  }
+
+  /// Reshape to a new shape with the same number of elements.
+  Tensor reshape(Shape new_shape) const;
+  /// Flatten to 1-D.
+  Tensor flatten() const { return reshape({numel()}); }
+  /// Deep copy (Tensor is a value type; this is explicit for readability at
+  /// call sites that care, e.g. Algorithm 3's deepcopy(M)).
+  Tensor clone() const { return *this; }
+
+  // ---- elementwise / reduction helpers ----
+  void fill(float v);
+  void zero() { fill(0.0f); }
+  Tensor& add_(const Tensor& other);            ///< this += other
+  Tensor& sub_(const Tensor& other);            ///< this -= other
+  Tensor& mul_(const Tensor& other);            ///< this *= other (Hadamard)
+  Tensor& scale_(float s);                      ///< this *= s
+  Tensor& apply_(const std::function<float(float)>& f);
+
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  float abs_max() const;
+  /// Population variance (divides by N). Returns 0 for empty tensors.
+  float var() const;
+  float l2_norm() const;
+  std::int64_t count_nonzero() const;
+  std::int64_t argmax() const;
+
+  std::string to_string(int max_elems = 16) const;
+
+ private:
+  std::size_t idx(std::initializer_list<std::int64_t> indices) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// Free-function elementwise arithmetic (value-returning).
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, float s);
+
+}  // namespace upaq

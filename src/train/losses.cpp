@@ -1,0 +1,66 @@
+#include "train/losses.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace upaq::train {
+
+namespace {
+constexpr float kEps = 1e-7f;
+}
+
+float focal_bce(float logit, bool positive, float alpha, float gamma,
+                float& grad) {
+  const float p = std::clamp(ops::sigmoid(logit), kEps, 1.0f - kEps);
+  if (positive) {
+    const float one_minus_p = 1.0f - p;
+    const float loss = -alpha * std::pow(one_minus_p, gamma) * std::log(p);
+    // d/dlogit with dp/dlogit = p(1-p):
+    //   dL/dp = alpha * [gamma*(1-p)^(gamma-1)*log(p) - (1-p)^gamma / p]
+    const float dLdp = alpha * (gamma * std::pow(one_minus_p, gamma - 1.0f) *
+                                    std::log(p) -
+                                std::pow(one_minus_p, gamma) / p);
+    grad = dLdp * p * one_minus_p;
+    return loss;
+  }
+  const float one_minus_a = 1.0f - alpha;
+  const float loss = -one_minus_a * std::pow(p, gamma) * std::log(1.0f - p);
+  //   dL/dp = (1-alpha) * [(p^gamma)/(1-p) - gamma*p^(gamma-1)*log(1-p)]
+  const float dLdp = one_minus_a * (std::pow(p, gamma) / (1.0f - p) -
+                                    gamma * std::pow(p, gamma - 1.0f) *
+                                        std::log(1.0f - p));
+  grad = dLdp * p * (1.0f - p);
+  return loss;
+}
+
+float heatmap_focal(float logit, float target, float a, float b, float& grad) {
+  const float p = std::clamp(ops::sigmoid(logit), kEps, 1.0f - kEps);
+  if (target >= 1.0f - 1e-6f) {
+    const float loss = -std::pow(1.0f - p, a) * std::log(p);
+    const float dLdp = a * std::pow(1.0f - p, a - 1.0f) * std::log(p) -
+                       std::pow(1.0f - p, a) / p;
+    grad = dLdp * p * (1.0f - p);
+    return loss;
+  }
+  const float w = std::pow(1.0f - target, b);
+  const float loss = -w * std::pow(p, a) * std::log(1.0f - p);
+  const float dLdp = w * (std::pow(p, a) / (1.0f - p) -
+                          a * std::pow(p, a - 1.0f) * std::log(1.0f - p));
+  grad = dLdp * p * (1.0f - p);
+  return loss;
+}
+
+float smooth_l1(float pred, float target, float beta, float& grad) {
+  const float d = pred - target;
+  const float ad = std::fabs(d);
+  if (ad < beta) {
+    grad = d / beta;
+    return 0.5f * d * d / beta;
+  }
+  grad = d > 0 ? 1.0f : -1.0f;
+  return ad - 0.5f * beta;
+}
+
+}  // namespace upaq::train

@@ -1,0 +1,31 @@
+// Detection losses with analytic gradients.
+//
+// The layers implement backward passes, so losses only need to produce
+// dLoss/dOutput for the network's final tensors. Each helper returns the
+// scalar loss contribution and writes the gradient; all are unit-tested
+// against finite differences.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace upaq::train {
+
+/// RetinaNet-style binary focal loss on a logit.
+///   p = sigmoid(logit)
+///   positive: -alpha * (1-p)^gamma * log(p)
+///   negative: -(1-alpha) * p^gamma * log(1-p)
+/// Returns the loss value and writes dLoss/dlogit to `grad`.
+float focal_bce(float logit, bool positive, float alpha, float gamma,
+                float& grad);
+
+/// CenterNet-style penalty-reduced focal loss for heatmaps. `target` in
+/// [0,1] is the splatted Gaussian; cells with target==1 are positives.
+///   positive: -(1-p)^a * log(p)
+///   other:    -(1-target)^b * p^a * log(1-p)
+float heatmap_focal(float logit, float target, float a, float b, float& grad);
+
+/// Smooth-L1 (Huber) loss: 0.5*d^2/beta for |d|<beta else |d|-0.5*beta.
+/// Returns loss, writes dLoss/dpred to `grad`.
+float smooth_l1(float pred, float target, float beta, float& grad);
+
+}  // namespace upaq::train

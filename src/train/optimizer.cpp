@@ -1,0 +1,48 @@
+#include "train/optimizer.h"
+
+#include <cmath>
+
+namespace upaq::train {
+
+void Sgd::step(const std::vector<nn::Parameter*>& params) {
+  for (auto* p : params) {
+    if (!p->requires_grad) continue;
+    auto [it, inserted] = velocity_.try_emplace(p, p->value.shape());
+    Tensor& vel = it->second;
+    float* v = vel.data();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      const float grad = g[i] + weight_decay_ * w[i];
+      v[i] = momentum_ * v[i] + grad;
+      w[i] -= lr_ * v[i];
+    }
+    p->project();
+  }
+}
+
+void Adam::step(const std::vector<nn::Parameter*>& params) {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (auto* p : params) {
+    if (!p->requires_grad) continue;
+    auto [mit, m_ins] = m_.try_emplace(p, p->value.shape());
+    auto [vit, v_ins] = v_.try_emplace(p, p->value.shape());
+    float* m = mit->second.data();
+    float* v = vit->second.data();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      const float grad = g[i] + weight_decay_ * w[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad * grad;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    p->project();
+  }
+}
+
+}  // namespace upaq::train

@@ -1,0 +1,60 @@
+// Optimizers (SGD with momentum, Adam) and the training loop.
+//
+// Optimizers respect pruning masks: after every step, each parameter is
+// projected back onto its mask so mask-frozen fine-tuning never regrows a
+// pruned weight (the backward passes also mask the gradients; projection
+// here guards against momentum leakage).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace upaq::train {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step(const std::vector<nn::Parameter*>& params) = 0;
+  virtual void reset_state() = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.9f, float weight_decay = 0.0f)
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+  void step(const std::vector<nn::Parameter*>& params) override;
+  void reset_state() override { velocity_.clear(); }
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, momentum_, weight_decay_;
+  std::map<const nn::Parameter*, Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f, float weight_decay = 0.0f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+        weight_decay_(weight_decay) {}
+  void step(const std::vector<nn::Parameter*>& params) override;
+  void reset_state() override {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+  }
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::map<const nn::Parameter*, Tensor> m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace upaq::train

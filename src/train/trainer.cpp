@@ -1,0 +1,42 @@
+#include "train/trainer.h"
+
+#include <cstdio>
+#include <deque>
+
+#include "tensor/check.h"
+
+namespace upaq::train {
+
+double train(TrainableModel model, const std::vector<data::Scene>& scenes,
+             const TrainConfig& cfg, Optimizer& opt, Rng& rng) {
+  UPAQ_CHECK(!scenes.empty(), "training needs at least one scene");
+  UPAQ_CHECK(cfg.batch_size >= 1 && cfg.iterations >= 1, "bad train config");
+  std::deque<double> recent;
+  float lr_scale = 1.0f;
+  for (int it = 0; it < cfg.iterations; ++it) {
+    if (cfg.lr_decay_every > 0 && it > 0 && it % cfg.lr_decay_every == 0) {
+      lr_scale *= cfg.lr_decay;
+      if (auto* adam = dynamic_cast<Adam*>(&opt)) adam->set_lr(cfg.lr * lr_scale);
+      if (auto* sgd = dynamic_cast<Sgd*>(&opt)) sgd->set_lr(cfg.lr * lr_scale);
+    }
+    std::vector<const data::Scene*> batch;
+    for (int b = 0; b < cfg.batch_size; ++b) {
+      const int idx = rng.uniform_int(0, static_cast<int>(scenes.size()) - 1);
+      batch.push_back(&scenes[static_cast<std::size_t>(idx)]);
+    }
+    model.zero_grad();
+    const double loss = model.loss_and_grad(batch);
+    opt.step(model.parameters());
+    recent.push_back(loss);
+    if (recent.size() > 10) recent.pop_front();
+    if (cfg.verbose && (it % cfg.log_every == 0 || it + 1 == cfg.iterations)) {
+      std::printf("  iter %4d  loss %.4f\n", it, loss);
+      std::fflush(stdout);
+    }
+  }
+  double acc = 0.0;
+  for (double l : recent) acc += l;
+  return acc / static_cast<double>(recent.size());
+}
+
+}  // namespace upaq::train

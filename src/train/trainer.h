@@ -1,0 +1,34 @@
+// Trainer: minibatch loop over scenes with LR decay and loss reporting.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/scene.h"
+#include "train/optimizer.h"
+
+namespace upaq::train {
+
+struct TrainConfig {
+  int iterations = 200;
+  int batch_size = 2;
+  float lr = 1e-3f;
+  float lr_decay = 0.5f;      ///< multiplied in at each milestone
+  int lr_decay_every = 120;   ///< iterations between decays (0 = never)
+  bool verbose = false;
+  int log_every = 25;
+};
+
+/// A model trainable by this loop: zero grads, accumulate loss+grads over a
+/// batch, expose parameters. Detector3D satisfies this via an adapter below.
+struct TrainableModel {
+  std::function<void()> zero_grad;
+  std::function<double(const std::vector<const data::Scene*>&)> loss_and_grad;
+  std::function<std::vector<nn::Parameter*>()> parameters;
+};
+
+/// Runs the loop; returns the mean loss of the final 10 iterations.
+double train(TrainableModel model, const std::vector<data::Scene>& scenes,
+             const TrainConfig& cfg, Optimizer& opt, Rng& rng);
+
+}  // namespace upaq::train

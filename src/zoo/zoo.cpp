@@ -1,0 +1,115 @@
+#include "zoo/zoo.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "tensor/serialize.h"
+#include "train/trainer.h"
+
+namespace upaq::zoo {
+
+Zoo::Zoo(ZooConfig cfg)
+    : cfg_(std::move(cfg)),
+      dataset_(data::make_dataset(cfg_.scene_count, cfg_.data_seed)) {}
+
+std::string Zoo::cache_path(const char* tag) const {
+  return cfg_.cache_dir + "/" + tag + ".upaq";
+}
+
+std::unique_ptr<detectors::PointPillars> Zoo::fresh_pointpillars() const {
+  Rng rng(cfg_.model_seed);
+  return std::make_unique<detectors::PointPillars>(
+      detectors::PointPillarsConfig::scaled(), rng);
+}
+
+std::unique_ptr<detectors::Smoke> Zoo::fresh_smoke() const {
+  Rng rng(cfg_.model_seed + 1);
+  return std::make_unique<detectors::Smoke>(detectors::SmokeConfig::scaled(), rng);
+}
+
+void Zoo::train_detector(detectors::Detector3D& model, int iterations,
+                         const char* tag) const {
+  if (cfg_.verbose) {
+    std::printf("[zoo] training %s for %d iterations (first run only)...\n",
+                tag, iterations);
+    std::fflush(stdout);
+  }
+  train::TrainConfig tc;
+  tc.iterations = iterations;
+  tc.batch_size = cfg_.batch_size;
+  tc.lr = 2e-3f;
+  tc.lr_decay = 0.4f;
+  tc.lr_decay_every = iterations / 2;
+  tc.verbose = cfg_.verbose;
+  tc.log_every = 50;
+  train::Adam opt(tc.lr);
+  Rng rng(cfg_.data_seed ^ 0xABCDEF);
+  train::TrainableModel tm{
+      [&] { model.zero_grad(); },
+      [&](const std::vector<const data::Scene*>& batch) {
+        return model.compute_loss_and_grad(batch);
+      },
+      [&] { return model.parameters(); },
+  };
+  train::train(tm, dataset_.train, tc, opt, rng);
+}
+
+std::unique_ptr<detectors::PointPillars> Zoo::pointpillars() {
+  if (!pp_ready_) {
+    const std::string path = cache_path("pointpillars");
+    if (io::is_tensor_map_file(path)) {
+      pp_state_ = io::load_tensor_map(path);
+    } else {
+      auto model = fresh_pointpillars();
+      train_detector(*model, cfg_.pp_iterations, "PointPillars");
+      pp_state_ = model->state_dict();
+      std::filesystem::create_directories(cfg_.cache_dir);
+      io::save_tensor_map(path, pp_state_);
+    }
+    pp_ready_ = true;
+  }
+  auto model = fresh_pointpillars();
+  model->load_state_dict(pp_state_);
+  return model;
+}
+
+std::unique_ptr<detectors::Smoke> Zoo::smoke() {
+  if (!smoke_ready_) {
+    const std::string path = cache_path("smoke");
+    if (io::is_tensor_map_file(path)) {
+      smoke_state_ = io::load_tensor_map(path);
+    } else {
+      auto model = fresh_smoke();
+      train_detector(*model, cfg_.smoke_iterations, "SMOKE");
+      smoke_state_ = model->state_dict();
+      std::filesystem::create_directories(cfg_.cache_dir);
+      io::save_tensor_map(path, smoke_state_);
+    }
+    smoke_ready_ = true;
+  }
+  auto model = fresh_smoke();
+  model->load_state_dict(smoke_state_);
+  return model;
+}
+
+void Zoo::finetune(detectors::Detector3D& model, int iterations, float lr) const {
+  if (iterations <= 0) return;
+  train::TrainConfig tc;
+  tc.iterations = iterations;
+  tc.batch_size = cfg_.batch_size;
+  tc.lr = lr;
+  tc.lr_decay_every = 0;
+  tc.verbose = false;
+  train::Adam opt(lr);
+  Rng rng(cfg_.data_seed ^ 0x715EED);
+  train::TrainableModel tm{
+      [&] { model.zero_grad(); },
+      [&](const std::vector<const data::Scene*>& batch) {
+        return model.compute_loss_and_grad(batch);
+      },
+      [&] { return model.parameters(); },
+  };
+  train::train(tm, dataset_.train, tc, opt, rng);
+}
+
+}  // namespace upaq::zoo

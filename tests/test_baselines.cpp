@@ -1,0 +1,191 @@
+// Tests for the four baseline compression frameworks: each framework's
+// structural signature (what it prunes, how it stores, what it executes at)
+// and the relative behaviours the paper's Table 2 relies on.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/plan.h"
+#include "detectors/pointpillars.h"
+
+namespace upaq {
+namespace {
+
+detectors::PointPillarsConfig tiny_pp() {
+  auto cfg = detectors::PointPillarsConfig::scaled();
+  cfg.grid = 32;
+  cfg.pfn_channels = 8;
+  cfg.blocks = {{1, 8}, {1, 12}, {1, 16}};
+  cfg.up_channels = 8;
+  cfg.head_channels = 16;
+  return cfg;
+}
+
+TEST(PsQs, ReachesTargetSparsityWithIterativeRounds) {
+  Rng rng(1);
+  detectors::PointPillars pp(tiny_pp(), rng);
+  baselines::PsQsConfig cfg;
+  cfg.target_sparsity = 0.5;
+  int rounds_called = 0;
+  const auto plan =
+      baselines::psqs_compress(pp, cfg, [&] { ++rounds_called; });
+  EXPECT_EQ(rounds_called, cfg.rounds);
+  // Global magnitude pruning: overall sparsity of planned layers ~ 0.5.
+  std::int64_t total = 0, nz = 0;
+  for (const auto& [name, st] : plan.layers) {
+    auto* w = core::find_weight(pp, name);
+    total += w->value.numel();
+    nz += w->value.count_nonzero();
+  }
+  EXPECT_NEAR(1.0 - static_cast<double>(nz) / total, 0.5, 0.05);
+  // Fake-quant QAT signature: 16-bit storage, fp32 compute, dense format.
+  for (const auto& [name, st] : plan.layers) {
+    EXPECT_EQ(st.storage_bits, 16);
+    EXPECT_EQ(st.compute_bits, 32);
+    EXPECT_EQ(st.mode, hw::SparsityMode::kUnstructured);
+    EXPECT_EQ(st.format, quant::StorageFormat::kDense);
+  }
+}
+
+TEST(PsQs, SkipsDetectionHeads) {
+  Rng rng(2);
+  detectors::PointPillars pp(tiny_pp(), rng);
+  const auto plan = baselines::psqs_compress(pp, {}, [] {});
+  EXPECT_EQ(plan.layers.count("head.cls"), 0u);
+  EXPECT_EQ(plan.layers.count("head.reg"), 0u);
+}
+
+TEST(ClipQ, ClipsPerLayerAndQuantizesPrefix) {
+  Rng rng(3);
+  detectors::PointPillars pp(tiny_pp(), rng);
+  baselines::ClipQConfig cfg;
+  const auto plan = baselines::clipq_compress(pp, cfg);
+  int quantized = 0, fp32 = 0;
+  for (const auto& [name, st] : plan.layers) {
+    EXPECT_NEAR(st.sparsity, cfg.clip_fraction, 0.05) << name;
+    EXPECT_EQ(st.compute_bits, 32);
+    if (st.storage_bits == cfg.storage_bits)
+      ++quantized;
+    else
+      ++fp32;
+  }
+  // Partitioning: only a fraction of layers is quantized.
+  EXPECT_GT(quantized, 0);
+  EXPECT_GT(fp32, 0);
+}
+
+TEST(Rtoss, EntryPatternsPlusConnectivityPruning) {
+  Rng rng(4);
+  detectors::PointPillars pp(tiny_pp(), rng);
+  baselines::RtossConfig cfg;
+  const auto plan = baselines::rtoss_compress(pp, cfg);
+  // Only 3x3 conv layers appear (pruning-only, EPs are 3x3 masks).
+  EXPECT_EQ(plan.layers.count("pfn.linear"), 0u);
+  EXPECT_EQ(plan.layers.count("up0.conv"), 0u);
+  ASSERT_GT(plan.layers.count("block0.conv0"), 0u);
+  auto* w = core::find_weight(pp, "block0.conv0");
+  const std::int64_t kernels = w->value.numel() / 9;
+  int fully_zero = 0;
+  for (std::int64_t k = 0; k < kernels; ++k) {
+    int nz = 0;
+    for (int i = 0; i < 9; ++i) nz += w->value[k * 9 + i] != 0.0f;
+    // Each kernel keeps exactly `entries` weights or none (connectivity).
+    EXPECT_TRUE(nz == cfg.entries || nz == 0) << "kernel " << k << " nz " << nz;
+    if (nz == 0) ++fully_zero;
+  }
+  EXPECT_NEAR(static_cast<double>(fully_zero) / kernels,
+              cfg.connectivity_fraction, 0.1);
+  // fp32 pruning-only signature.
+  const auto& st = plan.layers.at("block0.conv0");
+  EXPECT_EQ(st.storage_bits, 32);
+  EXPECT_EQ(st.mode, hw::SparsityMode::kSemiStructured);
+}
+
+TEST(Rtoss, KeptWeightsMaximizeL2AmongDictionary) {
+  Rng rng(5);
+  detectors::PointPillars pp(tiny_pp(), rng);
+  // Plant a known kernel: mass on the centre row -> the EP containing the
+  // centre row cells must be chosen.
+  auto* w = core::find_weight(pp, "block0.conv0");
+  for (int i = 0; i < 9; ++i) w->value[i] = 0.01f;
+  w->value[3] = 3.0f;  // (1,0)
+  w->value[4] = 3.0f;  // (1,1) centre
+  w->value[5] = 3.0f;  // (1,2)
+  baselines::RtossConfig cfg;
+  cfg.connectivity_fraction = 0.0;
+  baselines::rtoss_compress(pp, cfg);
+  EXPECT_NE(w->value[3], 0.0f);
+  EXPECT_NE(w->value[4], 0.0f);
+  EXPECT_NE(w->value[5], 0.0f);
+}
+
+TEST(LidarPtq, QuantizesEverythingPerChannelInt8) {
+  Rng rng(6);
+  detectors::PointPillars pp(tiny_pp(), rng);
+  const auto before = pp.state_dict();
+  const auto plan = baselines::lidarptq_compress(pp, {});
+  // Every prunable layer (heads included) is int8, dense, no sparsity.
+  ASSERT_GT(plan.layers.count("head.cls"), 0u);
+  for (const auto& [name, st] : plan.layers) {
+    EXPECT_EQ(st.storage_bits, 8);
+    EXPECT_EQ(st.compute_bits, 8);
+    EXPECT_EQ(st.sparsity, 0.0);
+    EXPECT_EQ(st.mode, hw::SparsityMode::kDense);
+  }
+  // Weights moved onto per-channel grids but stayed close to the originals.
+  auto* w = core::find_weight(pp, "block0.conv0");
+  const auto& orig = before.at("block0.conv0.weight");
+  double max_err = 0.0;
+  for (std::int64_t i = 0; i < w->value.numel(); ++i)
+    max_err = std::max(max_err,
+                       std::fabs(static_cast<double>(w->value[i]) - orig[i]));
+  EXPECT_GT(max_err, 0.0);           // something changed
+  EXPECT_LT(max_err, orig.abs_max() / 32.0);  // but stayed on a fine grid
+}
+
+TEST(LidarPtq, AdaptiveRoundingBeatsOrMatchesNearest) {
+  Rng rng(7);
+  detectors::PointPillars a(tiny_pp(), rng);
+  Rng rng2(7);
+  detectors::PointPillars b(tiny_pp(), rng2);
+  const auto orig = a.state_dict();
+  baselines::LidarPtqConfig nearest;
+  nearest.adaptive_rounding = false;
+  baselines::LidarPtqConfig adaptive;
+  adaptive.adaptive_rounding = true;
+  baselines::lidarptq_compress(a, nearest);
+  baselines::lidarptq_compress(b, adaptive);
+  // Compare accumulated per-channel error (what AdaRound-style schemes
+  // minimize) on a representative layer.
+  const auto& ref = orig.at("block0.conv0.weight");
+  auto channel_bias = [&](detectors::PointPillars& m) {
+    auto* w = core::find_weight(m, "block0.conv0");
+    const std::int64_t per = w->value.numel() / w->value.shape()[0];
+    double worst = 0.0;
+    for (std::int64_t oc = 0; oc < w->value.shape()[0]; ++oc) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < per; ++i)
+        acc += w->value[oc * per + i] - ref[oc * per + i];
+      worst = std::max(worst, std::fabs(acc));
+    }
+    return worst;
+  };
+  EXPECT_LE(channel_bias(b), channel_bias(a) * 1.5 + 1e-6);
+}
+
+TEST(Baselines, CompressionOrderingMatchesPaper) {
+  // R-TOSS (pattern+connectivity, fp32) must compress more than Ps&Qs
+  // (16-bit dense) on the same model, as in Table 2.
+  Rng rng(8);
+  detectors::PointPillars a(tiny_pp(), rng);
+  Rng rng2(8);
+  detectors::PointPillars b(tiny_pp(), rng2);
+  const auto psqs_plan = baselines::psqs_compress(a, {}, [] {});
+  const auto rtoss_plan = baselines::rtoss_compress(b, {});
+  const double psqs_ratio = core::model_size(a, psqs_plan).ratio();
+  const double rtoss_ratio = core::model_size(b, rtoss_plan).ratio();
+  EXPECT_GT(rtoss_ratio, psqs_ratio);
+  EXPECT_GT(psqs_ratio, 1.2);
+}
+
+}  // namespace
+}  // namespace upaq

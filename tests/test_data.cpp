@@ -1,0 +1,156 @@
+// Tests for the synthetic dataset: scene invariants, LiDAR simulation
+// properties, camera projection round-trips, rendering, and split sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/scene.h"
+
+namespace upaq {
+namespace {
+
+TEST(SceneGenerator, ProducesCarsWithinRangeAndNoHeavyOverlap) {
+  data::SceneGenerator gen;
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto scene = gen.sample(rng);
+    ASSERT_GE(scene.objects.size(), 1u);
+    ASSERT_LE(scene.objects.size(), 6u);
+    for (const auto& car : scene.objects) {
+      EXPECT_GE(car.x, gen.config().x_min);
+      EXPECT_LE(car.x, gen.config().x_max);
+      EXPECT_GE(car.y, gen.config().y_min);
+      EXPECT_LE(car.y, gen.config().y_max);
+      EXPECT_GT(car.length, 2.5f);
+      EXPECT_GT(car.width, 1.0f);
+      EXPECT_EQ(car.label, 0);
+    }
+    for (std::size_t i = 0; i < scene.objects.size(); ++i)
+      for (std::size_t j = i + 1; j < scene.objects.size(); ++j)
+        EXPECT_LT(eval::iou_bev(scene.objects[i], scene.objects[j]), 0.05)
+            << "cars placed on top of each other";
+  }
+}
+
+TEST(SceneGenerator, LidarPointsClusterAroundCars) {
+  data::SceneGenerator gen;
+  Rng rng(2);
+  const auto scene = gen.sample(rng);
+  ASSERT_FALSE(scene.points.empty());
+  // Each car must have a reasonable number of nearby points.
+  for (const auto& car : scene.objects) {
+    int nearby = 0;
+    for (const auto& p : scene.points) {
+      const float d = std::hypot(p.x - car.x, p.y - car.y);
+      if (d < std::max(car.length, car.width)) ++nearby;
+    }
+    EXPECT_GE(nearby, 5) << "car at (" << car.x << "," << car.y
+                         << ") has almost no LiDAR returns";
+  }
+}
+
+TEST(SceneGenerator, PointDensityDecaysWithDistance) {
+  data::SceneConfig cfg;
+  cfg.min_cars = 1;
+  cfg.max_cars = 1;
+  cfg.ground_clutter_points = 0;
+  cfg.distractor_clusters = 0;
+  data::SceneGenerator gen(cfg);
+  Rng rng(3);
+  // Average points for near vs far cars over several draws.
+  double near_pts = 0.0, far_pts = 0.0;
+  int near_n = 0, far_n = 0;
+  for (int i = 0; i < 60; ++i) {
+    const auto scene = gen.sample(rng);
+    const auto& car = scene.objects.at(0);
+    const float dist = std::hypot(car.x, car.y);
+    if (dist < 15.0f) {
+      near_pts += static_cast<double>(scene.points.size());
+      ++near_n;
+    } else if (dist > 30.0f) {
+      far_pts += static_cast<double>(scene.points.size());
+      ++far_n;
+    }
+  }
+  ASSERT_GT(near_n, 0);
+  ASSERT_GT(far_n, 0);
+  EXPECT_GT(near_pts / near_n, 1.5 * far_pts / far_n);
+}
+
+TEST(Camera, ProjectUnprojectRoundTrip) {
+  data::Camera cam;
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const float x = rng.uniform(3.0f, 40.0f);
+    const float y = rng.uniform(-15.0f, 15.0f);
+    const float z = rng.uniform(0.0f, 3.0f);
+    float u = 0, v = 0;
+    ASSERT_TRUE(cam.project(x, y, z, u, v));
+    float rx = 0, ry = 0, rz = 0;
+    cam.unproject(u, v, x, rx, ry, rz);
+    EXPECT_NEAR(rx, x, 1e-4);
+    EXPECT_NEAR(ry, y, 1e-3);
+    EXPECT_NEAR(rz, z, 1e-3);
+  }
+}
+
+TEST(Camera, BehindCameraIsRejected) {
+  data::Camera cam;
+  float u, v;
+  EXPECT_FALSE(cam.project(-5.0f, 0.0f, 1.0f, u, v));
+  EXPECT_FALSE(cam.project(0.0f, 0.0f, 1.0f, u, v));
+}
+
+TEST(Camera, FartherObjectsProjectSmaller) {
+  data::Camera cam;
+  float u1, v1, u2, v2;
+  // Two points 2 m apart laterally, at 10 m vs 40 m depth.
+  cam.project(10.0f, -1.0f, 1.0f, u1, v1);
+  cam.project(10.0f, 1.0f, 1.0f, u2, v2);
+  const float span_near = std::fabs(u2 - u1);
+  cam.project(40.0f, -1.0f, 1.0f, u1, v1);
+  cam.project(40.0f, 1.0f, 1.0f, u2, v2);
+  const float span_far = std::fabs(u2 - u1);
+  EXPECT_NEAR(span_near / span_far, 4.0f, 0.05f);
+}
+
+TEST(RenderCamera, ShapeRangeAndCarVisibility) {
+  data::SceneGenerator gen;
+  Rng rng(5);
+  const auto scene = gen.sample(rng);
+  data::Camera cam;
+  Rng render_rng(6);
+  const Tensor img = data::render_camera(scene, cam, render_rng);
+  EXPECT_EQ(img.shape(), (Shape{3, cam.height, cam.width}));
+  EXPECT_GE(img.min(), 0.0f);
+  EXPECT_LE(img.max(), 1.0f);
+  // The image should not be constant (background gradient + noise + cars).
+  EXPECT_GT(img.var(), 1e-4f);
+}
+
+TEST(MakeDataset, SplitSizesFollow801010) {
+  const auto ds = data::make_dataset(100, 9);
+  EXPECT_EQ(ds.train.size(), 80u);
+  EXPECT_EQ(ds.val.size(), 10u);
+  EXPECT_EQ(ds.test.size(), 10u);
+  EXPECT_THROW(data::make_dataset(5, 9), std::invalid_argument);
+}
+
+TEST(MakeDataset, DeterministicPerSeed) {
+  const auto a = data::make_dataset(20, 77);
+  const auto b = data::make_dataset(20, 77);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    ASSERT_EQ(a.train[i].objects.size(), b.train[i].objects.size());
+    ASSERT_EQ(a.train[i].points.size(), b.train[i].points.size());
+    for (std::size_t j = 0; j < a.train[i].objects.size(); ++j)
+      EXPECT_EQ(a.train[i].objects[j].x, b.train[i].objects[j].x);
+  }
+  const auto c = data::make_dataset(20, 78);
+  bool differs = a.train[0].objects.size() != c.train[0].objects.size() ||
+                 a.train[0].objects[0].x != c.train[0].objects[0].x;
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace upaq

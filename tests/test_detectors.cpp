@@ -1,0 +1,291 @@
+// Detector tests: construction, shape flow, pillarization, target/decode
+// consistency, graph topology, analytic cost profiles, and loss/gradient
+// behaviour — all on tiny configs so the suite stays fast.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "detectors/pointpillars.h"
+#include "detectors/smoke.h"
+#include "detectors/specs.h"
+#include "train/optimizer.h"
+
+namespace upaq {
+namespace {
+
+detectors::PointPillarsConfig tiny_pp() {
+  auto cfg = detectors::PointPillarsConfig::scaled();
+  cfg.grid = 32;
+  cfg.pfn_channels = 8;
+  cfg.blocks = {{1, 8}, {1, 12}, {1, 16}};
+  cfg.up_channels = 8;
+  cfg.head_channels = 16;
+  return cfg;
+}
+
+detectors::SmokeConfig tiny_smoke() {
+  auto cfg = detectors::SmokeConfig::scaled();
+  cfg.camera.width = 64;
+  cfg.camera.height = 48;
+  cfg.camera.cx = 32.0f;
+  cfg.camera.cy = 26.0f;
+  cfg.camera.fx = 60.0f;
+  cfg.camera.fy = 60.0f;
+  cfg.stem_channels = 6;
+  cfg.stages = {{1, 8}, {1, 12}, {1, 16}};
+  cfg.up_channels = 12;
+  cfg.head_channels = 12;
+  return cfg;
+}
+
+data::Scene simple_scene() {
+  data::SceneConfig sc;
+  sc.min_cars = 2;
+  sc.max_cars = 3;
+  data::SceneGenerator gen(sc);
+  Rng rng(11);
+  return gen.sample(rng);
+}
+
+TEST(PointPillars, ConstructionAndTopology) {
+  Rng rng(1);
+  detectors::PointPillars pp(tiny_pp(), rng);
+  const auto& g = pp.topology();
+  EXPECT_GT(g.size(), 10);
+  EXPECT_NE(g.find("pfn.linear"), -1);
+  EXPECT_NE(g.find("head.cls"), -1);
+  const auto groups = g.build_groups();
+  graph::validate_groups(g, groups);
+  // Expected grouping: the three backbone 3x3 convs share one root; the
+  // head trunk sits behind the 1x1 lateral convs (incompatible geometry),
+  // so it, the pfn, the laterals and the predictors root themselves.
+  std::set<std::string> roots;
+  for (const auto& grp : groups) roots.insert(g.node(grp.root).name);
+  EXPECT_TRUE(roots.count("pfn.linear"));
+  EXPECT_TRUE(roots.count("block0.conv0"));
+  EXPECT_TRUE(roots.count("head.conv0"));
+  EXPECT_TRUE(roots.count("head.cls"));
+  // All backbone 3x3 convs end up in block0.conv0's group.
+  for (const auto& grp : groups) {
+    if (g.node(grp.root).name != "block0.conv0") continue;
+    EXPECT_EQ(grp.members.size(), 3u);
+  }
+}
+
+TEST(PointPillars, DetectProducesValidBoxes) {
+  Rng rng(2);
+  detectors::PointPillars pp(tiny_pp(), rng);
+  const auto scene = simple_scene();
+  const auto dets = pp.detect(scene);  // untrained: boxes arbitrary but valid
+  for (const auto& d : dets) {
+    EXPECT_GT(d.length, 0.0f);
+    EXPECT_GT(d.width, 0.0f);
+    EXPECT_GT(d.height, 0.0f);
+    EXPECT_GE(d.score, pp.config().score_threshold);
+    EXPECT_LE(d.score, 1.0f);
+  }
+  EXPECT_LE(static_cast<int>(dets.size()), pp.config().max_detections);
+}
+
+TEST(PointPillars, LossIsFiniteAndProducesGradients) {
+  Rng rng(3);
+  detectors::PointPillars pp(tiny_pp(), rng);
+  const auto scene = simple_scene();
+  pp.zero_grad();
+  const double loss = pp.compute_loss_and_grad({&scene});
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0);
+  double grad_mass = 0.0;
+  for (const auto* p : pp.parameters()) grad_mass += p->grad.abs_max();
+  EXPECT_GT(grad_mass, 0.0f);
+}
+
+TEST(PointPillars, TrainingStepReducesLossOnFixedScene) {
+  Rng rng(4);
+  detectors::PointPillars pp(tiny_pp(), rng);
+  const auto scene = simple_scene();
+  train::Adam opt(2e-3f);
+  pp.zero_grad();
+  const double first = pp.compute_loss_and_grad({&scene});
+  opt.step(pp.parameters());
+  double last = first;
+  for (int i = 0; i < 12; ++i) {
+    pp.zero_grad();
+    last = pp.compute_loss_and_grad({&scene});
+    opt.step(pp.parameters());
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(PointPillars, DetectIsDeterministic) {
+  Rng rng(5);
+  detectors::PointPillars pp(tiny_pp(), rng);
+  const auto scene = simple_scene();
+  const auto a = pp.detect(scene);
+  const auto b = pp.detect(scene);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST(PointPillars, CostProfileCoversAllPrunableLayers) {
+  Rng rng(6);
+  detectors::PointPillars pp(tiny_pp(), rng);
+  const auto profile = pp.cost_profile();
+  std::set<std::string> names;
+  for (const auto& l : profile) names.insert(l.name);
+  const auto& g = pp.topology();
+  for (int id = 0; id < g.size(); ++id) {
+    if (g.prunable(id)) {
+      EXPECT_TRUE(names.count(g.node(id).name))
+          << "cost profile missing " << g.node(id).name;
+    }
+  }
+}
+
+TEST(PointPillars, CostProfileWeightCountsMatchInstance) {
+  Rng rng(7);
+  detectors::PointPillars pp(tiny_pp(), rng);
+  const auto profile = pp.cost_profile();
+  // Sum of profile weight_count over conv/bn layers must equal the real
+  // parameter count minus biases.
+  std::int64_t profile_weights = 0;
+  for (const auto& l : profile) profile_weights += l.weight_count;
+  std::int64_t real_weights = 0;
+  for (const auto* p : pp.parameters())
+    if (p->name.find(".bias") == std::string::npos) real_weights += p->value.numel();
+  EXPECT_EQ(profile_weights, real_weights);
+}
+
+TEST(PointPillars, FullSpecMatchesPaperScale) {
+  const auto profile = detectors::PointPillars::cost_profile_for(
+      detectors::PointPillarsConfig::full());
+  std::int64_t params = 0;
+  for (const auto& l : profile) params += l.weight_count;
+  EXPECT_NEAR(static_cast<double>(params) / 1e6, 4.8, 0.4);
+}
+
+TEST(Smoke, ConstructionAndResidualTopology) {
+  Rng rng(8);
+  detectors::Smoke smoke(tiny_smoke(), rng);
+  const auto& g = smoke.topology();
+  EXPECT_NE(g.find("stage0.res0.add"), -1);  // explicit residual add node
+  const auto groups = g.build_groups();
+  graph::validate_groups(g, groups);
+  // The residual couples each stage's convs into the stem-rooted 3x3 group.
+  std::size_t biggest = 0;
+  for (const auto& grp : groups) biggest = std::max(biggest, grp.members.size());
+  EXPECT_GE(biggest, 5u);
+}
+
+TEST(Smoke, RenderIsDeterministicPerScene) {
+  Rng rng(9);
+  detectors::Smoke smoke(tiny_smoke(), rng);
+  const auto scene = simple_scene();
+  const Tensor a = smoke.render(scene);
+  const Tensor b = smoke.render(scene);
+  for (std::int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]);
+  // Augmented renders differ (fresh noise draws).
+  const Tensor c = smoke.render_augmented(scene);
+  const Tensor d = smoke.render_augmented(scene);
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < c.numel(); ++i) any_diff |= c[i] != d[i];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Smoke, ObservesFiltersOutOfFrustum) {
+  Rng rng(10);
+  detectors::Smoke smoke(tiny_smoke(), rng);
+  eval::Box3D in_view;
+  in_view.x = 15.0f;
+  in_view.y = 0.0f;
+  in_view.z = 0.8f;
+  EXPECT_TRUE(smoke.observes(in_view));
+  eval::Box3D behind = in_view;
+  behind.x = -5.0f;
+  EXPECT_FALSE(smoke.observes(behind));
+  eval::Box3D far_side = in_view;
+  far_side.x = 3.0f;
+  far_side.y = 20.0f;
+  EXPECT_FALSE(smoke.observes(far_side));
+}
+
+TEST(Smoke, LossAndGradients) {
+  Rng rng(11);
+  detectors::Smoke smoke(tiny_smoke(), rng);
+  const auto scene = simple_scene();
+  smoke.zero_grad();
+  const double loss = smoke.compute_loss_and_grad({&scene});
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0);
+  double grad_mass = 0.0;
+  for (const auto* p : smoke.parameters()) grad_mass += p->grad.abs_max();
+  EXPECT_GT(grad_mass, 0.0f);
+}
+
+TEST(Smoke, DecodeUpliftsThroughCamera) {
+  Rng rng(12);
+  detectors::Smoke smoke(tiny_smoke(), rng);
+  const auto scene = simple_scene();
+  const auto dets = smoke.detect(scene);
+  for (const auto& d : dets) {
+    // Every decoded box must be inside the camera's depth range and frustum.
+    EXPECT_GE(d.x, smoke.config().depth_min - 1e-3f);
+    EXPECT_LE(d.x, smoke.config().depth_max + 1e-3f);
+    EXPECT_TRUE(smoke.observes(d));
+  }
+}
+
+TEST(Smoke, FullSpecMatchesPaperScale) {
+  const auto profile =
+      detectors::Smoke::cost_profile_for(detectors::SmokeConfig::full());
+  std::int64_t params = 0;
+  for (const auto& l : profile) params += l.weight_count;
+  EXPECT_NEAR(static_cast<double>(params) / 1e6, 19.51, 1.0);
+}
+
+TEST(Specs, Table1ParamsMatchPaper) {
+  for (const auto& spec : detectors::specs::table1_specs()) {
+    const double params_m =
+        static_cast<double>(detectors::specs::spec_param_count(spec)) / 1e6;
+    EXPECT_NEAR(params_m, spec.paper_params_m, 0.08 * spec.paper_params_m + 0.3)
+        << spec.name;
+  }
+}
+
+TEST(Specs, Table1ExecutionOrderingLiDARModels) {
+  // PointPillars < SECOND < Focals Conv < VSC must hold through the hw model
+  // (the paper's LiDAR-detector cost ordering).
+  const hw::CostModel rtx(hw::device_spec(hw::Device::kRtx4080));
+  const auto specs = detectors::specs::table1_specs();
+  const double pp = rtx.model_cost(specs[0].profile).latency_s;
+  const double second = rtx.model_cost(specs[2].profile).latency_s;
+  const double focals = rtx.model_cost(specs[3].profile).latency_s;
+  const double vsc = rtx.model_cost(specs[4].profile).latency_s;
+  EXPECT_LT(pp, second);
+  EXPECT_LT(second, focals);
+  EXPECT_LT(focals, vsc);
+}
+
+TEST(EvaluateMap, UsesObservesFilter) {
+  Rng rng(13);
+  detectors::Smoke smoke(tiny_smoke(), rng);
+  // A scene whose only car is far outside the camera frustum: the filtered
+  // ground truth is empty, so mAP over this scene is 0 but well-defined.
+  data::Scene scene;
+  eval::Box3D car;
+  car.x = 3.0f;
+  car.y = 21.0f;
+  car.z = 0.8f;
+  car.length = 4.2f;
+  car.width = 1.8f;
+  car.height = 1.55f;
+  scene.objects.push_back(car);
+  const double map = detectors::evaluate_map(smoke, {scene}, 0.25);
+  EXPECT_EQ(map, 0.0);
+}
+
+}  // namespace
+}  // namespace upaq

@@ -1,0 +1,196 @@
+// Tests for the evaluation stack: rotated BEV IoU (polygon clipping),
+// 3-D IoU, NMS invariants, and KITTI-style AP.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/box.h"
+#include "tensor/rng.h"
+#include "eval/map.h"
+
+namespace upaq {
+namespace {
+
+eval::Box3D make_box(float x, float y, float l, float w, float yaw,
+                     float score = 1.0f) {
+  eval::Box3D b;
+  b.x = x;
+  b.y = y;
+  b.z = 0.8f;
+  b.length = l;
+  b.width = w;
+  b.height = 1.6f;
+  b.yaw = yaw;
+  b.score = score;
+  return b;
+}
+
+TEST(BevCorners, AxisAlignedBox) {
+  const auto c = eval::bev_corners(make_box(0, 0, 4, 2, 0));
+  // Corners at (+-2, +-1).
+  EXPECT_NEAR(c[0].x, 2.0, 1e-6);
+  EXPECT_NEAR(c[0].y, 1.0, 1e-6);
+  EXPECT_NEAR(c[2].x, -2.0, 1e-6);
+  EXPECT_NEAR(c[2].y, -1.0, 1e-6);
+}
+
+TEST(BevCorners, RotationPreservesArea) {
+  for (float yaw : {0.0f, 0.3f, 1.2f, -2.0f}) {
+    const auto c = eval::bev_corners(make_box(3, -2, 4.2f, 1.8f, yaw));
+    const std::vector<eval::Vec2> poly(c.begin(), c.end());
+    EXPECT_NEAR(eval::polygon_area(poly), 4.2 * 1.8, 1e-4) << "yaw " << yaw;
+  }
+}
+
+TEST(PolygonArea, KnownShapes) {
+  // Unit square.
+  EXPECT_NEAR(eval::polygon_area({{0, 0}, {1, 0}, {1, 1}, {0, 1}}), 1.0, 1e-12);
+  // Triangle.
+  EXPECT_NEAR(eval::polygon_area({{0, 0}, {2, 0}, {0, 2}}), 2.0, 1e-12);
+  // Degenerate.
+  EXPECT_EQ(eval::polygon_area({{0, 0}, {1, 1}}), 0.0);
+}
+
+TEST(ClipPolygon, SquareIntersection) {
+  const std::vector<eval::Vec2> a{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const std::vector<eval::Vec2> b{{1, 1}, {3, 1}, {3, 3}, {1, 3}};
+  const auto inter = eval::clip_polygon(a, b);
+  EXPECT_NEAR(eval::polygon_area(inter), 1.0, 1e-9);
+}
+
+TEST(ClipPolygon, DisjointGivesEmpty) {
+  const std::vector<eval::Vec2> a{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  const std::vector<eval::Vec2> b{{5, 5}, {6, 5}, {6, 6}, {5, 6}};
+  EXPECT_NEAR(eval::polygon_area(eval::clip_polygon(a, b)), 0.0, 1e-12);
+}
+
+TEST(IouBev, IdenticalBoxesGiveOne) {
+  const auto b = make_box(5, 5, 4, 2, 0.7f);
+  EXPECT_NEAR(eval::iou_bev(b, b), 1.0, 1e-6);
+}
+
+TEST(IouBev, KnownOverlap) {
+  // Two 2x2 squares offset by 1 in x: intersection 2, union 6.
+  const auto a = make_box(0, 0, 2, 2, 0);
+  const auto b = make_box(1, 0, 2, 2, 0);
+  EXPECT_NEAR(eval::iou_bev(a, b), 2.0 / 6.0, 1e-6);
+}
+
+TEST(IouBev, SymmetricAndRotationConsistent) {
+  const auto a = make_box(0, 0, 4, 2, 0.4f);
+  const auto b = make_box(0.8f, 0.5f, 4, 2, 1.1f);
+  EXPECT_NEAR(eval::iou_bev(a, b), eval::iou_bev(b, a), 1e-9);
+  // A box rotated by pi is geometrically identical.
+  auto c = a;
+  c.yaw += 3.14159265f;
+  EXPECT_NEAR(eval::iou_bev(a, c), 1.0, 1e-4);
+}
+
+TEST(IouBev, PerpendicularCross) {
+  // 4x2 crossing 2x4 at the same centre: intersection 2x2=4, union 12.
+  const auto a = make_box(0, 0, 4, 2, 0);
+  const auto b = make_box(0, 0, 4, 2, 3.14159265f / 2);
+  EXPECT_NEAR(eval::iou_bev(a, b), 4.0 / 12.0, 1e-4);
+}
+
+TEST(Iou3d, VerticalOffsetReducesIou) {
+  auto a = make_box(0, 0, 2, 2, 0);
+  auto b = a;
+  EXPECT_NEAR(eval::iou_3d(a, b), 1.0, 1e-6);
+  b.z += 0.8f;  // half the height
+  EXPECT_NEAR(eval::iou_3d(a, b), 0.5 / 1.5, 1e-4);
+  b.z += 10.0f;  // disjoint in z
+  EXPECT_NEAR(eval::iou_3d(a, b), 0.0, 1e-9);
+}
+
+TEST(Nms, SuppressesOverlapsKeepsBest) {
+  std::vector<eval::Box3D> boxes{
+      make_box(0, 0, 4, 2, 0, 0.9f),
+      make_box(0.2f, 0.1f, 4, 2, 0, 0.8f),  // heavy overlap with #0
+      make_box(10, 10, 4, 2, 0, 0.7f),
+  };
+  const auto kept = eval::nms_bev(boxes, 0.3);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_NEAR(kept[0].score, 0.9f, 1e-6);
+  EXPECT_NEAR(kept[1].score, 0.7f, 1e-6);
+}
+
+TEST(Nms, OutputSortedByScoreAndThresholdRespected) {
+  Rng rng(3);
+  std::vector<eval::Box3D> boxes;
+  for (int i = 0; i < 30; ++i)
+    boxes.push_back(make_box(rng.uniform(0, 30), rng.uniform(-10, 10), 4, 2,
+                             rng.uniform(-1.5f, 1.5f), rng.uniform()));
+  const auto kept = eval::nms_bev(boxes, 0.25);
+  for (std::size_t i = 1; i < kept.size(); ++i)
+    EXPECT_GE(kept[i - 1].score, kept[i].score);
+  for (std::size_t i = 0; i < kept.size(); ++i)
+    for (std::size_t j = i + 1; j < kept.size(); ++j)
+      EXPECT_LE(eval::iou_bev(kept[i], kept[j]), 0.25 + 1e-6);
+  EXPECT_THROW(eval::nms_bev(boxes, 1.5), std::invalid_argument);
+}
+
+TEST(Ap, PerfectDetectionsGiveFullAp) {
+  eval::FrameDetections frame;
+  frame.ground_truth = {make_box(5, 0, 4, 2, 0), make_box(15, 3, 4, 2, 1.0f)};
+  frame.detections = frame.ground_truth;
+  const auto res = eval::average_precision({frame}, 0, 0.5);
+  EXPECT_NEAR(res.ap, 1.0, 1e-9);
+  EXPECT_EQ(res.true_positives, 2);
+  EXPECT_EQ(res.false_positives, 0);
+}
+
+TEST(Ap, MissedDetectionCapsRecall) {
+  eval::FrameDetections frame;
+  frame.ground_truth = {make_box(5, 0, 4, 2, 0), make_box(15, 3, 4, 2, 0)};
+  frame.detections = {make_box(5, 0, 4, 2, 0, 0.9f)};
+  const auto res = eval::average_precision({frame}, 0, 0.5);
+  // Recall never reaches above 0.5: 11-point AP = 6/11 (r=0..0.5 at p=1).
+  EXPECT_NEAR(res.ap, 6.0 / 11.0, 1e-9);
+}
+
+TEST(Ap, FalsePositivesLowerPrecision) {
+  eval::FrameDetections frame;
+  frame.ground_truth = {make_box(5, 0, 4, 2, 0)};
+  frame.detections = {make_box(30, 10, 4, 2, 0, 0.95f),  // FP, higher score
+                      make_box(5, 0, 4, 2, 0, 0.9f)};
+  const auto res = eval::average_precision({frame}, 0, 0.5);
+  EXPECT_EQ(res.false_positives, 1);
+  EXPECT_NEAR(res.ap, 0.5, 1e-9);  // best precision at full recall is 1/2
+}
+
+TEST(Ap, DuplicateDetectionsCountAsFalsePositives) {
+  eval::FrameDetections frame;
+  frame.ground_truth = {make_box(5, 0, 4, 2, 0)};
+  frame.detections = {make_box(5, 0, 4, 2, 0, 0.9f),
+                      make_box(5.1f, 0, 4, 2, 0, 0.8f)};
+  const auto res = eval::average_precision({frame}, 0, 0.5);
+  EXPECT_EQ(res.true_positives, 1);
+  EXPECT_EQ(res.false_positives, 1);
+}
+
+TEST(Ap, EmptyGroundTruthGivesZero) {
+  eval::FrameDetections frame;
+  frame.detections = {make_box(5, 0, 4, 2, 0, 0.9f)};
+  EXPECT_EQ(eval::average_precision({frame}, 0, 0.5).ap, 0.0);
+}
+
+TEST(MapPercent, SingleClassMatchesApTimes100) {
+  eval::FrameDetections frame;
+  frame.ground_truth = {make_box(5, 0, 4, 2, 0)};
+  frame.detections = {make_box(5, 0, 4, 2, 0, 0.9f)};
+  EXPECT_NEAR(eval::map_percent({frame}, 0.5), 100.0, 1e-9);
+  EXPECT_EQ(eval::map_percent({}, 0.5), 0.0);
+}
+
+TEST(MapPercent, ThresholdSensitivity) {
+  eval::FrameDetections frame;
+  frame.ground_truth = {make_box(5, 0, 4, 2, 0)};
+  frame.detections = {make_box(5.8f, 0.2f, 4, 2, 0, 0.9f)};  // partial overlap
+  const double loose = eval::map_percent({frame}, 0.2);
+  const double strict = eval::map_percent({frame}, 0.7);
+  EXPECT_GT(loose, strict);
+}
+
+}  // namespace
+}  // namespace upaq

@@ -1,0 +1,144 @@
+// Tests for the computation graph and Algorithm 1 (root/leaf grouping).
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace upaq {
+namespace {
+
+/// Builds a module + graph fixture:
+///   input -> convA(3x3) -> relu -> convB(3x3) -> convC(1x1) -> convD(3x3)
+///                      \-> convE(3x3)   (branch sharing convA's output)
+struct Fixture {
+  Rng rng{1};
+  nn::Module module;
+  graph::Graph g;
+  nn::Conv2d *a, *b, *c, *d, *e;
+  int na, nb, nc, nd, ne;
+
+  Fixture() {
+    a = module.add<nn::Conv2d>(4, 4, 3, 1, 1, false, rng, "convA");
+    b = module.add<nn::Conv2d>(4, 4, 3, 1, 1, false, rng, "convB");
+    c = module.add<nn::Conv2d>(4, 4, 1, 1, 0, false, rng, "convC");
+    d = module.add<nn::Conv2d>(4, 4, 3, 1, 1, false, rng, "convD");
+    e = module.add<nn::Conv2d>(4, 4, 3, 1, 1, false, rng, "convE");
+    auto* relu = module.add<nn::Relu>("relu");
+    const int in = g.add_node("input", nullptr, {});
+    na = g.add_node("convA", a, {in});
+    const int nr = g.add_node("relu", relu, {na});
+    nb = g.add_node("convB", b, {nr});
+    nc = g.add_node("convC", c, {nb});
+    nd = g.add_node("convD", d, {nc});
+    ne = g.add_node("convE", e, {nr});
+  }
+};
+
+TEST(Graph, AddNodeValidation) {
+  graph::Graph g;
+  const int a = g.add_node("a", nullptr, {});
+  EXPECT_THROW(g.add_node("a", nullptr, {}), std::invalid_argument);
+  EXPECT_THROW(g.add_node("b", nullptr, {42}), std::invalid_argument);
+  EXPECT_EQ(g.find("a"), a);
+  EXPECT_EQ(g.find("zzz"), -1);
+}
+
+TEST(Graph, PrunableAndKernelSize) {
+  Fixture f;
+  EXPECT_TRUE(f.g.prunable(f.na));
+  EXPECT_FALSE(f.g.prunable(f.g.find("relu")));
+  EXPECT_FALSE(f.g.prunable(f.g.find("input")));
+  EXPECT_EQ(f.g.kernel_size(f.na), 3);
+  EXPECT_EQ(f.g.kernel_size(f.nc), 1);
+  EXPECT_THROW(f.g.kernel_size(f.g.find("input")), std::invalid_argument);
+}
+
+TEST(Graph, FindRootWalksThroughActivations) {
+  Fixture f;
+  std::map<int, int> assigned;
+  // convB's nearest prunable ancestor through the relu is convA.
+  EXPECT_EQ(f.g.find_root(f.nb, assigned), f.na);
+  // convA has no prunable ancestor: it is its own root (Alg. 1 line 4).
+  EXPECT_EQ(f.g.find_root(f.na, assigned), f.na);
+}
+
+TEST(Graph, FindRootStopsAtIncompatibleKernel) {
+  Fixture f;
+  std::map<int, int> assigned;
+  // convD's ancestor convC is 1x1 (incompatible with 3x3): convD roots itself.
+  EXPECT_EQ(f.g.find_root(f.nd, assigned), f.nd);
+  // convC (1x1) has only 3x3 ancestors: its own root.
+  EXPECT_EQ(f.g.find_root(f.nc, assigned), f.nc);
+}
+
+TEST(Graph, PathCompressionAdoptsAncestorsRoot) {
+  Fixture f;
+  std::map<int, int> assigned;
+  assigned[f.na] = f.na;
+  assigned[f.nb] = f.na;  // convB already adopted convA
+  // A hypothetical conv consuming convB would then adopt convA directly.
+  const int nf = f.g.add_node("convF",
+                              f.module.add<nn::Conv2d>(4, 4, 3, 1, 1, false,
+                                                       f.rng, "convF"),
+                              {f.nb});
+  EXPECT_EQ(f.g.find_root(nf, assigned), f.na);
+}
+
+TEST(Graph, BuildGroupsPartitionsAllPrunables) {
+  Fixture f;
+  const auto groups = f.g.build_groups();
+  // Expected: {convA, convB, convE} rooted at convA; {convC}; {convD}.
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].root, f.na);
+  EXPECT_EQ(groups[0].members.size(), 3u);
+  EXPECT_EQ(groups[1].root, f.nc);
+  EXPECT_EQ(groups[2].root, f.nd);
+  graph::validate_groups(f.g, groups);
+}
+
+TEST(Graph, BranchSiblingsShareRoot) {
+  Fixture f;
+  const auto groups = f.g.build_groups();
+  // convE branches off the same relu as convB: both must be in convA's group.
+  const auto& members = groups[0].members;
+  EXPECT_NE(std::find(members.begin(), members.end(), f.nb), members.end());
+  EXPECT_NE(std::find(members.begin(), members.end(), f.ne), members.end());
+}
+
+TEST(Graph, ResidualAddCouplesBranches) {
+  // y = relu(bn(conv1(x)) + x_skip) — conv after the add must group with the
+  // conv before it (channel coupling through the elementwise add).
+  Rng rng(2);
+  nn::Module m;
+  auto* c0 = m.add<nn::Conv2d>(4, 4, 3, 1, 1, false, rng, "c0");
+  auto* c1 = m.add<nn::Conv2d>(4, 4, 3, 1, 1, false, rng, "c1");
+  auto* c2 = m.add<nn::Conv2d>(4, 4, 3, 1, 1, false, rng, "c2");
+  graph::Graph g;
+  const int in = g.add_node("input", nullptr, {});
+  const int n0 = g.add_node("c0", c0, {in});
+  const int n1 = g.add_node("c1", c1, {n0});
+  const int add = g.add_node("add", nullptr, {n1, n0});
+  const int n2 = g.add_node("c2", c2, {add});
+  (void)n2;
+  const auto groups = g.build_groups();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].root, n0);
+  EXPECT_EQ(groups[0].members.size(), 3u);
+  graph::validate_groups(g, groups);
+}
+
+TEST(Graph, ValidateGroupsCatchesViolations) {
+  Fixture f;
+  auto groups = f.g.build_groups();
+  groups[0].members.push_back(f.nc);  // 1x1 in a 3x3 group
+  EXPECT_THROW(graph::validate_groups(f.g, groups), std::logic_error);
+}
+
+TEST(Graph, ToStringListsAllNodes) {
+  Fixture f;
+  const std::string s = f.g.to_string();
+  EXPECT_NE(s.find("convA [Conv2d]"), std::string::npos);
+  EXPECT_NE(s.find("relu [ReLU]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace upaq

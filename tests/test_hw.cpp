@@ -1,0 +1,175 @@
+// Tests for the hardware cost model: monotonicity properties (more sparsity
+// / fewer bits never slower), sparsity-mode ordering, calibration, and the
+// PowerMeter integral consistency.
+#include <gtest/gtest.h>
+
+#include "hw/cost.h"
+#include "hw/power.h"
+
+namespace upaq {
+namespace {
+
+hw::LayerProfile conv_layer(double sparsity = 0.0, int bits = 32,
+                            hw::SparsityMode mode = hw::SparsityMode::kDense) {
+  hw::LayerProfile p;
+  p.name = "conv";
+  p.macs = 5'000'000'000;
+  p.weight_count = 1'000'000;
+  p.in_elems = 2'000'000;
+  p.out_elems = 2'000'000;
+  p.weight_sparsity = sparsity;
+  p.weight_bits = bits;
+  p.mode = mode;
+  return p;
+}
+
+TEST(DeviceSpec, BitwidthSpeedupAnchorsAndMonotonicity) {
+  const auto spec = hw::device_spec(hw::Device::kJetsonOrinNano);
+  EXPECT_DOUBLE_EQ(spec.bitwidth_speedup(32), 1.0);
+  EXPECT_GT(spec.bitwidth_speedup(8), spec.bitwidth_speedup(16));
+  EXPECT_GT(spec.bitwidth_speedup(4), spec.bitwidth_speedup(8));
+  // Interpolation between anchors is monotone.
+  double prev = spec.bitwidth_speedup(32);
+  for (int bits = 31; bits >= 4; --bits) {
+    const double cur = spec.bitwidth_speedup(bits);
+    EXPECT_GE(cur, prev - 1e-12) << "bits " << bits;
+    prev = cur;
+  }
+}
+
+TEST(DeviceSpec, EnergyScaleDropsWithBits) {
+  const auto spec = hw::device_spec(hw::Device::kRtx4080);
+  EXPECT_DOUBLE_EQ(spec.bitwidth_energy_scale(32), 1.0);
+  EXPECT_LT(spec.bitwidth_energy_scale(8), spec.bitwidth_energy_scale(16));
+  EXPECT_LT(spec.bitwidth_energy_scale(4), spec.bitwidth_energy_scale(8));
+}
+
+TEST(SparsityEfficiency, OrderingMatchesSectionIIIA) {
+  using hw::SparsityMode;
+  EXPECT_EQ(hw::sparsity_efficiency(SparsityMode::kDense), 0.0);
+  EXPECT_LT(hw::sparsity_efficiency(SparsityMode::kUnstructured),
+            hw::sparsity_efficiency(SparsityMode::kSemiStructured));
+  EXPECT_LT(hw::sparsity_efficiency(SparsityMode::kSemiStructured),
+            hw::sparsity_efficiency(SparsityMode::kStructured));
+}
+
+TEST(CostModel, MoreSparsityNeverSlower) {
+  const hw::CostModel model(hw::device_spec(hw::Device::kJetsonOrinNano));
+  double prev = 1e9;
+  for (double s : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    const auto c = model.layer_cost(
+        conv_layer(s, 32, hw::SparsityMode::kSemiStructured));
+    EXPECT_LE(c.latency_s, prev + 1e-12) << "sparsity " << s;
+    prev = c.latency_s;
+  }
+}
+
+TEST(CostModel, FewerBitsNeverSlowerOrHungrier) {
+  const hw::CostModel model(hw::device_spec(hw::Device::kRtx4080));
+  double prev_lat = 1e9, prev_e = 1e9;
+  for (int bits : {32, 16, 8, 4}) {
+    const auto c = model.layer_cost(conv_layer(0.0, bits));
+    EXPECT_LE(c.latency_s, prev_lat + 1e-12);
+    EXPECT_LE(c.energy_j, prev_e + 1e-12);
+    prev_lat = c.latency_s;
+    prev_e = c.energy_j;
+  }
+}
+
+TEST(CostModel, UnstructuredGainsMuchLessThanSemiStructured) {
+  const hw::CostModel model(hw::device_spec(hw::Device::kJetsonOrinNano));
+  const auto dense = model.layer_cost(conv_layer());
+  const auto unstructured = model.layer_cost(
+      conv_layer(0.8, 32, hw::SparsityMode::kUnstructured));
+  const auto semi = model.layer_cost(
+      conv_layer(0.8, 32, hw::SparsityMode::kSemiStructured));
+  EXPECT_LT(semi.latency_s, unstructured.latency_s);
+  const double gain_unstructured = dense.latency_s / unstructured.latency_s;
+  const double gain_semi = dense.latency_s / semi.latency_s;
+  EXPECT_LT(gain_unstructured, 1.25);  // the Sec. III.A load-imbalance story
+  EXPECT_GT(gain_semi, 2.0);
+}
+
+TEST(CostModel, SerialOpsAreNeverCompressed) {
+  const hw::CostModel model(hw::device_spec(hw::Device::kJetsonOrinNano));
+  hw::LayerProfile pre;
+  pre.name = "pre";
+  pre.serial_ops = 1'200'000;
+  const auto base = model.layer_cost(pre);
+  hw::LayerProfile quantized = pre;
+  quantized.weight_bits = 4;
+  quantized.weight_sparsity = 0.9;
+  quantized.mode = hw::SparsityMode::kSemiStructured;
+  const auto compressed = model.layer_cost(quantized);
+  EXPECT_NEAR(base.latency_s, compressed.latency_s, 1e-12);
+}
+
+TEST(CostModel, ModelCostSumsLayersPlusOverhead) {
+  const auto spec = hw::device_spec(hw::Device::kRtx4080);
+  const hw::CostModel model(spec);
+  std::vector<hw::LayerProfile> profile{conv_layer(), conv_layer()};
+  const auto report = model.model_cost(profile);
+  ASSERT_EQ(report.per_layer.size(), 2u);
+  const double lsum =
+      report.per_layer[0].latency_s + report.per_layer[1].latency_s;
+  EXPECT_NEAR(report.latency_s, lsum + spec.fixed_overhead_s, 1e-12);
+  EXPECT_GT(report.energy_j, 0.0);
+}
+
+TEST(CostModel, ValidatesInputs) {
+  const hw::CostModel model(hw::device_spec(hw::Device::kRtx4080));
+  auto bad_bits = conv_layer();
+  bad_bits.weight_bits = 0;
+  EXPECT_THROW(model.layer_cost(bad_bits), std::invalid_argument);
+  auto bad_sparsity = conv_layer();
+  bad_sparsity.weight_sparsity = -0.5;
+  EXPECT_THROW(model.layer_cost(bad_sparsity), std::invalid_argument);
+}
+
+TEST(CalibratedCost, ReproducesTargetsOnBaseProfile) {
+  std::vector<hw::LayerProfile> base{conv_layer(), conv_layer()};
+  const hw::CalibratedCost cal(hw::device_spec(hw::Device::kJetsonOrinNano),
+                               base, 36e-3, 0.863);
+  const auto report = cal.evaluate(base);
+  EXPECT_NEAR(report.latency_s, 36e-3, 1e-9);
+  EXPECT_NEAR(report.energy_j, 0.863, 1e-9);
+}
+
+TEST(CalibratedCost, RatiosAreScaleInvariant) {
+  std::vector<hw::LayerProfile> base{conv_layer()};
+  std::vector<hw::LayerProfile> compressed{
+      conv_layer(0.7, 8, hw::SparsityMode::kSemiStructured)};
+  const hw::CostModel raw(hw::device_spec(hw::Device::kJetsonOrinNano));
+  const double raw_ratio = raw.model_cost(base).latency_s /
+                           raw.model_cost(compressed).latency_s;
+  const hw::CalibratedCost cal(hw::device_spec(hw::Device::kJetsonOrinNano),
+                               base, 123e-3, 7.0);
+  const double cal_ratio =
+      cal.evaluate(base).latency_s / cal.evaluate(compressed).latency_s;
+  EXPECT_NEAR(raw_ratio, cal_ratio, 1e-9);
+}
+
+TEST(CalibratedCost, RejectsBadTargets) {
+  std::vector<hw::LayerProfile> base{conv_layer()};
+  EXPECT_THROW(hw::CalibratedCost(hw::device_spec(hw::Device::kRtx4080), base,
+                                  -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(PowerMeter, TraceIntegratesBackToReportedEnergy) {
+  const hw::CostModel model(hw::device_spec(hw::Device::kJetsonOrinNano));
+  std::vector<hw::LayerProfile> profile{conv_layer(), conv_layer(0.5, 8)};
+  const auto report = model.model_cost(profile);
+  const hw::PowerMeter meter(500e3);
+  const auto trace = meter.trace(report, 4.5);
+  ASSERT_GT(trace.size(), 10u);
+  const double integrated = hw::PowerMeter::integrate(trace);
+  // Idle shoulders add a little energy on top of the report's layers.
+  EXPECT_NEAR(integrated, report.energy_j, 0.25 * report.energy_j + 1e-3);
+  // Time axis is monotone.
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_GT(trace[i].t_s, trace[i - 1].t_s);
+}
+
+}  // namespace
+}  // namespace upaq

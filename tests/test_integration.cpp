@@ -1,0 +1,148 @@
+// Integration tests: the zoo (train-or-load caching), the experiment runner
+// (compression -> evaluation -> calibrated cost -> outcome caching), and the
+// end-to-end behaviour Table 2 relies on. Uses a deliberately tiny dataset
+// and training budget so the whole file runs in seconds.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "zoo/experiment.h"
+
+namespace upaq {
+namespace {
+
+zoo::ZooConfig tiny_zoo(const std::string& tag) {
+  zoo::ZooConfig cfg;
+  cfg.cache_dir = ::testing::TempDir() + "/upaq_zoo_" + tag;
+  cfg.scene_count = 20;
+  cfg.pp_iterations = 8;
+  cfg.smoke_iterations = 2;
+  cfg.batch_size = 1;
+  cfg.verbose = false;
+  return cfg;
+}
+
+void wipe(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(Zoo, TrainsOnceThenLoadsFromCache) {
+  auto cfg = tiny_zoo("cache_test");
+  wipe(cfg.cache_dir);
+  zoo::Zoo z(cfg);
+  auto first = z.pointpillars();
+  EXPECT_TRUE(std::filesystem::exists(cfg.cache_dir + "/pointpillars.upaq"));
+  // A second instance must carry identical weights (loaded, not retrained).
+  auto second = z.pointpillars();
+  const auto a = first->state_dict();
+  const auto b = second->state_dict();
+  for (const auto& [name, tensor] : a) {
+    const auto& other = b.at(name);
+    for (std::int64_t i = 0; i < tensor.numel(); ++i)
+      ASSERT_EQ(tensor[i], other[i]) << name;
+  }
+  // And a fresh Zoo over the same cache dir loads the same weights.
+  zoo::Zoo z2(cfg);
+  auto third = z2.pointpillars();
+  const auto c = third->state_dict();
+  for (const auto& [name, tensor] : a) {
+    const auto& other = c.at(name);
+    for (std::int64_t i = 0; i < tensor.numel(); ++i)
+      ASSERT_EQ(tensor[i], other[i]) << name;
+  }
+  wipe(cfg.cache_dir);
+}
+
+TEST(Zoo, DatasetSplitsFollowProtocol) {
+  auto cfg = tiny_zoo("split_test");
+  zoo::Zoo z(cfg);
+  EXPECT_EQ(z.dataset().train.size(), 16u);
+  EXPECT_EQ(z.dataset().val.size(), 2u);
+  EXPECT_EQ(z.dataset().test.size(), 2u);
+}
+
+TEST(ExperimentRunner, BaseRowReproducesPaperAnchors) {
+  auto cfg = tiny_zoo("anchor_test");
+  wipe(cfg.cache_dir);
+  zoo::Zoo z(cfg);
+  zoo::ExperimentConfig ec;
+  ec.use_cache = false;
+  zoo::ExperimentRunner runner(z, ec);
+  const auto base = runner.run(zoo::Framework::kBase, zoo::ModelKind::kPointPillars);
+  // Calibration: the base model must land exactly on the paper's numbers.
+  EXPECT_NEAR(base.row.latency_rtx_ms, 5.72, 1e-6);
+  EXPECT_NEAR(base.row.latency_orin_ms, 35.98, 1e-6);
+  EXPECT_NEAR(base.row.energy_rtx_j, 0.875, 1e-6);
+  EXPECT_NEAR(base.row.energy_orin_j, 0.863, 1e-6);
+  EXPECT_NEAR(base.row.compression, 1.0, 1e-9);
+  wipe(cfg.cache_dir);
+}
+
+TEST(ExperimentRunner, LidarPtqRowShape) {
+  auto cfg = tiny_zoo("ptq_test");
+  wipe(cfg.cache_dir);
+  zoo::Zoo z(cfg);
+  zoo::ExperimentConfig ec;
+  ec.use_cache = false;
+  zoo::ExperimentRunner runner(z, ec);
+  const auto ptq =
+      runner.run(zoo::Framework::kLidarPtq, zoo::ModelKind::kPointPillars);
+  // PTQ: ~4x storage shrink (int8), real speedup but far from the ~2x of
+  // semi-structured pruning, tiny sparsity.
+  EXPECT_GT(ptq.row.compression, 3.0);
+  EXPECT_LT(ptq.row.latency_orin_ms, 35.98);
+  EXPECT_GT(ptq.row.latency_orin_ms, 35.98 / 2.0);
+  EXPECT_LT(ptq.row.sparsity, 0.05);
+  wipe(cfg.cache_dir);
+}
+
+TEST(ExperimentRunner, OutcomeCacheRoundTrips) {
+  auto cfg = tiny_zoo("outcome_cache");
+  wipe(cfg.cache_dir);
+  zoo::Zoo z(cfg);
+  zoo::ExperimentConfig ec;
+  ec.use_cache = true;
+  zoo::ExperimentRunner runner(z, ec);
+  const auto first =
+      runner.run(zoo::Framework::kLidarPtq, zoo::ModelKind::kPointPillars);
+  EXPECT_TRUE(std::filesystem::exists(cfg.cache_dir +
+                                      "/exp_PointPillars_LiDAR_PTQ.row"));
+  const auto second =
+      runner.run(zoo::Framework::kLidarPtq, zoo::ModelKind::kPointPillars);
+  EXPECT_EQ(first.row.framework, second.row.framework);
+  EXPECT_NEAR(first.row.compression, second.row.compression, 1e-6);
+  EXPECT_NEAR(first.row.map_percent, second.row.map_percent, 1e-6);
+  EXPECT_NEAR(first.row.latency_orin_ms, second.row.latency_orin_ms, 1e-6);
+  // The reloaded model's weights match the stored compressed model.
+  const auto a = first.model->state_dict();
+  const auto b = second.model->state_dict();
+  for (const auto& [name, tensor] : a) {
+    const auto& other = b.at(name);
+    for (std::int64_t i = 0; i < tensor.numel(); ++i)
+      ASSERT_EQ(tensor[i], other[i]) << name;
+  }
+  // Plan round-trips through the text format.
+  EXPECT_EQ(first.plan.layers.size(), second.plan.layers.size());
+  wipe(cfg.cache_dir);
+}
+
+TEST(ExperimentRunner, UpaqCompressesMoreThanQatBaselines) {
+  auto cfg = tiny_zoo("ratio_test");
+  wipe(cfg.cache_dir);
+  zoo::Zoo z(cfg);
+  zoo::ExperimentConfig ec;
+  ec.use_cache = false;
+  ec.finetune_iterations = 4;  // keep the test fast; ratios don't need tuning
+  zoo::ExperimentRunner runner(z, ec);
+  const auto psqs = runner.run(zoo::Framework::kPsQs, zoo::ModelKind::kPointPillars);
+  const auto hck = runner.run(zoo::Framework::kUpaqHck, zoo::ModelKind::kPointPillars);
+  EXPECT_GT(hck.row.compression, psqs.row.compression);
+  // Fake-quant QAT barely moves latency; UPAQ's deployment does.
+  EXPECT_GT(psqs.row.latency_orin_ms, 30.0);
+  EXPECT_LT(hck.row.latency_orin_ms, 30.0);
+  wipe(cfg.cache_dir);
+}
+
+}  // namespace
+}  // namespace upaq

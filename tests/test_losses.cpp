@@ -1,0 +1,146 @@
+// Loss-function tests: values and analytic gradients (finite-difference
+// checked, parameterized over the logit range) plus optimizer behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+#include "train/losses.h"
+#include "train/optimizer.h"
+
+namespace upaq {
+namespace {
+
+using testing::gradcheck_scalar;
+
+class LogitSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(LogitSweep, FocalBcePositiveGradient) {
+  const float logit = GetParam();
+  gradcheck_scalar(
+      [](float x, float& g) { return train::focal_bce(x, true, 0.75f, 2.0f, g); },
+      logit);
+}
+
+TEST_P(LogitSweep, FocalBceNegativeGradient) {
+  const float logit = GetParam();
+  gradcheck_scalar(
+      [](float x, float& g) { return train::focal_bce(x, false, 0.75f, 2.0f, g); },
+      logit);
+}
+
+TEST_P(LogitSweep, HeatmapFocalGradientAtCentre) {
+  const float logit = GetParam();
+  gradcheck_scalar(
+      [](float x, float& g) { return train::heatmap_focal(x, 1.0f, 2.0f, 4.0f, g); },
+      logit);
+}
+
+TEST_P(LogitSweep, HeatmapFocalGradientOffCentre) {
+  const float logit = GetParam();
+  gradcheck_scalar(
+      [](float x, float& g) { return train::heatmap_focal(x, 0.6f, 2.0f, 4.0f, g); },
+      logit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Logits, LogitSweep,
+                         ::testing::Values(-4.0f, -1.5f, -0.2f, 0.0f, 0.3f,
+                                           1.7f, 4.0f));
+
+TEST(FocalBce, ConfidentCorrectIsCheap) {
+  float g = 0.0f;
+  const float easy_pos = train::focal_bce(4.0f, true, 0.75f, 2.0f, g);
+  const float hard_pos = train::focal_bce(-4.0f, true, 0.75f, 2.0f, g);
+  EXPECT_LT(easy_pos, 0.01f);
+  EXPECT_GT(hard_pos, 1.0f);
+  const float easy_neg = train::focal_bce(-4.0f, false, 0.75f, 2.0f, g);
+  EXPECT_LT(easy_neg, 0.01f);
+}
+
+TEST(FocalBce, GradientSignsPushTheRightWay) {
+  float g = 0.0f;
+  train::focal_bce(0.0f, true, 0.75f, 2.0f, g);
+  EXPECT_LT(g, 0.0f);  // positive target: increase the logit
+  train::focal_bce(0.0f, false, 0.75f, 2.0f, g);
+  EXPECT_GT(g, 0.0f);  // negative target: decrease the logit
+}
+
+TEST(HeatmapFocal, GaussianNeighbourhoodIsPenaltyReduced) {
+  // A near-centre cell (target 0.9) must be penalized less than a far
+  // background cell (target 0.0) for the same confident-positive logit.
+  float g = 0.0f;
+  const float near_centre = train::heatmap_focal(2.0f, 0.9f, 2.0f, 4.0f, g);
+  const float background = train::heatmap_focal(2.0f, 0.0f, 2.0f, 4.0f, g);
+  EXPECT_LT(near_centre, background);
+}
+
+TEST(SmoothL1, ValueAndGradientRegimes) {
+  float g = 0.0f;
+  // Quadratic regime: |d| < beta.
+  EXPECT_NEAR(train::smooth_l1(0.2f, 0.0f, 0.5f, g), 0.5f * 0.04f / 0.5f, 1e-6);
+  EXPECT_NEAR(g, 0.4f, 1e-6);
+  // Linear regime.
+  EXPECT_NEAR(train::smooth_l1(2.0f, 0.0f, 0.5f, g), 2.0f - 0.25f, 1e-6);
+  EXPECT_NEAR(g, 1.0f, 1e-6);
+  EXPECT_NEAR(train::smooth_l1(-2.0f, 0.0f, 0.5f, g), 1.75f, 1e-6);
+  EXPECT_NEAR(g, -1.0f, 1e-6);
+}
+
+TEST(SmoothL1, GradCheckAcrossRegimes) {
+  for (float pred : {-2.0f, -0.4f, 0.1f, 0.49f, 0.51f, 3.0f}) {
+    gradcheck_scalar(
+        [](float x, float& g) { return train::smooth_l1(x, 0.0f, 0.5f, g); },
+        pred);
+  }
+}
+
+TEST(Sgd, StepMovesAgainstGradientWithMomentum) {
+  nn::Parameter p("w", Tensor({2}, std::vector<float>{1.0f, -1.0f}));
+  p.grad = Tensor({2}, std::vector<float>{0.5f, -0.5f});
+  train::Sgd opt(0.1f, 0.9f);
+  opt.step({&p});
+  EXPECT_NEAR(p.value[0], 1.0f - 0.05f, 1e-6);
+  // Second step with the same gradient accelerates (momentum).
+  const float after_first = p.value[0];
+  opt.step({&p});
+  EXPECT_LT(p.value[0], after_first - 0.05f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2 with analytic gradient.
+  nn::Parameter p("w", Tensor({1}, 0.0f));
+  train::Adam opt(0.2f);
+  for (int i = 0; i < 200; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    opt.step({&p});
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 0.05f);
+}
+
+TEST(Optimizers, RespectMasksAfterStep) {
+  nn::Parameter p("w", Tensor({4}, 1.0f));
+  p.mask = Tensor({4}, std::vector<float>{1, 0, 1, 0});
+  p.project();
+  p.grad = Tensor({4}, 1.0f);
+  train::Adam adam(0.1f);
+  adam.step({&p});
+  EXPECT_EQ(p.value[1], 0.0f);
+  EXPECT_EQ(p.value[3], 0.0f);
+  EXPECT_NE(p.value[0], 0.0f);
+  train::Sgd sgd(0.1f);
+  p.grad.fill(1.0f);
+  sgd.step({&p});
+  EXPECT_EQ(p.value[1], 0.0f);
+}
+
+TEST(Optimizers, SkipFrozenParameters) {
+  nn::Parameter p("w", Tensor({1}, 1.0f));
+  p.requires_grad = false;
+  p.grad.fill(10.0f);
+  train::Adam opt(0.5f);
+  opt.step({&p});
+  EXPECT_EQ(p.value[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace upaq

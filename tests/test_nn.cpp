@@ -1,0 +1,291 @@
+// NN framework tests: analytic backward passes are validated against finite
+// differences for every layer, plus module/state-dict behaviour, mask
+// semantics, and the concat/split helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "nn/module.h"
+#include "test_util.h"
+
+namespace upaq {
+namespace {
+
+using testing::gradcheck_layer;
+
+TEST(Conv2d, ForwardKnownValues) {
+  Rng rng(1);
+  nn::Conv2d conv(1, 1, 3, 1, 1, false, rng, "c");
+  conv.weight().value.fill(1.0f);
+  Tensor x = Tensor::ones({1, 1, 3, 3});
+  Tensor y = conv.forward(x);
+  // Centre sees all 9 ones; corners see 4.
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 9.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 4.0f);
+}
+
+TEST(Conv2d, StrideHalvesResolution) {
+  Rng rng(2);
+  nn::Conv2d conv(2, 4, 3, 2, 1, false, rng, "c");
+  Tensor x = Tensor::uniform({1, 2, 8, 8}, rng);
+  Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 4, 4, 4}));
+  EXPECT_EQ(conv.last_out_h(), 4);
+}
+
+TEST(Conv2d, BiasIsAdded) {
+  Rng rng(3);
+  nn::Conv2d conv(1, 2, 1, 1, 0, true, rng, "c");
+  conv.weight().value.fill(0.0f);
+  conv.bias()->value[0] = 1.5f;
+  conv.bias()->value[1] = -2.0f;
+  Tensor y = conv.forward(Tensor::ones({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 1, 1), -2.0f);
+}
+
+TEST(Conv2d, GradCheck) {
+  Rng rng(4);
+  nn::Conv2d conv(2, 3, 3, 1, 1, true, rng, "c");
+  gradcheck_layer(conv, Tensor::uniform({2, 2, 5, 5}, rng), rng);
+}
+
+TEST(Conv2d, GradCheckStride2OneByOne) {
+  Rng rng(5);
+  nn::Conv2d conv(3, 2, 1, 1, 0, false, rng, "c");
+  gradcheck_layer(conv, Tensor::uniform({1, 3, 4, 4}, rng), rng);
+  nn::Conv2d strided(2, 2, 3, 2, 1, false, rng, "s");
+  gradcheck_layer(strided, Tensor::uniform({1, 2, 6, 6}, rng), rng);
+}
+
+TEST(Conv2d, MaskedGradientsStayMasked) {
+  Rng rng(6);
+  nn::Conv2d conv(2, 2, 3, 1, 1, false, rng, "c");
+  Tensor mask(conv.weight().value.shape());
+  mask[0] = 1.0f;  // keep exactly one weight
+  conv.weight().mask = mask;
+  conv.weight().project();
+  Tensor x = Tensor::uniform({1, 2, 4, 4}, rng);
+  Tensor y = conv.forward(x);
+  conv.backward(Tensor::ones(y.shape()));
+  for (std::int64_t i = 1; i < conv.weight().grad.numel(); ++i)
+    EXPECT_EQ(conv.weight().grad[i], 0.0f) << i;
+}
+
+TEST(Conv2d, InputChannelMismatchThrows) {
+  Rng rng(7);
+  nn::Conv2d conv(4, 2, 3, 1, 1, false, rng, "c");
+  EXPECT_THROW(conv.forward(Tensor::ones({1, 3, 8, 8})), std::invalid_argument);
+}
+
+TEST(BatchNorm2d, NormalizesTrainingBatch) {
+  Rng rng(8);
+  nn::BatchNorm2d bn(3, rng, "bn");
+  bn.set_training(true);
+  Tensor x = Tensor::uniform({2, 3, 4, 4}, rng, -4.0f, 8.0f);
+  Tensor y = bn.forward(x);
+  // Each channel of the output should be ~zero-mean unit-var.
+  for (int c = 0; c < 3; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (int n = 0; n < 2; ++n)
+      for (int i = 0; i < 16; ++i) {
+        const float v = y.at(n, c, i / 4, i % 4);
+        sum += v;
+        sq += static_cast<double>(v) * v;
+      }
+    const double mean = sum / 32.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 32.0 - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  Rng rng(9);
+  nn::BatchNorm2d bn(2, rng, "bn");
+  bn.set_training(true);
+  // Feed several batches so running stats converge toward the data stats.
+  for (int i = 0; i < 60; ++i)
+    bn.forward(Tensor::uniform({2, 2, 4, 4}, rng, 2.0f, 6.0f));
+  bn.set_training(false);
+  Tensor y = bn.forward(Tensor::full({1, 2, 2, 2}, 4.0f));
+  // Input ~= running mean (~4), so output should be near zero.
+  EXPECT_NEAR(y.abs_max(), 0.0f, 0.35f);
+}
+
+TEST(BatchNorm2d, GradCheck) {
+  Rng rng(10);
+  nn::BatchNorm2d bn(2, rng, "bn");
+  gradcheck_layer(bn, Tensor::uniform({2, 2, 3, 3}, rng, -2.0f, 2.0f), rng,
+                  5e-2);
+}
+
+TEST(Relu, ForwardBackward) {
+  Rng rng(11);
+  nn::Relu relu("r");
+  Tensor x({1, 1, 1, 4});
+  x[0] = -2.0f;
+  x[1] = -0.5f;
+  x[2] = 0.5f;
+  x[3] = 2.0f;
+  Tensor y = relu.forward(x);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[2], 0.5f);
+  Tensor g = relu.backward(Tensor::ones(y.shape()));
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[3], 1.0f);
+}
+
+TEST(Relu, LeakyGradCheck) {
+  Rng rng(12);
+  nn::Relu leaky("l", 0.1f);
+  EXPECT_EQ(leaky.kind(), nn::LayerKind::kLeakyRelu);
+  gradcheck_layer(leaky, Tensor::uniform({1, 2, 3, 3}, rng, -1.0f, 1.0f), rng);
+}
+
+TEST(MaxPool2d, ForwardPicksMaxAndBackwardRoutes) {
+  nn::MaxPool2d pool(2, "p");
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1.0f;
+  x[1] = 5.0f;
+  x[2] = 2.0f;
+  x[3] = 3.0f;
+  Tensor y = pool.forward(x);
+  EXPECT_EQ(y.numel(), 1);
+  EXPECT_EQ(y[0], 5.0f);
+  Tensor g = pool.backward(Tensor::full({1, 1, 1, 1}, 2.0f));
+  EXPECT_EQ(g[1], 2.0f);
+  EXPECT_EQ(g[0], 0.0f);
+}
+
+TEST(MaxPool2d, GradCheck) {
+  Rng rng(13);
+  nn::MaxPool2d pool(2, "p");
+  // Max-pool is non-differentiable at ties; use well-separated values so the
+  // finite-difference probe cannot flip the argmax.
+  Tensor x = Tensor::arange(32).reshape({1, 2, 4, 4});
+  std::shuffle(x.data(), x.data() + 32, rng.engine());
+  x.scale_(0.5f);
+  gradcheck_layer(pool, x, rng);
+}
+
+TEST(Upsample, NearestForwardAndAdjointBackward) {
+  Rng rng(14);
+  nn::Upsample up(2, "u");
+  Tensor x = Tensor::uniform({1, 1, 2, 2}, rng);
+  Tensor y = up.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 4, 4}));
+  EXPECT_EQ(y.at(0, 0, 0, 0), x.at(0, 0, 0, 0));
+  EXPECT_EQ(y.at(0, 0, 1, 1), x.at(0, 0, 0, 0));
+  Tensor g = up.backward(Tensor::ones(y.shape()));
+  EXPECT_EQ(g.at(0, 0, 0, 0), 4.0f);  // each input feeds 4 outputs
+}
+
+TEST(Upsample, GradCheck) {
+  Rng rng(15);
+  nn::Upsample up(3, "u");
+  gradcheck_layer(up, Tensor::uniform({1, 2, 2, 2}, rng), rng);
+}
+
+TEST(Linear, ForwardKnownValues) {
+  Rng rng(16);
+  nn::Linear lin(2, 2, true, rng, "l");
+  lin.weight().value = Tensor({2, 2}, std::vector<float>{1, 2, 3, 4});
+  lin.bias()->value = Tensor({2}, std::vector<float>{10, 20});
+  Tensor x({1, 2}, std::vector<float>{1, 1});
+  Tensor y = lin.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 13.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 27.0f);
+}
+
+TEST(Linear, GradCheck) {
+  Rng rng(17);
+  nn::Linear lin(4, 3, true, rng, "l");
+  gradcheck_layer(lin, Tensor::uniform({3, 4}, rng), rng);
+}
+
+TEST(ConcatSplit, RoundTrip) {
+  Rng rng(18);
+  Tensor a = Tensor::uniform({2, 2, 3, 3}, rng);
+  Tensor b = Tensor::uniform({2, 4, 3, 3}, rng);
+  Tensor cat = nn::concat_channels({a, b});
+  EXPECT_EQ(cat.shape(), (Shape{2, 6, 3, 3}));
+  auto parts = nn::split_channels(cat, {2, 4});
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(parts[0][i], a[i]);
+  for (std::int64_t i = 0; i < b.numel(); ++i) EXPECT_EQ(parts[1][i], b[i]);
+}
+
+TEST(ConcatSplit, ValidatesShapes) {
+  Tensor a({1, 2, 3, 3});
+  Tensor b({1, 2, 4, 4});
+  EXPECT_THROW(nn::concat_channels({a, b}), std::invalid_argument);
+  EXPECT_THROW(nn::split_channels(a, {3}), std::invalid_argument);
+}
+
+TEST(Sequential, ChainsForwardAndBackward) {
+  Rng rng(19);
+  nn::Module m;
+  auto* conv = m.add<nn::Conv2d>(1, 2, 3, 1, 1, false, rng, "conv");
+  auto* relu = m.add<nn::Relu>("relu");
+  nn::Sequential seq;
+  seq.then(conv).then(relu);
+  Tensor x = Tensor::uniform({1, 1, 4, 4}, rng);
+  Tensor y = seq.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 2, 4, 4}));
+  EXPECT_GE(y.min(), 0.0f);
+  Tensor g = seq.backward(Tensor::ones(y.shape()));
+  EXPECT_EQ(g.shape(), x.shape());
+  EXPECT_GT(conv->weight().grad.abs_max(), 0.0f);
+}
+
+TEST(Module, ParameterCountAndZeroGrad) {
+  Rng rng(20);
+  nn::Module m;
+  m.add<nn::Conv2d>(2, 4, 3, 1, 1, true, rng, "conv");
+  m.add<nn::BatchNorm2d>(4, rng, "bn");
+  // conv weight 2*4*9 = 72, bias 4, bn gamma+beta 8.
+  EXPECT_EQ(m.parameter_count(), 72 + 4 + 8);
+  for (auto* p : m.parameters()) p->grad.fill(1.0f);
+  m.zero_grad();
+  for (auto* p : m.parameters()) EXPECT_EQ(p->grad.abs_max(), 0.0f);
+}
+
+TEST(Module, StateDictRoundTripIncludesRunningStats) {
+  Rng rng(21);
+  nn::Module m1;
+  auto* c1 = m1.add<nn::Conv2d>(1, 2, 3, 1, 1, false, rng, "conv");
+  auto* b1 = m1.add<nn::BatchNorm2d>(2, rng, "bn");
+  // Perturb running stats so the round trip is non-trivial.
+  b1->running_mean()[0] = 3.0f;
+  b1->running_var()[1] = 9.0f;
+  auto state = m1.state_dict();
+
+  Rng rng2(99);
+  nn::Module m2;
+  auto* c2 = m2.add<nn::Conv2d>(1, 2, 3, 1, 1, false, rng2, "conv");
+  auto* b2 = m2.add<nn::BatchNorm2d>(2, rng2, "bn");
+  m2.load_state_dict(state);
+  for (std::int64_t i = 0; i < c1->weight().value.numel(); ++i)
+    EXPECT_EQ(c2->weight().value[i], c1->weight().value[i]);
+  EXPECT_EQ(b2->running_mean()[0], 3.0f);
+  EXPECT_EQ(b2->running_var()[1], 9.0f);
+}
+
+TEST(Module, LoadStateDictValidates) {
+  Rng rng(22);
+  nn::Module m;
+  m.add<nn::Conv2d>(1, 2, 3, 1, 1, false, rng, "conv");
+  std::map<std::string, Tensor> empty;
+  EXPECT_THROW(m.load_state_dict(empty), std::invalid_argument);
+}
+
+TEST(Parameter, SparsityAndProject) {
+  nn::Parameter p("w", Tensor::ones({4}));
+  EXPECT_EQ(p.sparsity(), 0.0);
+  p.mask = Tensor({4}, std::vector<float>{1, 0, 0, 1});
+  p.project();
+  EXPECT_EQ(p.value.count_nonzero(), 2);
+  EXPECT_NEAR(p.sparsity(), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace upaq

@@ -1,0 +1,204 @@
+// Cross-cutting property tests: invariants that tie modules together —
+// quantizer idempotence, mask algebra, NMS/AP monotonicity, cost-model
+// additivity, and layer-equivalence identities.
+#include <gtest/gtest.h>
+
+#include "eval/map.h"
+#include "hw/cost.h"
+#include "nn/module.h"
+#include "prune/pattern.h"
+#include "quant/quantize.h"
+
+namespace upaq {
+namespace {
+
+TEST(Property, Conv1x1EqualsPerPixelLinear) {
+  // A 1x1 convolution is exactly a per-pixel linear map: verify against an
+  // explicit matrix product over each spatial position.
+  Rng rng(1);
+  nn::Conv2d conv(3, 5, 1, 1, 0, false, rng, "c");
+  conv.set_training(false);
+  Tensor x = Tensor::uniform({1, 3, 4, 4}, rng);
+  Tensor y = conv.forward(x);
+  for (int h = 0; h < 4; ++h) {
+    for (int w = 0; w < 4; ++w) {
+      for (int oc = 0; oc < 5; ++oc) {
+        float acc = 0.0f;
+        for (int ic = 0; ic < 3; ++ic)
+          acc += conv.weight().value.at(oc, ic, 0, 0) * x.at(0, ic, h, w);
+        EXPECT_NEAR(y.at(0, oc, h, w), acc, 1e-4);
+      }
+    }
+  }
+}
+
+TEST(Property, QuantizeIsIdempotent) {
+  Rng rng(2);
+  Tensor x = Tensor::normal({128}, rng);
+  for (int bits : {4, 8, 12}) {
+    const auto once = quant::mp_quantize(x, bits);
+    const auto twice = quant::mp_quantize(once.values, bits);
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+      EXPECT_NEAR(twice.values[i], once.values[i], 1e-6)
+          << "bits " << bits << " idx " << i;
+  }
+}
+
+TEST(Property, GroupedQuantizeWithFullGroupMatchesPerTensor) {
+  Rng rng(3);
+  Tensor x = Tensor::normal({96}, rng);
+  const auto per_tensor = quant::mp_quantize(x, 6);
+  const auto grouped = quant::mp_quantize_grouped(x, 6, x.numel());
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_EQ(grouped.values[i], per_tensor.values[i]);
+  EXPECT_NEAR(grouped.sqnr, per_tensor.sqnr, 1e-6 * per_tensor.sqnr);
+}
+
+TEST(Property, GroupedQuantizeNeverWorseThanPerTensor) {
+  // Finer scale granularity can only reduce quantization error.
+  Rng rng(4);
+  // Heteroscedastic data: chunks with very different magnitudes.
+  Tensor x({90});
+  for (std::int64_t i = 0; i < 90; ++i)
+    x[i] = rng.normal() * ((i / 9) % 2 == 0 ? 10.0f : 0.1f);
+  const auto per_tensor = quant::mp_quantize(x, 6);
+  const auto grouped = quant::mp_quantize_grouped(x, 6, 9);
+  EXPECT_GE(grouped.sqnr, per_tensor.sqnr);
+}
+
+TEST(Property, MaskApplicationIsIdempotent) {
+  Rng rng(5);
+  Tensor w = Tensor::normal({4, 4, 3, 3}, rng);
+  const auto pattern = prune::generate_pattern(2, 3, rng);
+  const Tensor mask = prune::expand_kernel_mask(pattern, w.shape());
+  Tensor once = w;
+  once.mul_(mask);
+  Tensor twice = once;
+  twice.mul_(mask);
+  for (std::int64_t i = 0; i < w.numel(); ++i) EXPECT_EQ(twice[i], once[i]);
+}
+
+TEST(Property, NmsIsIdempotent) {
+  Rng rng(6);
+  std::vector<eval::Box3D> boxes;
+  for (int i = 0; i < 64; ++i) {
+    eval::Box3D b;
+    b.x = rng.uniform(0, 40);
+    b.y = rng.uniform(-20, 20);
+    b.length = 4.2f;
+    b.width = 1.8f;
+    b.height = 1.5f;
+    b.yaw = rng.uniform(-1.5f, 1.5f);
+    b.score = rng.uniform();
+    boxes.push_back(b);
+  }
+  const auto once = eval::nms_bev(boxes, 0.3);
+  const auto twice = eval::nms_bev(once, 0.3);
+  ASSERT_EQ(once.size(), twice.size());
+  for (std::size_t i = 0; i < once.size(); ++i)
+    EXPECT_EQ(once[i].score, twice[i].score);
+}
+
+TEST(Property, ApNeverDecreasesWithExtraTruePositive) {
+  auto car = [](float x, float y, float score) {
+    eval::Box3D b;
+    b.x = x;
+    b.y = y;
+    b.length = 4.2f;
+    b.width = 1.8f;
+    b.height = 1.5f;
+    b.score = score;
+    return b;
+  };
+  eval::FrameDetections frame;
+  frame.ground_truth = {car(5, 0, 1), car(20, 5, 1)};
+  frame.detections = {car(5, 0, 0.9f)};
+  const double before = eval::average_precision({frame}, 0, 0.5).ap;
+  frame.detections.push_back(car(20, 5, 0.8f));
+  const double after = eval::average_precision({frame}, 0, 0.5).ap;
+  EXPECT_GE(after, before);
+  // And a trailing low-score false positive cannot raise AP.
+  frame.detections.push_back(car(40, -15, 0.1f));
+  const double with_fp = eval::average_precision({frame}, 0, 0.5).ap;
+  EXPECT_LE(with_fp, after + 1e-12);
+}
+
+TEST(Property, CostReportLatencyIsSumOfLayers) {
+  const auto spec = hw::device_spec(hw::Device::kJetsonOrinNano);
+  const hw::CostModel model(spec);
+  std::vector<hw::LayerProfile> profile(5);
+  for (int i = 0; i < 5; ++i) {
+    profile[static_cast<std::size_t>(i)].name = "l" + std::to_string(i);
+    profile[static_cast<std::size_t>(i)].macs = (i + 1) * 100'000'000LL;
+    profile[static_cast<std::size_t>(i)].weight_count = 10'000;
+    profile[static_cast<std::size_t>(i)].out_elems = 10'000;
+  }
+  const auto report = model.model_cost(profile);
+  double sum = spec.fixed_overhead_s;
+  for (const auto& l : report.per_layer) {
+    EXPECT_GT(l.latency_s, 0.0);
+    EXPECT_GE(l.energy_j, 0.0);
+    sum += l.latency_s;
+  }
+  EXPECT_NEAR(report.latency_s, sum, 1e-15);
+}
+
+TEST(Property, StorageBitsMonotoneInBitsAndNonzeros) {
+  using quant::StorageFormat;
+  for (auto fmt : {StorageFormat::kDense, StorageFormat::kBitmapSparse,
+                   StorageFormat::kPatternSparse}) {
+    std::int64_t prev = 0;
+    for (int bits : {2, 4, 8, 16, 32}) {
+      const auto cur = quant::storage_bits(1000, 300, bits, fmt);
+      EXPECT_GE(cur, prev);
+      prev = cur;
+    }
+    if (fmt != StorageFormat::kDense) {
+      EXPECT_LE(quant::storage_bits(1000, 100, 8, fmt),
+                quant::storage_bits(1000, 500, 8, fmt));
+    }
+  }
+}
+
+TEST(Property, BatchNormEvalIsAffinePerChannel) {
+  // In eval mode BN must be exactly affine: bn(a*x + (1-a)*y) ==
+  // a*bn(x) + (1-a)*bn(y) per element.
+  Rng rng(7);
+  nn::BatchNorm2d bn(3, rng, "bn");
+  bn.set_training(true);
+  for (int i = 0; i < 10; ++i) bn.forward(Tensor::uniform({2, 3, 4, 4}, rng));
+  bn.set_training(false);
+  Tensor x = Tensor::uniform({1, 3, 2, 2}, rng);
+  Tensor y = Tensor::uniform({1, 3, 2, 2}, rng);
+  const float a = 0.3f;
+  Tensor mix = x * a + y * (1.0f - a);
+  Tensor out_mix = bn.forward(mix);
+  Tensor expect = bn.forward(x) * a + bn.forward(y) * (1.0f - a);
+  for (std::int64_t i = 0; i < out_mix.numel(); ++i)
+    EXPECT_NEAR(out_mix[i], expect[i], 1e-4);
+}
+
+TEST(Property, SequentialBackwardChainsAdjoints) {
+  // <forward(x), g> == <x, backward(g)> holds for any chain of linear
+  // layers (conv without bias + upsample are linear operators).
+  Rng rng(8);
+  nn::Module m;
+  auto* conv = m.add<nn::Conv2d>(2, 3, 3, 1, 1, false, rng, "conv");
+  auto* up = m.add<nn::Upsample>(2, "up");
+  nn::Sequential seq;
+  seq.then(conv).then(up);
+  Tensor x = Tensor::uniform({1, 2, 4, 4}, rng);
+  Tensor y = seq.forward(x);
+  Tensor g = Tensor::uniform(y.shape(), rng);
+  m.zero_grad();
+  Tensor gx = seq.backward(g);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i)
+    lhs += static_cast<double>(y[i]) * g[i];
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x[i]) * gx[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::fabs(lhs)));
+}
+
+}  // namespace
+}  // namespace upaq

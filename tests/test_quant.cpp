@@ -1,0 +1,129 @@
+// Tests for Algorithm 6 (mp_quantizer): grid properties, clipping, SQNR
+// monotonicity across bitwidths (parameterized), and storage accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "quant/quantize.h"
+
+namespace upaq {
+namespace {
+
+TEST(MpQuantizer, ValuesLandOnTheSymmetricGrid) {
+  Rng rng(1);
+  Tensor x = Tensor::normal({64}, rng, 0.0f, 1.0f);
+  const auto q = quant::mp_quantize(x, 4);
+  // Every output must be an integer multiple of the scale within +-(2^3 - 1).
+  std::set<long> levels;
+  for (std::int64_t i = 0; i < q.values.numel(); ++i) {
+    const double level = q.values[i] / q.scale;
+    EXPECT_NEAR(level, std::round(level), 1e-4);
+    EXPECT_LE(std::fabs(level), 7.0 + 1e-6);
+    levels.insert(static_cast<long>(std::round(level)));
+  }
+  EXPECT_LE(levels.size(), 15u);  // 4-bit symmetric: at most 15 levels
+}
+
+TEST(MpQuantizer, ScaleMapsAbsMaxToTopLevel) {
+  Tensor x({3}, std::vector<float>{-2.0f, 0.5f, 1.0f});
+  const auto q = quant::mp_quantize(x, 8);
+  EXPECT_NEAR(q.scale, 2.0f / 127.0f, 1e-7);
+  // The extreme value is representable exactly.
+  EXPECT_NEAR(q.values[0], -2.0f, 1e-6);
+}
+
+TEST(MpQuantizer, ZeroStaysZero) {
+  // Symmetric quantization must map 0 -> 0 exactly (pruned weights!).
+  Rng rng(2);
+  Tensor x = Tensor::normal({32}, rng);
+  x[5] = 0.0f;
+  x[17] = 0.0f;
+  for (int bits : {2, 4, 8, 16}) {
+    const auto q = quant::mp_quantize(x, bits);
+    EXPECT_EQ(q.values[5], 0.0f);
+    EXPECT_EQ(q.values[17], 0.0f);
+  }
+}
+
+TEST(MpQuantizer, AllZeroTensorIsLossless) {
+  Tensor x({8});
+  const auto q = quant::mp_quantize(x, 8);
+  EXPECT_TRUE(std::isinf(q.sqnr));
+  EXPECT_EQ(q.values.abs_max(), 0.0f);
+}
+
+TEST(MpQuantizer, RejectsBadBitwidths) {
+  Tensor x({4}, 1.0f);
+  EXPECT_THROW(quant::mp_quantize(x, 1), std::invalid_argument);
+  EXPECT_THROW(quant::mp_quantize(x, 33), std::invalid_argument);
+}
+
+class BitwidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitwidthSweep, ErrorBoundedByHalfScale) {
+  const int bits = GetParam();
+  Rng rng(3);
+  Tensor x = Tensor::uniform({256}, rng, -3.0f, 3.0f);
+  const auto q = quant::mp_quantize(x, bits);
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_LE(std::fabs(x[i] - q.values[i]), 0.5f * q.scale + 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, BitwidthSweep, ::testing::Values(2, 4, 6, 8, 12, 16));
+
+TEST(MpQuantizer, SqnrIncreasesWithBitwidth) {
+  Rng rng(4);
+  Tensor x = Tensor::normal({512}, rng);
+  double prev = 0.0;
+  for (int bits : {2, 4, 8, 12}) {
+    const auto q = quant::mp_quantize(x, bits);
+    EXPECT_GT(q.sqnr, prev) << "SQNR must grow with precision at " << bits;
+    prev = q.sqnr;
+  }
+}
+
+TEST(MpQuantizer, SqnrRoughly6dbPerBit) {
+  Rng rng(5);
+  Tensor x = Tensor::uniform({4096}, rng, -1.0f, 1.0f);
+  const double db8 = quant::sqnr_db(quant::mp_quantize(x, 8).sqnr);
+  const double db10 = quant::sqnr_db(quant::mp_quantize(x, 10).sqnr);
+  EXPECT_NEAR(db10 - db8, 12.0, 3.0);  // ~6 dB per bit
+}
+
+TEST(SqnrDb, HandlesEdgeCases) {
+  EXPECT_EQ(quant::sqnr_db(std::numeric_limits<double>::infinity()), 200.0);
+  EXPECT_EQ(quant::sqnr_db(0.0), -200.0);
+  EXPECT_NEAR(quant::sqnr_db(100.0), 20.0, 1e-9);
+}
+
+TEST(StorageBits, DenseBitmapPattern) {
+  using quant::StorageFormat;
+  // 100 weights, 25 kept, 8 bits.
+  EXPECT_EQ(quant::storage_bits(100, 25, 8, StorageFormat::kDense), 800);
+  EXPECT_EQ(quant::storage_bits(100, 25, 8, StorageFormat::kBitmapSparse),
+            100 + 200);
+  EXPECT_EQ(quant::storage_bits(100, 25, 8, StorageFormat::kPatternSparse),
+            16 + 200);
+}
+
+TEST(StorageBits, Validation) {
+  using quant::StorageFormat;
+  EXPECT_THROW(quant::storage_bits(10, 11, 8, StorageFormat::kDense),
+               std::invalid_argument);
+  EXPECT_THROW(quant::storage_bits(10, 5, 0, StorageFormat::kDense),
+               std::invalid_argument);
+  EXPECT_EQ(quant::dense_fp32_bits(10), 320);
+}
+
+TEST(StorageBits, SparseFormatsBeatDenseAtHighSparsity) {
+  using quant::StorageFormat;
+  const std::int64_t n = 1000, nz = 200;
+  EXPECT_LT(quant::storage_bits(n, nz, 8, StorageFormat::kBitmapSparse),
+            quant::storage_bits(n, nz, 8, StorageFormat::kDense));
+  EXPECT_LT(quant::storage_bits(n, nz, 8, StorageFormat::kPatternSparse),
+            quant::storage_bits(n, nz, 8, StorageFormat::kBitmapSparse));
+}
+
+}  // namespace
+}  // namespace upaq

@@ -1,0 +1,124 @@
+// Tests for structured pruning (Fig. 2b/2c) and connectivity pruning.
+#include <gtest/gtest.h>
+
+#include "prune/pattern.h"
+#include "prune/structured.h"
+
+namespace upaq {
+namespace {
+
+TEST(FilterNorms, MatchHandComputed) {
+  Tensor w({2, 1, 1, 2});
+  w[0] = 3.0f;
+  w[1] = 4.0f;  // filter 0: norm 5
+  w[2] = 0.0f;
+  w[3] = 1.0f;  // filter 1: norm 1
+  const auto norms = prune::filter_l2_norms(w);
+  ASSERT_EQ(norms.size(), 2u);
+  EXPECT_NEAR(norms[0], 5.0, 1e-9);
+  EXPECT_NEAR(norms[1], 1.0, 1e-9);
+}
+
+TEST(ChannelNorms, AggregateAcrossFilters) {
+  Tensor w({2, 2, 1, 1});
+  w.at(0, 0, 0, 0) = 1.0f;
+  w.at(0, 1, 0, 0) = 2.0f;
+  w.at(1, 0, 0, 0) = 2.0f;
+  w.at(1, 1, 0, 0) = 1.0f;
+  const auto norms = prune::channel_l2_norms(w);
+  ASSERT_EQ(norms.size(), 2u);
+  EXPECT_NEAR(norms[0], std::sqrt(5.0), 1e-9);
+  EXPECT_NEAR(norms[1], std::sqrt(5.0), 1e-9);
+}
+
+TEST(FilterPruneMask, DropsWeakestFilters) {
+  Rng rng(1);
+  Tensor w = Tensor::normal({8, 4, 3, 3}, rng);
+  // Make filters 2 and 5 tiny so they must be dropped at fraction 0.25.
+  for (std::int64_t i = 0; i < 36; ++i) {
+    w[2 * 36 + i] *= 1e-4f;
+    w[5 * 36 + i] *= 1e-4f;
+  }
+  const Tensor mask = prune::filter_prune_mask(w, 0.25);
+  for (std::int64_t i = 0; i < 36; ++i) {
+    EXPECT_EQ(mask[2 * 36 + i], 0.0f);
+    EXPECT_EQ(mask[5 * 36 + i], 0.0f);
+    EXPECT_EQ(mask[0 * 36 + i], 1.0f);
+  }
+  EXPECT_EQ(mask.count_nonzero(), 6 * 36);
+}
+
+TEST(ChannelPruneMask, DropsWeakestInputChannel) {
+  Rng rng(2);
+  Tensor w = Tensor::normal({4, 4, 3, 3}, rng);
+  for (std::int64_t oc = 0; oc < 4; ++oc)
+    for (std::int64_t i = 0; i < 9; ++i) w[(oc * 4 + 1) * 9 + i] *= 1e-4f;
+  const Tensor mask = prune::channel_prune_mask(w, 0.25);
+  for (std::int64_t oc = 0; oc < 4; ++oc)
+    for (std::int64_t i = 0; i < 9; ++i)
+      EXPECT_EQ(mask[(oc * 4 + 1) * 9 + i], 0.0f);
+  EXPECT_EQ(mask.count_nonzero(), 4 * 3 * 9);
+}
+
+TEST(PruneMasks, FractionZeroKeepsEverything) {
+  Rng rng(3);
+  Tensor w = Tensor::normal({4, 2, 3, 3}, rng);
+  EXPECT_EQ(prune::filter_prune_mask(w, 0.0).count_nonzero(), w.numel());
+  EXPECT_EQ(prune::channel_prune_mask(w, 0.0).count_nonzero(), w.numel());
+  EXPECT_THROW(prune::filter_prune_mask(w, 1.0), std::invalid_argument);
+}
+
+class ConnectivitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConnectivitySweep, DropsExactFractionOfKernels) {
+  const double fraction = GetParam();
+  Rng rng(4);
+  Tensor w = Tensor::normal({6, 6, 3, 3}, rng);
+  const auto candidates = prune::generate_candidates(2, 3, 12, rng);
+  // Base mask: 2 nonzeros per kernel.
+  Tensor mask(w.shape());
+  for (std::int64_t k = 0; k < 36; ++k)
+    for (const auto& [r, c] : candidates[0].positions)
+      mask[k * 9 + r * 3 + c] = 1.0f;
+  const Tensor combined = prune::connectivity_prune(w, mask, fraction, 9);
+  int fully_zero = 0;
+  for (std::int64_t k = 0; k < 36; ++k) {
+    int nz = 0;
+    for (int i = 0; i < 9; ++i) nz += combined[k * 9 + i] != 0.0f;
+    EXPECT_TRUE(nz == 0 || nz == 2);
+    if (nz == 0) ++fully_zero;
+  }
+  EXPECT_EQ(fully_zero, static_cast<int>(fraction * 36));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, ConnectivitySweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5));
+
+TEST(ConnectivityPrune, DropsLowestKeptMass) {
+  Tensor w({2, 1, 3, 3});
+  Tensor mask(w.shape(), 1.0f);
+  for (int i = 0; i < 9; ++i) {
+    w[i] = 10.0f;        // kernel 0: heavy
+    w[9 + i] = 0.01f;    // kernel 1: light -> dropped
+  }
+  const Tensor combined = prune::connectivity_prune(w, mask, 0.5, 9);
+  EXPECT_EQ(combined[0], 1.0f);
+  EXPECT_EQ(combined[9], 0.0f);
+}
+
+TEST(ConnectivityPrune, OnlyCountsKeptMass) {
+  // Kernel 0 has huge weights that are all masked out; kernel 1 has small
+  // kept weights. Connectivity pruning must rank by *kept* L2, dropping
+  // kernel 0.
+  Tensor w({2, 1, 3, 3});
+  Tensor mask(w.shape());
+  for (int i = 0; i < 9; ++i) w[i] = 100.0f;  // kernel 0, all masked
+  w[9] = 0.5f;
+  mask[9] = 1.0f;  // kernel 1 keeps one small weight
+  const Tensor combined = prune::connectivity_prune(w, mask, 0.5, 9);
+  EXPECT_EQ(combined[9], 1.0f);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(combined[i], 0.0f);
+}
+
+}  // namespace
+}  // namespace upaq

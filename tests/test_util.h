@@ -1,0 +1,94 @@
+// Shared test helpers: finite-difference gradient checking for layers and
+// losses, plus small tensor factories.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+
+namespace upaq::testing {
+
+/// Checks a layer's input gradient and parameter gradients against central
+/// finite differences of the scalar probe loss L = sum(out * probe), where
+/// `probe` is a fixed random tensor. Requires the layer to be in training
+/// mode. `tol` is the max allowed |analytic - numeric| (absolute+relative).
+inline void gradcheck_layer(nn::Layer& layer, const Tensor& input, Rng& rng,
+                            double tol = 2e-2) {
+  layer.set_training(true);
+  Tensor out = layer.forward(input);
+  Tensor probe = Tensor::uniform(out.shape(), rng, -1.0f, 1.0f);
+
+  // Analytic gradients.
+  for (auto* p : layer.parameters()) p->zero_grad();
+  Tensor grad_in = layer.backward(probe);
+
+  auto loss_at = [&](const Tensor& x) {
+    Tensor o = layer.forward(x);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < o.numel(); ++i)
+      acc += static_cast<double>(o[i]) * probe[i];
+    return acc;
+  };
+
+  const float eps = 1e-2f;
+  auto close = [&](double analytic, double numeric) {
+    const double err = std::fabs(analytic - numeric);
+    const double scale = std::max({1.0, std::fabs(analytic), std::fabs(numeric)});
+    return err / scale < tol;
+  };
+
+  // Input gradient (sampled positions to keep tests fast).
+  Tensor x = input;
+  const std::int64_t stride_in = std::max<std::int64_t>(1, x.numel() / 24);
+  for (std::int64_t i = 0; i < x.numel(); i += stride_in) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const double lp = loss_at(x);
+    x[i] = orig - eps;
+    const double lm = loss_at(x);
+    x[i] = orig;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_TRUE(close(grad_in[i], numeric))
+        << "input grad mismatch at " << i << ": analytic " << grad_in[i]
+        << " numeric " << numeric;
+  }
+
+  // Parameter gradients (sampled).
+  for (auto* p : layer.parameters()) {
+    const std::int64_t stride_p = std::max<std::int64_t>(1, p->value.numel() / 16);
+    for (std::int64_t i = 0; i < p->value.numel(); i += stride_p) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const double lp = loss_at(input);
+      p->value[i] = orig - eps;
+      const double lm = loss_at(input);
+      p->value[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_TRUE(close(p->grad[i], numeric))
+          << p->name << " grad mismatch at " << i << ": analytic "
+          << p->grad[i] << " numeric " << numeric;
+    }
+  }
+}
+
+/// Finite-difference check for a scalar loss function f(x) -> (loss, grad).
+inline void gradcheck_scalar(
+    const std::function<float(float, float&)>& loss_fn, float x,
+    double tol = 1e-3) {
+  float analytic = 0.0f;
+  loss_fn(x, analytic);
+  const float eps = 1e-3f;
+  float unused = 0.0f;
+  const float lp = loss_fn(x + eps, unused);
+  const float lm = loss_fn(x - eps, unused);
+  const double numeric = (static_cast<double>(lp) - lm) / (2.0 * eps);
+  EXPECT_NEAR(analytic, numeric,
+              tol * std::max(1.0, std::fabs(numeric)))
+      << "at x=" << x;
+}
+
+}  // namespace upaq::testing
