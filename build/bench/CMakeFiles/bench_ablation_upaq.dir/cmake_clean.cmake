@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_upaq.dir/bench_ablation_upaq.cpp.o"
+  "CMakeFiles/bench_ablation_upaq.dir/bench_ablation_upaq.cpp.o.d"
+  "bench_ablation_upaq"
+  "bench_ablation_upaq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_upaq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_qualitative.dir/bench_fig6_qualitative.cpp.o"
+  "CMakeFiles/bench_fig6_qualitative.dir/bench_fig6_qualitative.cpp.o.d"
+  "bench_fig6_qualitative"
+  "bench_fig6_qualitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_model_zoo.dir/bench_table1_model_zoo.cpp.o"
+  "CMakeFiles/bench_table1_model_zoo.dir/bench_table1_model_zoo.cpp.o.d"
+  "bench_table1_model_zoo"
+  "bench_table1_model_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_model_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

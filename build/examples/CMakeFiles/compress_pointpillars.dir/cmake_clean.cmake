@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_pointpillars.dir/compress_pointpillars.cpp.o"
+  "CMakeFiles/compress_pointpillars.dir/compress_pointpillars.cpp.o.d"
+  "compress_pointpillars"
+  "compress_pointpillars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_pointpillars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

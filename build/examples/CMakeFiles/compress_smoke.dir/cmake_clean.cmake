@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_smoke.dir/compress_smoke.cpp.o"
+  "CMakeFiles/compress_smoke.dir/compress_smoke.cpp.o.d"
+  "compress_smoke"
+  "compress_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

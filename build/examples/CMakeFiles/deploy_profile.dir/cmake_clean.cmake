@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_profile.dir/deploy_profile.cpp.o"
+  "CMakeFiles/deploy_profile.dir/deploy_profile.cpp.o.d"
+  "deploy_profile"
+  "deploy_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_tool.dir/upaq_tool.cpp.o"
+  "CMakeFiles/upaq_tool.dir/upaq_tool.cpp.o.d"
+  "upaq_tool"
+  "upaq_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

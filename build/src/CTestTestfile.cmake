@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("tensor")
+subdirs("nn")
+subdirs("graph")
+subdirs("prune")
+subdirs("quant")
+subdirs("hw")
+subdirs("data")
+subdirs("eval")
+subdirs("detectors")
+subdirs("train")
+subdirs("core")
+subdirs("baselines")
+subdirs("zoo")

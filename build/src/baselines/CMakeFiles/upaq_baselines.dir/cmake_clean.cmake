@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/upaq_baselines.dir/baselines.cpp.o.d"
+  "libupaq_baselines.a"
+  "libupaq_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_core.dir/efficiency.cpp.o"
+  "CMakeFiles/upaq_core.dir/efficiency.cpp.o.d"
+  "CMakeFiles/upaq_core.dir/plan.cpp.o"
+  "CMakeFiles/upaq_core.dir/plan.cpp.o.d"
+  "CMakeFiles/upaq_core.dir/upaq.cpp.o"
+  "CMakeFiles/upaq_core.dir/upaq.cpp.o.d"
+  "libupaq_core.a"
+  "libupaq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_data.dir/scene.cpp.o"
+  "CMakeFiles/upaq_data.dir/scene.cpp.o.d"
+  "libupaq_data.a"
+  "libupaq_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_detectors.dir/detector.cpp.o"
+  "CMakeFiles/upaq_detectors.dir/detector.cpp.o.d"
+  "CMakeFiles/upaq_detectors.dir/pointpillars.cpp.o"
+  "CMakeFiles/upaq_detectors.dir/pointpillars.cpp.o.d"
+  "CMakeFiles/upaq_detectors.dir/smoke.cpp.o"
+  "CMakeFiles/upaq_detectors.dir/smoke.cpp.o.d"
+  "CMakeFiles/upaq_detectors.dir/specs.cpp.o"
+  "CMakeFiles/upaq_detectors.dir/specs.cpp.o.d"
+  "libupaq_detectors.a"
+  "libupaq_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_eval.dir/box.cpp.o"
+  "CMakeFiles/upaq_eval.dir/box.cpp.o.d"
+  "CMakeFiles/upaq_eval.dir/map.cpp.o"
+  "CMakeFiles/upaq_eval.dir/map.cpp.o.d"
+  "libupaq_eval.a"
+  "libupaq_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_graph.dir/graph.cpp.o"
+  "CMakeFiles/upaq_graph.dir/graph.cpp.o.d"
+  "libupaq_graph.a"
+  "libupaq_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

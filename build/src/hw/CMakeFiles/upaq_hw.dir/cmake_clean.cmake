@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_hw.dir/cost.cpp.o"
+  "CMakeFiles/upaq_hw.dir/cost.cpp.o.d"
+  "CMakeFiles/upaq_hw.dir/power.cpp.o"
+  "CMakeFiles/upaq_hw.dir/power.cpp.o.d"
+  "libupaq_hw.a"
+  "libupaq_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_nn.dir/conv.cpp.o"
+  "CMakeFiles/upaq_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/upaq_nn.dir/layers.cpp.o"
+  "CMakeFiles/upaq_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/upaq_nn.dir/module.cpp.o"
+  "CMakeFiles/upaq_nn.dir/module.cpp.o.d"
+  "libupaq_nn.a"
+  "libupaq_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_prune.dir/pattern.cpp.o"
+  "CMakeFiles/upaq_prune.dir/pattern.cpp.o.d"
+  "CMakeFiles/upaq_prune.dir/structured.cpp.o"
+  "CMakeFiles/upaq_prune.dir/structured.cpp.o.d"
+  "libupaq_prune.a"
+  "libupaq_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

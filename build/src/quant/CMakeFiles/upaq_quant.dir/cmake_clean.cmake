@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_quant.dir/quantize.cpp.o"
+  "CMakeFiles/upaq_quant.dir/quantize.cpp.o.d"
+  "libupaq_quant.a"
+  "libupaq_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_tensor.dir/ops.cpp.o"
+  "CMakeFiles/upaq_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/upaq_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/upaq_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/upaq_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/upaq_tensor.dir/tensor.cpp.o.d"
+  "libupaq_tensor.a"
+  "libupaq_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/losses.cpp" "src/train/CMakeFiles/upaq_train.dir/losses.cpp.o" "gcc" "src/train/CMakeFiles/upaq_train.dir/losses.cpp.o.d"
+  "/root/repo/src/train/optimizer.cpp" "src/train/CMakeFiles/upaq_train.dir/optimizer.cpp.o" "gcc" "src/train/CMakeFiles/upaq_train.dir/optimizer.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "src/train/CMakeFiles/upaq_train.dir/trainer.cpp.o" "gcc" "src/train/CMakeFiles/upaq_train.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/upaq_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/upaq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/upaq_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/upaq_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

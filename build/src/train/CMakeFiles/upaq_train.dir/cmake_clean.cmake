@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_train.dir/losses.cpp.o"
+  "CMakeFiles/upaq_train.dir/losses.cpp.o.d"
+  "CMakeFiles/upaq_train.dir/optimizer.cpp.o"
+  "CMakeFiles/upaq_train.dir/optimizer.cpp.o.d"
+  "CMakeFiles/upaq_train.dir/trainer.cpp.o"
+  "CMakeFiles/upaq_train.dir/trainer.cpp.o.d"
+  "libupaq_train.a"
+  "libupaq_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_zoo.dir/experiment.cpp.o"
+  "CMakeFiles/upaq_zoo.dir/experiment.cpp.o.d"
+  "CMakeFiles/upaq_zoo.dir/zoo.cpp.o"
+  "CMakeFiles/upaq_zoo.dir/zoo.cpp.o.d"
+  "libupaq_zoo.a"
+  "libupaq_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

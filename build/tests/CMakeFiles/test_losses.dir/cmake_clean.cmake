@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_losses.dir/test_losses.cpp.o"
+  "CMakeFiles/test_losses.dir/test_losses.cpp.o.d"
+  "test_losses"
+  "test_losses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_losses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_structured.dir/test_structured.cpp.o"
+  "CMakeFiles/test_structured.dir/test_structured.cpp.o.d"
+  "test_structured"
+  "test_structured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_structured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
