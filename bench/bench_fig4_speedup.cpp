@@ -2,12 +2,28 @@
 // (a) PointPillars and (b) SMOKE on both devices. Reuses the Table-2 cached
 // outcomes (runs the full pipeline first if the cache is cold) and renders
 // the speedup bars as ASCII.
+//
+// The run also times real PointPillars inference through the parallel tensor
+// backend at the active UPAQ_THREADS setting and writes a machine-readable
+// summary (threads used, wall clock, modelled speedups) to bench_fig4.json.
+// Compare serial vs parallel with:
+//   UPAQ_THREADS=1 ./bench_fig4_speedup && UPAQ_THREADS=4 ./bench_fig4_speedup
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "data/scene.h"
+#include "detectors/pointpillars.h"
+#include "parallel/thread_pool.h"
 #include "zoo/experiment.h"
 
 namespace {
+
+struct SpeedupRow {
+  std::string model, device, framework;
+  double speedup = 0.0;
+};
 
 void bar(double value, double max_value) {
   const int width = static_cast<int>(34.0 * value / max_value);
@@ -16,7 +32,8 @@ void bar(double value, double max_value) {
 }
 
 void print_model(upaq::zoo::ExperimentRunner& runner,
-                 upaq::zoo::ModelKind kind, char label) {
+                 upaq::zoo::ModelKind kind, char label,
+                 std::vector<SpeedupRow>& rows_out) {
   using namespace upaq;
   const auto rows = runner.table2_rows(kind);
   const auto& base = rows.front();
@@ -29,20 +46,70 @@ void print_model(upaq::zoo::ExperimentRunner& runner,
                                  : base.latency_orin_ms / r.latency_orin_ms;
       std::printf("    %-12s ", r.framework.c_str());
       bar(speedup, 2.5);
+      rows_out.push_back(
+          {zoo::model_kind_name(kind), device, r.framework, speedup});
     }
   }
+}
+
+/// Times eval-mode PointPillars inference (the im2col+GEMM hot path) on a
+/// fixed scene set. Everything funnels through the upaq::parallel backend,
+/// so this number is the one that moves with UPAQ_THREADS.
+double time_detect_ms(int scenes, int repeats) {
+  using namespace upaq;
+  auto cfg = detectors::PointPillarsConfig::scaled();
+  Rng rng(4242);
+  detectors::PointPillars model(cfg, rng);
+  Rng srng(99);
+  data::SceneGenerator gen;
+  std::vector<data::Scene> set;
+  for (int i = 0; i < scenes; ++i) set.push_back(gen.sample(srng));
+  std::size_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeats; ++r)
+    for (const auto& scene : set) sink += model.detect(scene).size();
+  const auto t1 = std::chrono::steady_clock::now();
+  (void)sink;
+  return std::chrono::duration<double, std::milli>(t1 - t0).count() /
+         (scenes * repeats);
 }
 
 }  // namespace
 
 int main() {
   using namespace upaq;
+  const int threads = parallel::thread_count();
   zoo::Zoo z;
   zoo::ExperimentRunner runner(z);
   std::printf("Fig. 4: Inference speedup vs base model after compression\n");
-  print_model(runner, zoo::ModelKind::kPointPillars, 'a');
-  print_model(runner, zoo::ModelKind::kSmoke, 'b');
+  std::printf("(tensor backend: %d thread%s; set UPAQ_THREADS to change)\n",
+              threads, threads == 1 ? "" : "s");
+  std::vector<SpeedupRow> rows;
+  print_model(runner, zoo::ModelKind::kPointPillars, 'a', rows);
+  print_model(runner, zoo::ModelKind::kSmoke, 'b', rows);
   std::printf("\nPaper reference (Jetson Orin): PointPillars UPAQ(HCK) 1.97x, "
               "UPAQ(LCK) 1.81x;\nSMOKE UPAQ(HCK) 1.86x, UPAQ(LCK) 1.78x.\n");
+
+  const double detect_ms = time_detect_ms(/*scenes=*/4, /*repeats=*/3);
+  std::printf("\nMeasured PointPillars detect(): %.2f ms/scene at %d thread%s\n",
+              detect_ms, threads, threads == 1 ? "" : "s");
+
+  FILE* json = std::fopen("bench_fig4.json", "w");
+  if (json) {
+    std::fprintf(json, "{\n  \"upaq_threads\": %d,\n", threads);
+    std::fprintf(json, "  \"detect_ms_per_scene\": %.4f,\n", detect_ms);
+    std::fprintf(json, "  \"speedups\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::fprintf(json,
+                   "    {\"model\": \"%s\", \"device\": \"%s\", "
+                   "\"framework\": \"%s\", \"speedup\": %.4f}%s\n",
+                   r.model.c_str(), r.device.c_str(), r.framework.c_str(),
+                   r.speedup, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("Wrote bench_fig4.json\n");
+  }
   return 0;
 }

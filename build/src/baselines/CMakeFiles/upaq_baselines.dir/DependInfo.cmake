@@ -24,6 +24,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/quant/CMakeFiles/upaq_quant.dir/DependInfo.cmake"
   "/root/repo/build/src/hw/CMakeFiles/upaq_hw.dir/DependInfo.cmake"
   "/root/repo/build/src/tensor/CMakeFiles/upaq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/upaq_parallel.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/data/CMakeFiles/upaq_data.dir/DependInfo.cmake"
   "/root/repo/build/src/eval/CMakeFiles/upaq_eval.dir/DependInfo.cmake"
   "/root/repo/build/src/tensor/CMakeFiles/upaq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/upaq_parallel.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/eval/CMakeFiles/upaq_eval.dir/DependInfo.cmake"
   "/root/repo/build/src/hw/CMakeFiles/upaq_hw.dir/DependInfo.cmake"
   "/root/repo/build/src/train/CMakeFiles/upaq_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/upaq_parallel.dir/DependInfo.cmake"
   "/root/repo/build/src/tensor/CMakeFiles/upaq_tensor.dir/DependInfo.cmake"
   )
 

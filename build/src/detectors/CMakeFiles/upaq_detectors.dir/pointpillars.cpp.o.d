@@ -254,4 +254,4 @@ src/detectors/CMakeFiles/upaq_detectors.dir/pointpillars.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/tensor/ops.h
+ /root/repo/src/parallel/thread_pool.h /root/repo/src/tensor/ops.h

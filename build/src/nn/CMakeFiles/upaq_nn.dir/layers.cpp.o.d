@@ -240,4 +240,5 @@ src/nn/CMakeFiles/upaq_nn.dir/layers.cpp.o: /root/repo/src/nn/layers.cpp \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/tensor/ops.h
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/parallel/thread_pool.h /root/repo/src/tensor/ops.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/upaq_parallel.dir/thread_pool.cpp.o.d"
+  "libupaq_parallel.a"
+  "libupaq_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

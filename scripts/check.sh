@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, then run the tier1 test label twice — once fully
+# serial (UPAQ_THREADS=1) and once at 4 threads — so the determinism suite
+# and the pool-dispatched kernel paths are both exercised on every check.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "==> tier1, serial (UPAQ_THREADS=1)"
+UPAQ_THREADS=1 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"
+
+echo "==> tier1, parallel (UPAQ_THREADS=4)"
+UPAQ_THREADS=4 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"
+
+echo "check.sh: OK (tier1 passed serial and 4-thread)"

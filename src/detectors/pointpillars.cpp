@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "parallel/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace upaq::detectors {
@@ -185,32 +186,42 @@ void PointPillars::forward(const data::Scene& scene, ForwardState& state) {
   Tensor point_feats =
       pfn_relu->forward(pfn_->forward(pil.features));  // (P*maxp, C)
 
-  // Masked max over each pillar's valid points; remember winners for backward.
+  // Masked max over each pillar's valid points; remember winners for
+  // backward. Pillars are independent (disjoint writes into pooled and the
+  // argmax table), so the pillar loop parallelises deterministically.
   Tensor pooled({std::max<std::int64_t>(pillar_count, 1), c});
   state.max_argmax.assign(static_cast<std::size_t>(pillar_count * c), 0);
-  for (std::int64_t p = 0; p < pillar_count; ++p) {
-    const int v = pil.valid_counts[static_cast<std::size_t>(p)];
-    for (int ch = 0; ch < c; ++ch) {
-      float best = -std::numeric_limits<float>::infinity();
-      std::int64_t best_row = p * maxp;
-      for (int i = 0; i < v; ++i) {
-        const float val = point_feats.at(p * maxp + i, ch);
-        if (val > best) {
-          best = val;
-          best_row = p * maxp + i;
+  parallel::parallel_for(0, pillar_count, 64, [&](std::int64_t p0,
+                                                  std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const int v = pil.valid_counts[static_cast<std::size_t>(p)];
+      for (int ch = 0; ch < c; ++ch) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::int64_t best_row = p * maxp;
+        for (int i = 0; i < v; ++i) {
+          const float val = point_feats.at(p * maxp + i, ch);
+          if (val > best) {
+            best = val;
+            best_row = p * maxp + i;
+          }
         }
+        pooled.at(p, ch) = best;
+        state.max_argmax[static_cast<std::size_t>(p * c + ch)] = best_row;
       }
-      pooled.at(p, ch) = best;
-      state.max_argmax[static_cast<std::size_t>(p * c + ch)] = best_row;
     }
-  }
+  });
 
-  // Scatter pillar embeddings to the pseudo-image.
+  // Scatter pillar embeddings to the pseudo-image. Pillar coords are unique
+  // (one bucket per occupied cell), so the writes are disjoint.
   Tensor pseudo({1, c, cfg_.grid, cfg_.grid});
-  for (std::int64_t p = 0; p < pillar_count; ++p) {
-    const auto [row, col] = pil.coords[static_cast<std::size_t>(p)];
-    for (int ch = 0; ch < c; ++ch) pseudo.at(0, ch, row, col) = pooled.at(p, ch);
-  }
+  parallel::parallel_for(0, pillar_count, 256, [&](std::int64_t p0,
+                                                   std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const auto [row, col] = pil.coords[static_cast<std::size_t>(p)];
+      for (int ch = 0; ch < c; ++ch)
+        pseudo.at(0, ch, row, col) = pooled.at(p, ch);
+    }
+  });
 
   // Backbone + FPN-style concat + head.
   const Tensor b1 = block_seq_[0].forward(pseudo);

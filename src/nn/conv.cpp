@@ -1,20 +1,11 @@
 #include "nn/conv.h"
 
+#include "parallel/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace upaq::nn {
 
 namespace {
-
-/// Copies batch item n of a (N,C,H,W) tensor into a (C,H,W) tensor.
-Tensor batch_item(const Tensor& x, std::int64_t n) {
-  const std::int64_t c = x.dim(1), h = x.dim(2), w = x.dim(3);
-  Tensor out({c, h, w});
-  const std::int64_t count = c * h * w;
-  const float* src = x.data() + n * count;
-  std::copy(src, src + count, out.data());
-  return out;
-}
 
 /// 2-D transpose.
 Tensor transpose2d(const Tensor& a) {
@@ -64,22 +55,27 @@ Tensor Conv2d::forward(const Tensor& x) {
 
   const Tensor w2d = weight_.value.reshape({out_c_, in_c_ * kernel_ * kernel_});
   Tensor out({n, out_c_, oh, ow});
-  for (std::int64_t b = 0; b < n; ++b) {
-    const Tensor cols = ops::im2col(batch_item(x, b), kernel_, kernel_, stride_, pad_);
-    Tensor y({out_c_, oh * ow});
-    ops::gemm_accumulate(w2d, cols, y);
-    float* dst = out.data() + b * out_c_ * oh * ow;
-    const float* src = y.data();
-    if (has_bias_) {
-      for (std::int64_t oc = 0; oc < out_c_; ++oc) {
-        const float bv = bias_.value[oc];
-        for (std::int64_t i = 0; i < oh * ow; ++i)
-          dst[oc * oh * ow + i] = src[oc * oh * ow + i] + bv;
+  // Batch items write disjoint output slices, so the batch loop parallelises
+  // deterministically. With a single-item batch the chunk runs inline and the
+  // row-parallel GEMM inside provides the parallelism instead.
+  parallel::parallel_for(0, n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const Tensor cols = ops::im2col(x, b, kernel_, kernel_, stride_, pad_);
+      Tensor y({out_c_, oh * ow});
+      ops::gemm_accumulate(w2d, cols, y);
+      float* dst = out.data() + b * out_c_ * oh * ow;
+      const float* src = y.data();
+      if (has_bias_) {
+        for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+          const float bv = bias_.value[oc];
+          for (std::int64_t i = 0; i < oh * ow; ++i)
+            dst[oc * oh * ow + i] = src[oc * oh * ow + i] + bv;
+        }
+      } else {
+        std::copy(src, src + out_c_ * oh * ow, dst);
       }
-    } else {
-      std::copy(src, src + out_c_ * oh * ow, dst);
     }
-  }
+  });
   return out;
 }
 
@@ -96,30 +92,55 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
 
   const Tensor w2d = weight_.value.reshape({out_c_, in_c_ * kernel_ * kernel_});
   const Tensor w2d_t = transpose2d(w2d);
-  Tensor grad_w2d({out_c_, in_c_ * kernel_ * kernel_});
+  const std::int64_t kcols = in_c_ * kernel_ * kernel_;
   Tensor grad_x({n, in_c_, h, w});
 
-  for (std::int64_t b = 0; b < n; ++b) {
-    const Tensor cols = ops::im2col(batch_item(x, b), kernel_, kernel_, stride_, pad_);
-    Tensor g({out_c_, oh * ow});
-    const float* src = grad_out.data() + b * out_c_ * oh * ow;
-    std::copy(src, src + out_c_ * oh * ow, g.data());
+  // Weight/bias gradients are batch reductions: each batch item produces its
+  // partial into a private buffer (disjoint writes, parallel-safe) and the
+  // partials are combined afterwards in batch order on one thread, so the
+  // result is bitwise identical for every thread count.
+  std::vector<Tensor> gw_partial(static_cast<std::size_t>(n));
+  std::vector<Tensor> gb_partial(has_bias_ ? static_cast<std::size_t>(n) : 0);
 
-    // dW += g * cols^T
-    ops::gemm_accumulate(g, transpose2d(cols), grad_w2d);
-    // dX_cols = W^T * g, then scatter back via col2im.
-    Tensor gcols({in_c_ * kernel_ * kernel_, oh * ow});
-    ops::gemm_accumulate(w2d_t, g, gcols);
-    const Tensor gx = ops::col2im(gcols, in_c_, h, w, kernel_, kernel_, stride_, pad_);
-    std::copy(gx.data(), gx.data() + in_c_ * h * w,
-              grad_x.data() + b * in_c_ * h * w);
+  parallel::parallel_for(0, n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const Tensor cols = ops::im2col(x, b, kernel_, kernel_, stride_, pad_);
+      Tensor g({out_c_, oh * ow});
+      const float* src = grad_out.data() + b * out_c_ * oh * ow;
+      std::copy(src, src + out_c_ * oh * ow, g.data());
 
-    if (has_bias_) {
-      for (std::int64_t oc = 0; oc < out_c_; ++oc) {
-        double acc = 0.0;
-        for (std::int64_t i = 0; i < oh * ow; ++i) acc += src[oc * oh * ow + i];
-        bias_.grad[oc] += static_cast<float>(acc);
+      // dW partial = g * cols^T (row-major on both sides via the NT gemm).
+      Tensor gw({out_c_, kcols});
+      ops::gemm_nt_accumulate(g, cols, gw);
+      gw_partial[static_cast<std::size_t>(b)] = std::move(gw);
+
+      // dX_cols = W^T * g, then scatter back via col2im.
+      Tensor gcols({kcols, oh * ow});
+      ops::gemm_accumulate(w2d_t, g, gcols);
+      const Tensor gx =
+          ops::col2im(gcols, in_c_, h, w, kernel_, kernel_, stride_, pad_);
+      std::copy(gx.data(), gx.data() + in_c_ * h * w,
+                grad_x.data() + b * in_c_ * h * w);
+
+      if (has_bias_) {
+        Tensor gb({out_c_});
+        for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+          double acc = 0.0;
+          for (std::int64_t i = 0; i < oh * ow; ++i)
+            acc += src[oc * oh * ow + i];
+          gb[oc] = static_cast<float>(acc);
+        }
+        gb_partial[static_cast<std::size_t>(b)] = std::move(gb);
       }
+    }
+  });
+
+  Tensor grad_w2d({out_c_, kcols});
+  for (std::int64_t b = 0; b < n; ++b) {
+    grad_w2d.add_(gw_partial[static_cast<std::size_t>(b)]);
+    if (has_bias_) {
+      const Tensor& gb = gb_partial[static_cast<std::size_t>(b)];
+      for (std::int64_t oc = 0; oc < out_c_; ++oc) bias_.grad[oc] += gb[oc];
     }
   }
   weight_.grad.add_(grad_w2d.reshape(weight_.value.shape()));

@@ -3,9 +3,16 @@
 #include <cmath>
 #include <limits>
 
+#include "parallel/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace upaq::nn {
+
+namespace {
+// Minimum scalar ops before a layer loop is worth dispatching to the pool;
+// below this the single-chunk inline path runs (identical results).
+constexpr std::int64_t kLayerParallelGrain = 1 << 15;
+}  // namespace
 
 const char* layer_kind_name(LayerKind k) {
   switch (k) {
@@ -50,46 +57,63 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
     batch_mean_.assign(static_cast<std::size_t>(c), 0.0f);
     batch_inv_std_.assign(static_cast<std::size_t>(c), 0.0f);
     xhat_cache_ = Tensor(x.shape());
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      double sum = 0.0, sq = 0.0;
-      for (std::int64_t b = 0; b < n; ++b) {
-        const float* src = x.data() + (b * c + ch) * h * w;
-        for (std::int64_t i = 0; i < h * w; ++i) {
-          sum += src[i];
-          sq += static_cast<double>(src[i]) * src[i];
+    // Channels are fully independent (stats, running-stat updates, and the
+    // normalized writes all live at index ch), so the channel loop is a
+    // deterministic disjoint-write parallel loop.
+    auto train_channels = [&](std::int64_t c0, std::int64_t c1) {
+      for (std::int64_t ch = c0; ch < c1; ++ch) {
+        double sum = 0.0, sq = 0.0;
+        for (std::int64_t b = 0; b < n; ++b) {
+          const float* src = x.data() + (b * c + ch) * h * w;
+          for (std::int64_t i = 0; i < h * w; ++i) {
+            sum += src[i];
+            sq += static_cast<double>(src[i]) * src[i];
+          }
+        }
+        const double mean = sum / per_channel;
+        const double var = std::max(sq / per_channel - mean * mean, 0.0);
+        const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+        batch_mean_[static_cast<std::size_t>(ch)] = static_cast<float>(mean);
+        batch_inv_std_[static_cast<std::size_t>(ch)] = inv_std;
+        running_mean_[ch] = (1.0f - momentum_) * running_mean_[ch] +
+                            momentum_ * static_cast<float>(mean);
+        running_var_[ch] = (1.0f - momentum_) * running_var_[ch] +
+                           momentum_ * static_cast<float>(var);
+        const float g = gamma_.value[ch], bta = beta_.value[ch];
+        for (std::int64_t b = 0; b < n; ++b) {
+          const float* src = x.data() + (b * c + ch) * h * w;
+          float* xh = xhat_cache_.data() + (b * c + ch) * h * w;
+          float* dst = out.data() + (b * c + ch) * h * w;
+          for (std::int64_t i = 0; i < h * w; ++i) {
+            xh[i] = (src[i] - static_cast<float>(mean)) * inv_std;
+            dst[i] = g * xh[i] + bta;
+          }
         }
       }
-      const double mean = sum / per_channel;
-      const double var = std::max(sq / per_channel - mean * mean, 0.0);
-      const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
-      batch_mean_[static_cast<std::size_t>(ch)] = static_cast<float>(mean);
-      batch_inv_std_[static_cast<std::size_t>(ch)] = inv_std;
-      running_mean_[ch] = (1.0f - momentum_) * running_mean_[ch] +
-                          momentum_ * static_cast<float>(mean);
-      running_var_[ch] = (1.0f - momentum_) * running_var_[ch] +
-                         momentum_ * static_cast<float>(var);
-      const float g = gamma_.value[ch], bta = beta_.value[ch];
-      for (std::int64_t b = 0; b < n; ++b) {
-        const float* src = x.data() + (b * c + ch) * h * w;
-        float* xh = xhat_cache_.data() + (b * c + ch) * h * w;
-        float* dst = out.data() + (b * c + ch) * h * w;
-        for (std::int64_t i = 0; i < h * w; ++i) {
-          xh[i] = (src[i] - static_cast<float>(mean)) * inv_std;
-          dst[i] = g * xh[i] + bta;
-        }
-      }
+    };
+    if (c * per_channel < kLayerParallelGrain) {
+      train_channels(0, c);
+    } else {
+      parallel::parallel_for(0, c, 1, train_channels);
     }
   } else {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      const float inv_std = 1.0f / std::sqrt(running_var_[ch] + eps_);
-      const float g = gamma_.value[ch], bta = beta_.value[ch];
-      const float mean = running_mean_[ch];
-      for (std::int64_t b = 0; b < n; ++b) {
-        const float* src = x.data() + (b * c + ch) * h * w;
-        float* dst = out.data() + (b * c + ch) * h * w;
-        for (std::int64_t i = 0; i < h * w; ++i)
-          dst[i] = g * (src[i] - mean) * inv_std + bta;
+    auto eval_channels = [&](std::int64_t c0, std::int64_t c1) {
+      for (std::int64_t ch = c0; ch < c1; ++ch) {
+        const float inv_std = 1.0f / std::sqrt(running_var_[ch] + eps_);
+        const float g = gamma_.value[ch], bta = beta_.value[ch];
+        const float mean = running_mean_[ch];
+        for (std::int64_t b = 0; b < n; ++b) {
+          const float* src = x.data() + (b * c + ch) * h * w;
+          float* dst = out.data() + (b * c + ch) * h * w;
+          for (std::int64_t i = 0; i < h * w; ++i)
+            dst[i] = g * (src[i] - mean) * inv_std + bta;
+        }
       }
+    };
+    if (c * per_channel < kLayerParallelGrain) {
+      eval_channels(0, c);
+    } else {
+      parallel::parallel_for(0, c, 1, eval_channels);
     }
   }
   return out;
@@ -101,30 +125,39 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
                      h = input_cache_.dim(2), w = input_cache_.dim(3);
   const std::int64_t m = n * h * w;
   Tensor grad_x(input_cache_.shape());
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    const float inv_std = batch_inv_std_[static_cast<std::size_t>(ch)];
-    const float g = gamma_.value[ch];
-    // Accumulate the per-channel reductions sum(dy) and sum(dy * xhat).
-    double sum_dy = 0.0, sum_dy_xhat = 0.0;
-    for (std::int64_t b = 0; b < n; ++b) {
-      const float* dy = grad_out.data() + (b * c + ch) * h * w;
-      const float* xh = xhat_cache_.data() + (b * c + ch) * h * w;
-      for (std::int64_t i = 0; i < h * w; ++i) {
-        sum_dy += dy[i];
-        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+  // Per-channel reductions and writes (gamma/beta grads, dx planes) are all
+  // indexed by ch, so the channel loop parallelises with disjoint writes.
+  auto backward_channels = [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ch = c0; ch < c1; ++ch) {
+      const float inv_std = batch_inv_std_[static_cast<std::size_t>(ch)];
+      const float g = gamma_.value[ch];
+      // Accumulate the per-channel reductions sum(dy) and sum(dy * xhat).
+      double sum_dy = 0.0, sum_dy_xhat = 0.0;
+      for (std::int64_t b = 0; b < n; ++b) {
+        const float* dy = grad_out.data() + (b * c + ch) * h * w;
+        const float* xh = xhat_cache_.data() + (b * c + ch) * h * w;
+        for (std::int64_t i = 0; i < h * w; ++i) {
+          sum_dy += dy[i];
+          sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+        }
+      }
+      gamma_.grad[ch] += static_cast<float>(sum_dy_xhat);
+      beta_.grad[ch] += static_cast<float>(sum_dy);
+      const float k1 = static_cast<float>(sum_dy / m);
+      const float k2 = static_cast<float>(sum_dy_xhat / m);
+      for (std::int64_t b = 0; b < n; ++b) {
+        const float* dy = grad_out.data() + (b * c + ch) * h * w;
+        const float* xh = xhat_cache_.data() + (b * c + ch) * h * w;
+        float* dx = grad_x.data() + (b * c + ch) * h * w;
+        for (std::int64_t i = 0; i < h * w; ++i)
+          dx[i] = g * inv_std * (dy[i] - k1 - xh[i] * k2);
       }
     }
-    gamma_.grad[ch] += static_cast<float>(sum_dy_xhat);
-    beta_.grad[ch] += static_cast<float>(sum_dy);
-    const float k1 = static_cast<float>(sum_dy / m);
-    const float k2 = static_cast<float>(sum_dy_xhat / m);
-    for (std::int64_t b = 0; b < n; ++b) {
-      const float* dy = grad_out.data() + (b * c + ch) * h * w;
-      const float* xh = xhat_cache_.data() + (b * c + ch) * h * w;
-      float* dx = grad_x.data() + (b * c + ch) * h * w;
-      for (std::int64_t i = 0; i < h * w; ++i)
-        dx[i] = g * inv_std * (dy[i] - k1 - xh[i] * k2);
-    }
+  };
+  if (c * m < kLayerParallelGrain) {
+    backward_channels(0, c);
+  } else {
+    parallel::parallel_for(0, c, 1, backward_channels);
   }
   return grad_x;
 }
@@ -134,8 +167,12 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
 Tensor Relu::forward(const Tensor& x) {
   if (training_) input_cache_ = x;
   Tensor out = x;
-  for (auto& v : out.flat())
-    if (v < 0.0f) v *= slope_;
+  float* p = out.data();
+  parallel::parallel_for(0, out.numel(), kLayerParallelGrain,
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i)
+                             if (p[i] < 0.0f) p[i] *= slope_;
+                         });
   return out;
 }
 
@@ -144,8 +181,11 @@ Tensor Relu::backward(const Tensor& grad_out) {
   Tensor grad = grad_out;
   const float* x = input_cache_.data();
   float* g = grad.data();
-  for (std::int64_t i = 0; i < grad.numel(); ++i)
-    if (x[i] < 0.0f) g[i] *= slope_;
+  parallel::parallel_for(0, grad.numel(), kLayerParallelGrain,
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i)
+                             if (x[i] < 0.0f) g[i] *= slope_;
+                         });
   return grad;
 }
 
@@ -262,18 +302,27 @@ Tensor Linear::forward(const Tensor& x) {
   if (training_) input_cache_ = x;
   const std::int64_t n = x.dim(0);
   Tensor out({n, out_f_});
-  // y = x * W^T (+ b)
+  // y = x * W^T (+ b); rows of the output are independent, so the batch loop
+  // parallelises deterministically (the PFN feeds thousands of point rows).
   const float* px = x.data();
   const float* pw = weight_.value.data();
   float* py = out.data();
-  for (std::int64_t b = 0; b < n; ++b) {
-    for (std::int64_t o = 0; o < out_f_; ++o) {
-      double acc = has_bias_ ? bias_.value[o] : 0.0;
-      const float* wrow = pw + o * in_f_;
-      const float* xrow = px + b * in_f_;
-      for (std::int64_t i = 0; i < in_f_; ++i) acc += static_cast<double>(wrow[i]) * xrow[i];
-      py[b * out_f_ + o] = static_cast<float>(acc);
+  auto rows = [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      for (std::int64_t o = 0; o < out_f_; ++o) {
+        double acc = has_bias_ ? bias_.value[o] : 0.0;
+        const float* wrow = pw + o * in_f_;
+        const float* xrow = px + b * in_f_;
+        for (std::int64_t i = 0; i < in_f_; ++i)
+          acc += static_cast<double>(wrow[i]) * xrow[i];
+        py[b * out_f_ + o] = static_cast<float>(acc);
+      }
     }
+  };
+  if (n * out_f_ * in_f_ < kLayerParallelGrain) {
+    rows(0, n);
+  } else {
+    parallel::parallel_for(0, n, 32, rows);
   }
   return out;
 }
@@ -290,18 +339,34 @@ Tensor Linear::backward(const Tensor& grad_out) {
   const float* pw = weight_.value.data();
   float* pgw = weight_.grad.data();
   float* pgx = grad_x.data();
+  // dX rows are disjoint per batch row -> parallel. dW/db are reductions
+  // over the batch; they keep the fixed serial accumulation order so results
+  // match across thread counts.
+  auto gx_rows = [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const float* grow = pg + b * out_f_;
+      float* gxrow = pgx + b * in_f_;
+      for (std::int64_t o = 0; o < out_f_; ++o) {
+        const float g = grow[o];
+        if (g == 0.0f) continue;
+        const float* wrow = pw + o * in_f_;
+        for (std::int64_t i = 0; i < in_f_; ++i) gxrow[i] += g * wrow[i];
+      }
+    }
+  };
+  if (n * out_f_ * in_f_ < kLayerParallelGrain) {
+    gx_rows(0, n);
+  } else {
+    parallel::parallel_for(0, n, 32, gx_rows);
+  }
   for (std::int64_t b = 0; b < n; ++b) {
     for (std::int64_t o = 0; o < out_f_; ++o) {
       const float g = pg[b * out_f_ + o];
       if (has_bias_) bias_.grad[o] += g;
+      if (g == 0.0f) continue;
       const float* xrow = px + b * in_f_;
       float* gwrow = pgw + o * in_f_;
-      const float* wrow = pw + o * in_f_;
-      float* gxrow = pgx + b * in_f_;
-      for (std::int64_t i = 0; i < in_f_; ++i) {
-        gwrow[i] += g * xrow[i];
-        gxrow[i] += g * wrow[i];
-      }
+      for (std::int64_t i = 0; i < in_f_; ++i) gwrow[i] += g * xrow[i];
     }
   }
   if (!weight_.mask.empty()) weight_.grad.mul_(weight_.mask);

@@ -1,0 +1,206 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace upaq::parallel {
+
+namespace {
+
+thread_local bool tl_in_task = false;
+
+/// One run() invocation. Heap-allocated and shared with the workers so a
+/// late-waking worker can never touch state from a newer job.
+struct Job {
+  const std::function<void(std::int64_t)>* fn = nullptr;
+  std::int64_t tasks = 0;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> done{0};
+
+  std::mutex err_mutex;
+  std::int64_t err_task = -1;
+  std::exception_ptr err;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  void record_error(std::int64_t task) {
+    std::lock_guard<std::mutex> lock(err_mutex);
+    if (err_task < 0 || task < err_task) {
+      err_task = task;
+      err = std::current_exception();
+    }
+  }
+
+  /// Claims tasks until the job drains. Returns once no tasks remain to
+  /// claim (other lanes may still be finishing theirs).
+  void execute() {
+    const bool was_in_task = tl_in_task;
+    tl_in_task = true;
+    for (;;) {
+      const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        record_error(i);
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == tasks) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+    tl_in_task = was_in_task;
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::shared_ptr<Job> job;     // current job, null when idle
+  std::uint64_t epoch = 0;      // bumped per job so workers can detect news
+  bool stop = false;
+
+  std::mutex run_mutex;         // serializes concurrent external run() calls
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> j;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return stop || epoch != seen; });
+        if (stop) return;
+        seen = epoch;
+        j = job;
+      }
+      if (j) j->execute();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(std::make_unique<Impl>()) {
+  const int workers = std::max(0, threads - 1);
+  impl_->workers.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& t : impl_->workers) t.join();
+}
+
+int ThreadPool::threads() const {
+  return static_cast<int>(impl_->workers.size()) + 1;
+}
+
+void ThreadPool::run(std::int64_t tasks,
+                     const std::function<void(std::int64_t)>& fn) {
+  if (tasks <= 0) return;
+  if (tl_in_task || impl_->workers.empty() || tasks == 1) {
+    // Serial / nested path: inline, in index order. tl_in_task stays as-is
+    // so a task body calling run() again keeps inlining.
+    for (std::int64_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(impl_->run_mutex);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->tasks = tasks;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = job;
+    ++impl_->epoch;
+  }
+  impl_->cv.notify_all();
+
+  job->execute();  // the calling thread is a lane too
+
+  {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) >= job->tasks;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->job == job) impl_->job.reset();
+  }
+  if (job->err) std::rethrow_exception(job->err);
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+int g_threads = 0;  // 0 = not yet resolved from the environment
+
+int env_thread_count() {
+  if (const char* s = std::getenv("UPAQ_THREADS")) {
+    const int v = std::atoi(s);
+    if (v >= 1) return v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+}  // namespace
+
+int thread_count() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_threads == 0) g_threads = env_thread_count();
+  return g_threads;
+}
+
+void set_thread_count(int n) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_threads = std::max(1, n);
+  g_pool.reset();  // rebuilt lazily with the new lane count
+}
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_threads == 0) g_threads = env_thread_count();
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(g_threads);
+  return *g_pool;
+}
+
+bool in_parallel_region() { return tl_in_task; }
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+  const std::int64_t range = end - begin;
+  if (range <= 0) return;
+  const std::int64_t g = std::max<std::int64_t>(1, grain);
+  const std::int64_t chunks = (range + g - 1) / g;
+  if (chunks == 1) {
+    body(begin, end);
+    return;
+  }
+  auto run_chunk = [&](std::int64_t ci) {
+    const std::int64_t b = begin + ci * g;
+    body(b, std::min(end, b + g));
+  };
+  if (tl_in_task || thread_count() == 1) {
+    for (std::int64_t ci = 0; ci < chunks; ++ci) run_chunk(ci);
+    return;
+  }
+  global_pool().run(chunks, run_chunk);
+}
+
+}  // namespace upaq::parallel

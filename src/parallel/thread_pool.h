@@ -1,0 +1,75 @@
+// Fixed-size thread pool and deterministic parallel-for.
+//
+// All tensor/NN hot paths funnel through parallel_for. Determinism contract:
+// the loop range is split into chunks whose boundaries depend only on the
+// range and the grain — never on the thread count — and reductions (conv
+// weight gradients, batch-norm statistics) are combined in chunk order on a
+// single thread. A kernel that writes disjoint outputs per chunk therefore
+// produces bitwise-identical results for every UPAQ_THREADS value; the
+// determinism test suite (tests/test_determinism.cpp) pins this down.
+//
+// Thread count comes from the UPAQ_THREADS environment variable (default:
+// hardware_concurrency). UPAQ_THREADS=1 forces the fully serial path: no
+// worker threads exist and every chunk runs inline, in order, on the caller.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace upaq::parallel {
+
+/// Fixed-size pool of `threads - 1` workers; the thread calling run()
+/// participates as the remaining lane. With threads == 1 no workers are
+/// spawned and run() degenerates to a serial in-order loop.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (workers + the calling thread).
+  int threads() const;
+
+  /// Executes fn(0) .. fn(tasks - 1), blocking until all complete. Tasks are
+  /// claimed dynamically but each runs exactly once. If one or more tasks
+  /// throw, the exception from the lowest task index is rethrown after the
+  /// job drains (the others are swallowed). Safe to call from inside a task:
+  /// nested calls execute inline on the current thread, so kernels can be
+  /// composed (batch-parallel conv over a row-parallel GEMM) without
+  /// deadlock.
+  void run(std::int64_t tasks, const std::function<void(std::int64_t)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Current global thread-count setting (reads UPAQ_THREADS on first use).
+int thread_count();
+
+/// Overrides the global thread count (clamped to >= 1) and rebuilds the
+/// shared pool lazily. Tests use this to compare serial vs parallel runs in
+/// one process.
+void set_thread_count(int n);
+
+/// The process-wide pool all kernels share. Created on first use with
+/// thread_count() lanes.
+ThreadPool& global_pool();
+
+/// True while the calling thread is executing a pool task (used by kernels
+/// to avoid re-entrant dispatch; nested parallel_for runs inline).
+bool in_parallel_region();
+
+/// Splits [begin, end) into ceil(range / grain) chunks of `grain` iterations
+/// (last chunk may be short) and runs body(chunk_begin, chunk_end) for each.
+/// Chunk boundaries depend only on (begin, end, grain), so any kernel whose
+/// chunks write disjoint outputs is bitwise-deterministic across thread
+/// counts. With one thread (or when nested) chunks run inline in index
+/// order.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+}  // namespace upaq::parallel

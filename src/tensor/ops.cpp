@@ -3,7 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/thread_pool.h"
+
 namespace upaq::ops {
+
+namespace {
+
+// Kernels below this many scalar operations run serially: pool dispatch
+// costs more than it saves, and the serial path is identical anyway because
+// chunk boundaries do not depend on thread count.
+constexpr std::int64_t kMinParallelWork = 1 << 15;
+
+// Fixed chunk grains (rows per chunk). Thread-count independent by design —
+// see parallel/thread_pool.h for the determinism contract.
+constexpr std::int64_t kGemmRowGrain = 8;
+constexpr std::int64_t kColRowGrain = 4;
+
+}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   UPAQ_CHECK(a.rank() == 2 && b.rank() == 2, "matmul expects 2-D tensors");
@@ -25,14 +41,55 @@ void gemm_accumulate(const Tensor& a, const Tensor& b, Tensor& c, float alpha) {
   const float* pb = b.data();
   float* pc = c.data();
   // i-k-j loop order keeps the inner loop contiguous over B and C rows.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = alpha * pa[i * k + kk];
-      if (av == 0.0f) continue;  // free zero-skipping for pruned rows
-      const float* brow = pb + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Chunks own disjoint row blocks of C, so the parallel result is bitwise
+  // identical to the serial one.
+  auto rows = [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* crow = pc + i * n;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = alpha * pa[i * k + kk];
+        if (av == 0.0f) continue;  // free zero-skipping for pruned rows
+        const float* brow = pb + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
+  };
+  if (m * k * n < kMinParallelWork) {
+    rows(0, m);
+  } else {
+    parallel::parallel_for(0, m, kGemmRowGrain, rows);
+  }
+}
+
+void gemm_nt_accumulate(const Tensor& a, const Tensor& b, Tensor& c,
+                        float alpha) {
+  UPAQ_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
+             "gemm_nt expects 2-D tensors");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  UPAQ_CHECK(b.dim(1) == k && c.dim(0) == m && c.dim(1) == n,
+             "gemm_nt shape mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // C[i,j] += alpha * dot(A row i, B row j): both reads contiguous, no
+  // transpose copy needed. Double accumulation keeps long dot products tame.
+  auto rows = [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        double acc = 0.0;
+        for (std::int64_t kk = 0; kk < k; ++kk)
+          acc += static_cast<double>(arow[kk]) * brow[kk];
+        crow[j] += alpha * static_cast<float>(acc);
+      }
+    }
+  };
+  if (m * k * n < kMinParallelWork) {
+    rows(0, m);
+  } else {
+    parallel::parallel_for(0, m, kGemmRowGrain, rows);
   }
 }
 
@@ -43,35 +100,60 @@ std::int64_t conv_out_size(std::int64_t in, int k, int stride, int pad) {
   return eff / stride + 1;
 }
 
-Tensor im2col(const Tensor& input, int kh, int kw, int stride, int pad) {
-  UPAQ_CHECK(input.rank() == 3, "im2col expects (C,H,W)");
-  const std::int64_t c = input.dim(0), h = input.dim(1), w = input.dim(2);
+namespace {
+
+/// Shared im2col kernel over a raw (C,H,W) plane. Parallel over column rows
+/// (each row of the output matrix is a disjoint write).
+Tensor im2col_impl(const float* in, std::int64_t c, std::int64_t h,
+                   std::int64_t w, int kh, int kw, int stride, int pad) {
   const std::int64_t oh = conv_out_size(h, kh, stride, pad);
   const std::int64_t ow = conv_out_size(w, kw, stride, pad);
   Tensor cols({c * kh * kw, oh * ow});
-  const float* in = input.data();
   float* out = cols.data();
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    for (int ky = 0; ky < kh; ++ky) {
-      for (int kx = 0; kx < kw; ++kx) {
-        const std::int64_t row = (ch * kh + ky) * kw + kx;
-        float* dst = out + row * oh * ow;
-        for (std::int64_t oy = 0; oy < oh; ++oy) {
-          const std::int64_t iy = oy * stride - pad + ky;
-          if (iy < 0 || iy >= h) {
-            std::fill(dst + oy * ow, dst + (oy + 1) * ow, 0.0f);
-            continue;
-          }
-          const float* src = in + (ch * h + iy) * w;
-          for (std::int64_t ox = 0; ox < ow; ++ox) {
-            const std::int64_t ix = ox * stride - pad + kx;
-            dst[oy * ow + ox] = (ix >= 0 && ix < w) ? src[ix] : 0.0f;
-          }
+  const std::int64_t rows = c * kh * kw;
+  auto fill_rows = [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t row = r0; row < r1; ++row) {
+      const std::int64_t ch = row / (kh * kw);
+      const int ky = static_cast<int>((row / kw) % kh);
+      const int kx = static_cast<int>(row % kw);
+      float* dst = out + row * oh * ow;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        const std::int64_t iy = oy * stride - pad + ky;
+        if (iy < 0 || iy >= h) {
+          std::fill(dst + oy * ow, dst + (oy + 1) * ow, 0.0f);
+          continue;
+        }
+        const float* src = in + (ch * h + iy) * w;
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const std::int64_t ix = ox * stride - pad + kx;
+          dst[oy * ow + ox] = (ix >= 0 && ix < w) ? src[ix] : 0.0f;
         }
       }
     }
+  };
+  if (rows * oh * ow < kMinParallelWork) {
+    fill_rows(0, rows);
+  } else {
+    parallel::parallel_for(0, rows, kColRowGrain, fill_rows);
   }
   return cols;
+}
+
+}  // namespace
+
+Tensor im2col(const Tensor& input, int kh, int kw, int stride, int pad) {
+  UPAQ_CHECK(input.rank() == 3, "im2col expects (C,H,W)");
+  return im2col_impl(input.data(), input.dim(0), input.dim(1), input.dim(2),
+                     kh, kw, stride, pad);
+}
+
+Tensor im2col(const Tensor& input, std::int64_t batch, int kh, int kw,
+              int stride, int pad) {
+  UPAQ_CHECK(input.rank() == 4, "batched im2col expects (N,C,H,W)");
+  UPAQ_CHECK(batch >= 0 && batch < input.dim(0), "im2col batch out of range");
+  const std::int64_t c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  return im2col_impl(input.data() + batch * c * h * w, c, h, w, kh, kw,
+                     stride, pad);
 }
 
 Tensor col2im(const Tensor& cols, std::int64_t channels, std::int64_t height,
@@ -84,22 +166,32 @@ Tensor col2im(const Tensor& cols, std::int64_t channels, std::int64_t height,
   Tensor img({channels, height, width});
   const float* in = cols.data();
   float* out = img.data();
-  for (std::int64_t ch = 0; ch < channels; ++ch) {
-    for (int ky = 0; ky < kh; ++ky) {
-      for (int kx = 0; kx < kw; ++kx) {
-        const std::int64_t row = (ch * kh + ky) * kw + kx;
-        const float* src = in + row * oh * ow;
-        for (std::int64_t oy = 0; oy < oh; ++oy) {
-          const std::int64_t iy = oy * stride - pad + ky;
-          if (iy < 0 || iy >= height) continue;
-          float* dst = out + (ch * height + iy) * width;
-          for (std::int64_t ox = 0; ox < ow; ++ox) {
-            const std::int64_t ix = ox * stride - pad + kx;
-            if (ix >= 0 && ix < width) dst[ix] += src[oy * ow + ox];
+  // Parallel over channels: every scatter-add for channel ch lands in that
+  // channel's (H,W) plane, so chunks write disjoint regions and the add
+  // order within a channel is the fixed serial one.
+  auto scatter = [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ch = c0; ch < c1; ++ch) {
+      for (int ky = 0; ky < kh; ++ky) {
+        for (int kx = 0; kx < kw; ++kx) {
+          const std::int64_t row = (ch * kh + ky) * kw + kx;
+          const float* src = in + row * oh * ow;
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            const std::int64_t iy = oy * stride - pad + ky;
+            if (iy < 0 || iy >= height) continue;
+            float* dst = out + (ch * height + iy) * width;
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              const std::int64_t ix = ox * stride - pad + kx;
+              if (ix >= 0 && ix < width) dst[ix] += src[oy * ow + ox];
+            }
           }
         }
       }
     }
+  };
+  if (channels * kh * kw * oh * ow < kMinParallelWork) {
+    scatter(0, channels);
+  } else {
+    parallel::parallel_for(0, channels, 1, scatter);
   }
   return img;
 }
@@ -114,7 +206,12 @@ float sigmoid(float x) {
 }
 
 void sigmoid_(Tensor& t) {
-  for (auto& v : t.flat()) v = sigmoid(v);
+  float* p = t.data();
+  parallel::parallel_for(0, t.numel(), kMinParallelWork,
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i)
+                             p[i] = sigmoid(p[i]);
+                         });
 }
 
 void softmax_rows_(Tensor& t) {
@@ -135,7 +232,12 @@ void softmax_rows_(Tensor& t) {
 }
 
 void clamp_min_(Tensor& t, float floor) {
-  for (auto& v : t.flat()) v = std::max(v, floor);
+  float* p = t.data();
+  parallel::parallel_for(0, t.numel(), kMinParallelWork,
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i)
+                             p[i] = std::max(p[i], floor);
+                         });
 }
 
 }  // namespace upaq::ops

@@ -16,10 +16,25 @@ namespace upaq::ops {
 Tensor matmul(const Tensor& a, const Tensor& b);
 
 /// C += alpha * A(mxk) * B(kxn) into a pre-allocated 2-D tensor.
+/// Parallelised over row blocks of C; each output row is produced by exactly
+/// one chunk with a fixed inner-loop order, so results are bitwise identical
+/// for every thread count.
 void gemm_accumulate(const Tensor& a, const Tensor& b, Tensor& c, float alpha = 1.0f);
+
+/// C += alpha * A(mxk) * B(nxk)^T — i.e. both operands are read row-wise.
+/// Used by the conv backward weight-gradient GEMM so the column matrix never
+/// has to be transposed/copied. Same row-block parallel determinism as
+/// gemm_accumulate.
+void gemm_nt_accumulate(const Tensor& a, const Tensor& b, Tensor& c,
+                        float alpha = 1.0f);
 
 /// im2col for NCHW input: input (C,H,W) -> columns (C*kh*kw, out_h*out_w).
 Tensor im2col(const Tensor& input, int kh, int kw, int stride, int pad);
+
+/// Batch-offset view variant: lowers item `batch` of a (N,C,H,W) tensor
+/// without copying it out first (the (C,H,W) slice is contiguous in NCHW).
+Tensor im2col(const Tensor& input, std::int64_t batch, int kh, int kw,
+              int stride, int pad);
 
 /// col2im: inverse scatter-add of im2col, columns (C*kh*kw, out_h*out_w)
 /// -> (C,H,W). Used by the conv backward pass.

@@ -5,7 +5,15 @@
 #include <numeric>
 #include <sstream>
 
+#include "parallel/thread_pool.h"
+
 namespace upaq {
+
+namespace {
+// Elementwise loops below this length run inline (one chunk); the grain is
+// thread-count independent so results match across UPAQ_THREADS settings.
+constexpr std::int64_t kElemwiseGrain = 1 << 15;
+}  // namespace
 
 std::string shape_to_string(const Shape& s) {
   std::ostringstream os;
@@ -107,24 +115,43 @@ void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
 Tensor& Tensor::add_(const Tensor& other) {
   UPAQ_CHECK(other.numel() == numel(), "add_: element count mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  float* a = data_.data();
+  const float* b = other.data_.data();
+  parallel::parallel_for(0, numel(), kElemwiseGrain,
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) a[i] += b[i];
+                         });
   return *this;
 }
 
 Tensor& Tensor::sub_(const Tensor& other) {
   UPAQ_CHECK(other.numel() == numel(), "sub_: element count mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  float* a = data_.data();
+  const float* b = other.data_.data();
+  parallel::parallel_for(0, numel(), kElemwiseGrain,
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) a[i] -= b[i];
+                         });
   return *this;
 }
 
 Tensor& Tensor::mul_(const Tensor& other) {
   UPAQ_CHECK(other.numel() == numel(), "mul_: element count mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  float* a = data_.data();
+  const float* b = other.data_.data();
+  parallel::parallel_for(0, numel(), kElemwiseGrain,
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) a[i] *= b[i];
+                         });
   return *this;
 }
 
 Tensor& Tensor::scale_(float s) {
-  for (auto& v : data_) v *= s;
+  float* a = data_.data();
+  parallel::parallel_for(0, numel(), kElemwiseGrain,
+                         [&](std::int64_t i0, std::int64_t i1) {
+                           for (std::int64_t i = i0; i < i1; ++i) a[i] *= s;
+                         });
   return *this;
 }
 

@@ -1,0 +1,191 @@
+// Determinism suite: every parallel kernel must produce bitwise-identical
+// results with UPAQ_THREADS=1 and UPAQ_THREADS=4. This holds because chunk
+// boundaries depend only on the loop range (never the thread count) and all
+// cross-chunk reductions are combined in chunk order on one thread — no
+// atomics on floats anywhere.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/scene.h"
+#include "detectors/pointpillars.h"
+#include "nn/module.h"
+#include "parallel/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace upaq {
+namespace {
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b,
+                          const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(a[i]),
+              std::bit_cast<std::uint32_t>(b[i]))
+        << what << " diverges at flat index " << i << ": " << a[i] << " vs "
+        << b[i];
+}
+
+/// Runs `fn` once at 1 thread and once at 4, restoring 1 thread after, and
+/// returns the two results for comparison.
+std::pair<Tensor, Tensor> run_both(const std::function<Tensor()>& fn) {
+  parallel::set_thread_count(1);
+  Tensor serial = fn();
+  parallel::set_thread_count(4);
+  Tensor parallel_result = fn();
+  parallel::set_thread_count(1);
+  return {std::move(serial), std::move(parallel_result)};
+}
+
+TEST(Determinism, GemmAccumulate) {
+  Rng rng(100);
+  const Tensor a = Tensor::uniform({57, 43}, rng);
+  const Tensor b = Tensor::uniform({43, 61}, rng);
+  const Tensor c0 = Tensor::uniform({57, 61}, rng);
+  auto [s, p] = run_both([&] {
+    Tensor c = c0.clone();
+    ops::gemm_accumulate(a, b, c, 0.7f);
+    return c;
+  });
+  expect_bitwise_equal(s, p, "gemm_accumulate");
+}
+
+TEST(Determinism, GemmNtAccumulate) {
+  Rng rng(101);
+  const Tensor a = Tensor::uniform({37, 129}, rng);
+  const Tensor b = Tensor::uniform({41, 129}, rng);
+  auto [s, p] = run_both([&] {
+    Tensor c({37, 41});
+    ops::gemm_nt_accumulate(a, b, c);
+    return c;
+  });
+  expect_bitwise_equal(s, p, "gemm_nt_accumulate");
+}
+
+TEST(Determinism, Im2colAndBatchView) {
+  Rng rng(102);
+  const Tensor x = Tensor::uniform({3, 6, 31, 29}, rng);
+  auto [s, p] = run_both([&] { return ops::im2col(x, 1, 3, 3, 2, 1); });
+  expect_bitwise_equal(s, p, "im2col (batched view)");
+
+  // The batch-offset view must also match lowering an explicit (C,H,W) copy.
+  Tensor item({6, 31, 29});
+  const std::int64_t count = item.numel();
+  std::copy(x.data() + count, x.data() + 2 * count, item.data());
+  expect_bitwise_equal(ops::im2col(item, 3, 3, 2, 1), s,
+                       "im2col view vs copied item");
+}
+
+TEST(Determinism, Col2im) {
+  Rng rng(103);
+  const Tensor cols = Tensor::uniform({6 * 9, 16 * 15}, rng);
+  auto [s, p] = run_both([&] { return ops::col2im(cols, 6, 31, 29, 3, 3, 2, 1); });
+  expect_bitwise_equal(s, p, "col2im");
+}
+
+TEST(Determinism, ElementwiseOps) {
+  Rng rng(104);
+  const Tensor a0 = Tensor::uniform({100000}, rng);
+  const Tensor b = Tensor::uniform({100000}, rng);
+  auto [s, p] = run_both([&] {
+    Tensor a = a0.clone();
+    a.add_(b);
+    a.mul_(b);
+    a.scale_(1.37f);
+    ops::clamp_min_(a, -0.25f);
+    ops::sigmoid_(a);
+    return a;
+  });
+  expect_bitwise_equal(s, p, "elementwise chain");
+}
+
+TEST(Determinism, Conv2dForwardBackward) {
+  auto run = [&](Tensor& grad_w, Tensor& grad_b, Tensor& grad_x) {
+    Rng rng(105);  // identical weights in both runs
+    nn::Conv2d conv(3, 5, 3, 2, 1, true, rng, "c");
+    conv.set_training(true);
+    Rng drng(106);
+    const Tensor x = Tensor::uniform({4, 3, 14, 14}, drng);
+    const Tensor y = conv.forward(x);
+    const Tensor g = Tensor::uniform(y.shape(), drng);
+    grad_x = conv.backward(g);
+    grad_w = conv.weight().grad.clone();
+    grad_b = conv.bias()->grad.clone();
+    return y;
+  };
+  parallel::set_thread_count(1);
+  Tensor gw1, gb1, gx1;
+  const Tensor y1 = run(gw1, gb1, gx1);
+  parallel::set_thread_count(4);
+  Tensor gw4, gb4, gx4;
+  const Tensor y4 = run(gw4, gb4, gx4);
+  parallel::set_thread_count(1);
+  expect_bitwise_equal(y1, y4, "conv forward");
+  expect_bitwise_equal(gx1, gx4, "conv input grad");
+  expect_bitwise_equal(gw1, gw4, "conv weight grad");
+  expect_bitwise_equal(gb1, gb4, "conv bias grad");
+}
+
+TEST(Determinism, PointPillarsForwardAndGradients) {
+  auto cfg = detectors::PointPillarsConfig::scaled();
+  cfg.grid = 32;
+  cfg.pfn_channels = 8;
+  cfg.blocks = {{1, 8}, {1, 12}, {1, 16}};
+  cfg.up_channels = 8;
+  cfg.head_channels = 16;
+  cfg.score_threshold = 0.0f;  // decode every cell so outputs carry signal
+
+  Rng srng(107);
+  const data::Scene scene = data::SceneGenerator().sample(srng);
+
+  auto detect_once = [&]() {
+    Rng rng(108);
+    detectors::PointPillars model(cfg, rng);
+    return model.detect(scene);
+  };
+  auto grads_once = [&]() {
+    Rng rng(108);
+    detectors::PointPillars model(cfg, rng);
+    model.zero_grad();
+    std::vector<const data::Scene*> batch{&scene};
+    const double loss = model.compute_loss_and_grad(batch);
+    std::vector<float> flat{static_cast<float>(loss)};
+    for (auto* param : model.parameters())
+      for (std::int64_t i = 0; i < param->grad.numel(); ++i)
+        flat.push_back(param->grad[i]);
+    const std::int64_t count = static_cast<std::int64_t>(flat.size());
+    return Tensor({count}, std::move(flat));
+  };
+
+  parallel::set_thread_count(1);
+  const auto boxes1 = detect_once();
+  parallel::set_thread_count(4);
+  const auto boxes4 = detect_once();
+  parallel::set_thread_count(1);
+
+  ASSERT_FALSE(boxes1.empty());
+  ASSERT_EQ(boxes1.size(), boxes4.size());
+  for (std::size_t i = 0; i < boxes1.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(boxes1[i].score),
+              std::bit_cast<std::uint32_t>(boxes4[i].score))
+        << "box " << i;
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(boxes1[i].x),
+              std::bit_cast<std::uint32_t>(boxes4[i].x))
+        << "box " << i;
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(boxes1[i].y),
+              std::bit_cast<std::uint32_t>(boxes4[i].y))
+        << "box " << i;
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(boxes1[i].yaw),
+              std::bit_cast<std::uint32_t>(boxes4[i].yaw))
+        << "box " << i;
+  }
+
+  auto [g1, g4] = run_both(grads_once);
+  expect_bitwise_equal(g1, g4, "pointpillars loss+grads");
+}
+
+}  // namespace
+}  // namespace upaq

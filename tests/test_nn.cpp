@@ -58,6 +58,53 @@ TEST(Conv2d, GradCheckStride2OneByOne) {
   gradcheck_layer(strided, Tensor::uniform({1, 2, 6, 6}, rng), rng);
 }
 
+// Finite-difference gradient checks over the stride/pad/bias grid at a tight
+// 1e-3 tolerance. The probe loss is linear in every individual coordinate,
+// so the central difference is exact up to float rounding and the tolerance
+// genuinely pins the analytic backward.
+TEST(Conv2d, GradCheckStride2Pad1WithBias) {
+  Rng rng(40);
+  nn::Conv2d conv(2, 3, 3, 2, 1, true, rng, "c");
+  gradcheck_layer(conv, Tensor::uniform({2, 2, 7, 7}, rng), rng, 1e-3);
+}
+
+TEST(Conv2d, GradCheckStride2Pad1NoBias) {
+  Rng rng(41);
+  nn::Conv2d conv(2, 3, 3, 2, 1, false, rng, "c");
+  gradcheck_layer(conv, Tensor::uniform({2, 2, 7, 7}, rng), rng, 1e-3);
+}
+
+TEST(Conv2d, GradCheckStride3Pad2WithBias) {
+  Rng rng(42);
+  nn::Conv2d conv(3, 2, 3, 3, 2, true, rng, "c");
+  gradcheck_layer(conv, Tensor::uniform({1, 3, 8, 8}, rng), rng, 1e-3);
+}
+
+TEST(Conv2d, GradCheckStride1Pad2NoBias) {
+  Rng rng(43);
+  nn::Conv2d conv(2, 2, 3, 1, 2, false, rng, "c");
+  gradcheck_layer(conv, Tensor::uniform({2, 2, 5, 5}, rng), rng, 1e-3);
+}
+
+TEST(Conv2d, BatchedForwardMatchesPerItemForward) {
+  // Regression for the batch-offset im2col view: lowering item b of the
+  // (N,C,H,W) input directly must reproduce the per-item result exactly.
+  Rng rng(44);
+  nn::Conv2d conv(2, 3, 3, 2, 1, true, rng, "c");
+  const Tensor x = Tensor::uniform({3, 2, 6, 6}, rng);
+  const Tensor y = conv.forward(x);
+  const std::int64_t in_count = x.numel() / x.dim(0);
+  const std::int64_t out_count = y.numel() / y.dim(0);
+  for (std::int64_t b = 0; b < x.dim(0); ++b) {
+    Tensor xb({1, x.dim(1), x.dim(2), x.dim(3)});
+    std::copy(x.data() + b * in_count, x.data() + (b + 1) * in_count,
+              xb.data());
+    const Tensor yb = conv.forward(xb);
+    for (std::int64_t i = 0; i < out_count; ++i)
+      ASSERT_EQ(yb[i], y[b * out_count + i]) << "batch " << b << " elem " << i;
+  }
+}
+
 TEST(Conv2d, MaskedGradientsStayMasked) {
   Rng rng(6);
   nn::Conv2d conv(2, 2, 3, 1, 1, false, rng, "c");
@@ -201,6 +248,18 @@ TEST(Linear, GradCheck) {
   Rng rng(17);
   nn::Linear lin(4, 3, true, rng, "l");
   gradcheck_layer(lin, Tensor::uniform({3, 4}, rng), rng);
+}
+
+TEST(Linear, GradCheckTightWithBias) {
+  Rng rng(45);
+  nn::Linear lin(6, 5, true, rng, "l");
+  gradcheck_layer(lin, Tensor::uniform({4, 6}, rng), rng, 1e-3);
+}
+
+TEST(Linear, GradCheckTightNoBias) {
+  Rng rng(46);
+  nn::Linear lin(5, 7, false, rng, "l");
+  gradcheck_layer(lin, Tensor::uniform({3, 5}, rng), rng, 1e-3);
 }
 
 TEST(ConcatSplit, RoundTrip) {

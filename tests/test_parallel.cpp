@@ -1,0 +1,130 @@
+// Thread-pool unit tests: task completion, exception propagation, nested
+// submits, pool reuse across runs, chunk coverage of parallel_for, and a
+// stress run of 10k tiny jobs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace upaq {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  parallel::ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  constexpr std::int64_t kTasks = 257;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run(kTasks, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (std::int64_t i = 0; i < kTasks; ++i)
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  parallel::ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.run(8, [&](std::int64_t i) {
+    seen[static_cast<std::size_t>(i)] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, PropagatesLowestIndexException) {
+  parallel::ThreadPool pool(4);
+  try {
+    pool.run(64, [&](std::int64_t i) {
+      if (i % 7 == 3) throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3");
+  }
+  // The pool must stay usable after an exceptional job.
+  std::atomic<int> ok{0};
+  pool.run(16, [&](std::int64_t) { ok++; });
+  EXPECT_EQ(ok.load(), 16);
+}
+
+TEST(ThreadPool, NestedSubmitRunsInlineWithoutDeadlock) {
+  parallel::ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.run(8, [&](std::int64_t) {
+    // Nested submit from a worker: must execute inline, never deadlock.
+    EXPECT_TRUE(parallel::in_parallel_region());
+    pool.run(4, [&](std::int64_t) { inner_total++; });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+  EXPECT_FALSE(parallel::in_parallel_region());
+}
+
+TEST(ThreadPool, ReusableAcrossManyRuns) {
+  parallel::ThreadPool pool(3);
+  std::atomic<std::int64_t> total{0};
+  for (int round = 0; round < 200; ++round)
+    pool.run(16, [&](std::int64_t i) { total += i; });
+  EXPECT_EQ(total.load(), 200 * (15 * 16 / 2));
+}
+
+TEST(ParallelFor, ChunksCoverRangeExactly) {
+  for (const int threads : {1, 4}) {
+    parallel::set_thread_count(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    parallel::parallel_for(17, 917, 13, [&](std::int64_t b, std::int64_t e) {
+      EXPECT_LT(b, e);
+      EXPECT_LE(e - b, 13);
+      for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+    });
+    for (std::int64_t i = 0; i < 1000; ++i)
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(),
+                (i >= 17 && i < 917) ? 1 : 0)
+          << "index " << i << " at " << threads << " threads";
+  }
+  parallel::set_thread_count(1);
+}
+
+TEST(ParallelFor, EmptyAndSingleChunkRanges) {
+  parallel::set_thread_count(4);
+  int calls = 0;
+  parallel::parallel_for(5, 5, 8, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel::parallel_for(5, 9, 8, [&](std::int64_t b, std::int64_t e) {
+    ++calls;
+    EXPECT_EQ(b, 5);
+    EXPECT_EQ(e, 9);
+  });
+  EXPECT_EQ(calls, 1);
+  parallel::set_thread_count(1);
+}
+
+TEST(ParallelFor, SetThreadCountRebuildsGlobalPool) {
+  parallel::set_thread_count(2);
+  EXPECT_EQ(parallel::thread_count(), 2);
+  EXPECT_EQ(parallel::global_pool().threads(), 2);
+  parallel::set_thread_count(0);  // clamped
+  EXPECT_EQ(parallel::thread_count(), 1);
+  parallel::set_thread_count(3);
+  EXPECT_EQ(parallel::global_pool().threads(), 3);
+  parallel::set_thread_count(1);
+}
+
+TEST(ParallelFor, StressTenThousandTinyJobs) {
+  parallel::set_thread_count(4);
+  std::int64_t grand = 0;
+  for (int job = 0; job < 10000; ++job) {
+    std::atomic<std::int64_t> sum{0};
+    parallel::parallel_for(0, 8, 1, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) sum += i;
+    });
+    grand += sum.load();
+  }
+  EXPECT_EQ(grand, 10000 * (7 * 8 / 2));
+  parallel::set_thread_count(1);
+}
+
+}  // namespace
+}  // namespace upaq
