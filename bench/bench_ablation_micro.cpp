@@ -7,6 +7,8 @@
 #include "eval/box.h"
 #include "nn/conv.h"
 #include "prune/pattern.h"
+#include "qnn/qgemm.h"
+#include "qnn/qlayers.h"
 #include "quant/quantize.h"
 #include "tensor/ops.h"
 
@@ -57,6 +59,79 @@ void BM_ConvPatternPruned(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
 }
 BENCHMARK(BM_ConvPatternPruned)->Arg(2)->Arg(3);
+
+// The packed integer path, split into its two cost centres: per-call int8
+// activation quantization and the sparse integer GEMM itself. Same conv
+// geometry as BM_ConvPatternPruned so the float and packed paths are
+// directly comparable.
+Tensor hck_mask(const Tensor& weight, Rng& rng) {
+  const auto cands = prune::generate_candidates(2, 3, 16, rng);
+  Tensor mask(weight.shape());
+  const float* w = weight.data();
+  const std::int64_t kernels = weight.numel() / 9;
+  for (std::int64_t k = 0; k < kernels; ++k) {
+    double best_l2 = -1.0;
+    const prune::KernelPattern* best = nullptr;
+    for (const auto& c : cands) {
+      double l2 = 0.0;
+      for (const auto& [r, cc] : c.positions) {
+        const float v = w[k * 9 + r * 3 + cc];
+        l2 += static_cast<double>(v) * v;
+      }
+      if (l2 > best_l2) {
+        best_l2 = l2;
+        best = &c;
+      }
+    }
+    for (const auto& [r, cc] : best->positions) mask[k * 9 + r * 3 + cc] = 1.0f;
+  }
+  return mask;
+}
+
+void BM_QuantizeActs(benchmark::State& state) {
+  Rng rng(6);
+  // im2col matrix of a 32->32 3x3 conv on 48x48: (32*9, 48*48).
+  Tensor m = Tensor::uniform({288, 2304}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(qnn::quantize_acts(m, 8));
+}
+BENCHMARK(BM_QuantizeActs);
+
+void BM_PackedGemmInt(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  Rng rng(6);
+  Tensor w = Tensor::normal({32, 32, 3, 3}, rng);
+  Tensor mask = hck_mask(w, rng);
+  for (std::int64_t i = 0; i < w.numel(); ++i)
+    if (mask[i] == 0.0f) w[i] = 0.0f;
+  const auto p =
+      qnn::pack(w, bits, 9, quant::StorageFormat::kPatternSparse, mask);
+  qnn::PackedGemm gemm(p, 32, 288);
+  Tensor m = Tensor::uniform({288, 2304}, rng);
+  const auto qa = qnn::quantize_acts(m, 8);
+  Tensor out({32, 2304});
+  for (auto _ : state) {
+    gemm.run(qa, nullptr, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PackedGemmInt)->Arg(8)->Arg(4);
+
+void BM_PackedConv(benchmark::State& state) {
+  Rng rng(6);
+  nn::Conv2d conv(32, 32, 3, 1, 1, false, rng, "c");
+  conv.set_training(false);
+  conv.weight().mask = hck_mask(conv.weight().value, rng);
+  conv.weight().project();
+  qnn::LowerSpec spec;
+  spec.weight_bits = 4;
+  spec.group_size = 9;
+  spec.format = quant::StorageFormat::kPatternSparse;
+  qnn::lower_layer(conv, spec);
+  Tensor x = Tensor::uniform({1, 32, 48, 48}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+  conv.set_engine(nullptr);
+}
+BENCHMARK(BM_PackedConv);
 
 void BM_QuantizePerTensor(benchmark::State& state) {
   Rng rng(2);

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/eval/CMakeFiles/upaq_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/qnn/CMakeFiles/upaq_qnn.dir/DependInfo.cmake"
   "/root/repo/build/src/nn/CMakeFiles/upaq_nn.dir/DependInfo.cmake"
   "/root/repo/build/src/prune/CMakeFiles/upaq_prune.dir/DependInfo.cmake"
   "/root/repo/build/src/quant/CMakeFiles/upaq_quant.dir/DependInfo.cmake"

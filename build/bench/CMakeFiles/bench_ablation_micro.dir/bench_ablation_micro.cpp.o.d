@@ -250,5 +250,7 @@ bench/CMakeFiles/bench_ablation_micro.dir/bench_ablation_micro.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/prune/pattern.h /root/repo/src/quant/quantize.h \
+ /root/repo/src/prune/pattern.h /root/repo/src/qnn/qgemm.h \
+ /root/repo/src/qnn/packed.h /root/repo/src/quant/quantize.h \
+ /root/repo/src/qnn/qlayers.h /root/repo/src/nn/layers.h \
  /root/repo/src/tensor/ops.h

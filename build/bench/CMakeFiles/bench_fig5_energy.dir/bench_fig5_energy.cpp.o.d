@@ -117,16 +117,25 @@ bench/CMakeFiles/bench_fig5_energy.dir/bench_fig5_energy.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/zoo/experiment.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/plan.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/hw/cost.h \
+ /root/repo/src/hw/device.h /root/repo/src/nn/module.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/ostream /usr/include/c++/12/ios \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/ios /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
@@ -163,7 +172,6 @@ bench/CMakeFiles/bench_fig5_energy.dir/bench_fig5_energy.cpp.o: \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/ext/concurrence.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -194,27 +202,17 @@ bench/CMakeFiles/bench_fig5_energy.dir/bench_fig5_energy.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/baselines/baselines.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/nn/conv.h \
+ /root/repo/src/nn/layer.h /root/repo/src/tensor/tensor.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/core/plan.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/hw/cost.h \
- /root/repo/src/hw/device.h /root/repo/src/nn/module.h \
- /root/repo/src/nn/conv.h /root/repo/src/nn/layer.h \
- /root/repo/src/tensor/tensor.h /usr/include/c++/12/span \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/tensor/check.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
@@ -247,11 +245,12 @@ bench/CMakeFiles/bench_fig5_energy.dir/bench_fig5_energy.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/nn/layers.h \
- /root/repo/src/quant/quantize.h /root/repo/src/detectors/detector.h \
- /root/repo/src/data/scene.h /root/repo/src/eval/box.h \
- /root/repo/src/eval/map.h /root/repo/src/graph/graph.h \
- /root/repo/src/core/upaq.h /root/repo/src/core/efficiency.h \
- /root/repo/src/prune/pattern.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/zoo/zoo.h \
- /root/repo/src/detectors/pointpillars.h /root/repo/src/train/losses.h \
- /root/repo/src/detectors/smoke.h
+ /root/repo/src/quant/quantize.h /root/repo/src/detectors/pointpillars.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/detectors/detector.h /root/repo/src/data/scene.h \
+ /root/repo/src/eval/box.h /root/repo/src/eval/map.h \
+ /root/repo/src/graph/graph.h /root/repo/src/train/losses.h \
+ /root/repo/src/detectors/smoke.h /root/repo/src/zoo/experiment.h \
+ /root/repo/src/baselines/baselines.h /root/repo/src/core/upaq.h \
+ /root/repo/src/core/efficiency.h /root/repo/src/prune/pattern.h \
+ /root/repo/src/zoo/zoo.h

@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/graph/CMakeFiles/upaq_graph.dir/DependInfo.cmake"
   "/root/repo/build/src/nn/CMakeFiles/upaq_nn.dir/DependInfo.cmake"
   "/root/repo/build/src/tensor/CMakeFiles/upaq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/qnn/CMakeFiles/upaq_qnn.dir/DependInfo.cmake"
   "/root/repo/build/src/parallel/CMakeFiles/upaq_parallel.dir/DependInfo.cmake"
   )
 

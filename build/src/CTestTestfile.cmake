@@ -7,6 +7,7 @@
 subdirs("parallel")
 subdirs("tensor")
 subdirs("nn")
+subdirs("qnn")
 subdirs("graph")
 subdirs("prune")
 subdirs("quant")

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/upaq_core.dir/efficiency.cpp.o.d"
   "CMakeFiles/upaq_core.dir/plan.cpp.o"
   "CMakeFiles/upaq_core.dir/plan.cpp.o.d"
+  "CMakeFiles/upaq_core.dir/qmodel.cpp.o"
+  "CMakeFiles/upaq_core.dir/qmodel.cpp.o.d"
   "CMakeFiles/upaq_core.dir/upaq.cpp.o"
   "CMakeFiles/upaq_core.dir/upaq.cpp.o.d"
   "libupaq_core.a"

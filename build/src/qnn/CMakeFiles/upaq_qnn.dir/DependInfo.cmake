@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qnn/packed.cpp" "src/qnn/CMakeFiles/upaq_qnn.dir/packed.cpp.o" "gcc" "src/qnn/CMakeFiles/upaq_qnn.dir/packed.cpp.o.d"
+  "/root/repo/src/qnn/qgemm.cpp" "src/qnn/CMakeFiles/upaq_qnn.dir/qgemm.cpp.o" "gcc" "src/qnn/CMakeFiles/upaq_qnn.dir/qgemm.cpp.o.d"
+  "/root/repo/src/qnn/qlayers.cpp" "src/qnn/CMakeFiles/upaq_qnn.dir/qlayers.cpp.o" "gcc" "src/qnn/CMakeFiles/upaq_qnn.dir/qlayers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/upaq_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/upaq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/upaq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/upaq_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

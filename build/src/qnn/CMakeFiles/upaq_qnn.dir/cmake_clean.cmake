@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upaq_qnn.dir/packed.cpp.o"
+  "CMakeFiles/upaq_qnn.dir/packed.cpp.o.d"
+  "CMakeFiles/upaq_qnn.dir/qgemm.cpp.o"
+  "CMakeFiles/upaq_qnn.dir/qgemm.cpp.o.d"
+  "CMakeFiles/upaq_qnn.dir/qlayers.cpp.o"
+  "CMakeFiles/upaq_qnn.dir/qlayers.cpp.o.d"
+  "libupaq_qnn.a"
+  "libupaq_qnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upaq_qnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

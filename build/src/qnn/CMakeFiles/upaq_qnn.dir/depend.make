@@ -1,0 +1,2 @@
+# Empty dependencies file for upaq_qnn.
+# This may be replaced when dependencies are built.

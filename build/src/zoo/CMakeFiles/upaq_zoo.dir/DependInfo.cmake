@@ -19,11 +19,12 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/baselines/CMakeFiles/upaq_baselines.dir/DependInfo.cmake"
   "/root/repo/build/src/train/CMakeFiles/upaq_train.dir/DependInfo.cmake"
   "/root/repo/build/src/graph/CMakeFiles/upaq_graph.dir/DependInfo.cmake"
-  "/root/repo/build/src/nn/CMakeFiles/upaq_nn.dir/DependInfo.cmake"
   "/root/repo/build/src/data/CMakeFiles/upaq_data.dir/DependInfo.cmake"
   "/root/repo/build/src/eval/CMakeFiles/upaq_eval.dir/DependInfo.cmake"
   "/root/repo/build/src/hw/CMakeFiles/upaq_hw.dir/DependInfo.cmake"
   "/root/repo/build/src/prune/CMakeFiles/upaq_prune.dir/DependInfo.cmake"
+  "/root/repo/build/src/qnn/CMakeFiles/upaq_qnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/upaq_nn.dir/DependInfo.cmake"
   "/root/repo/build/src/quant/CMakeFiles/upaq_quant.dir/DependInfo.cmake"
   "/root/repo/build/src/tensor/CMakeFiles/upaq_tensor.dir/DependInfo.cmake"
   "/root/repo/build/src/parallel/CMakeFiles/upaq_parallel.dir/DependInfo.cmake"

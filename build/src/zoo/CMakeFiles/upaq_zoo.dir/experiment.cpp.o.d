@@ -270,4 +270,5 @@ src/zoo/CMakeFiles/upaq_zoo.dir/experiment.cpp.o: \
  /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/tensor/serialize.h
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/core/qmodel.h \
+ /root/repo/src/qnn/packed.h /root/repo/src/tensor/serialize.h

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_qnn.cpp" "tests/CMakeFiles/test_qnn.dir/test_qnn.cpp.o" "gcc" "tests/CMakeFiles/test_qnn.dir/test_qnn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zoo/CMakeFiles/upaq_zoo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/upaq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/upaq_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/upaq_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/upaq_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/upaq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/upaq_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/upaq_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/upaq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/prune/CMakeFiles/upaq_prune.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/upaq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/qnn/CMakeFiles/upaq_qnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/upaq_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/upaq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/upaq_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -314,10 +314,11 @@ tests/CMakeFiles/test_quant.dir/test_quant.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/quant/quantize.h \
- /root/repo/src/tensor/tensor.h /usr/include/c++/12/span \
- /root/repo/src/tensor/check.h /root/repo/src/tensor/rng.h \
- /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/qnn/packed.h \
+ /root/repo/src/quant/quantize.h /root/repo/src/tensor/tensor.h \
+ /usr/include/c++/12/span /root/repo/src/tensor/check.h \
+ /root/repo/src/tensor/rng.h /usr/include/c++/12/random \
+ /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \

@@ -19,4 +19,13 @@ UPAQ_THREADS=1 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$J
 echo "==> tier1, parallel (UPAQ_THREADS=4)"
 UPAQ_THREADS=4 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"
 
-echo "check.sh: OK (tier1 passed serial and 4-thread)"
+# The packed-integer path does raw bit twiddling (sign extension, packed
+# buffers) — run its suites under ASan/UBSan so memory and UB bugs in the
+# pack/unpack/GEMM code cannot slip past the plain Release gate.
+echo "==> qnn + quant suites under UPAQ_SANITIZE=address,undefined"
+ASAN_DIR="${BUILD_DIR}-asan"
+cmake -B "$ASAN_DIR" -S . -DUPAQ_SANITIZE=address,undefined
+cmake --build "$ASAN_DIR" -j "$JOBS" --target test_qnn test_quant
+UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_qnn|test_quant' --output-on-failure
+
+echo "check.sh: OK (tier1 passed serial and 4-thread; qnn sanitized)"

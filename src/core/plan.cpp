@@ -27,8 +27,10 @@ std::string first_component(const std::string& name) {
   return dot == std::string::npos ? name : name.substr(0, dot);
 }
 
-const LayerState* lookup_state(const CompressionPlan& plan,
-                               const std::string& name) {
+}  // namespace
+
+const LayerState* find_state(const CompressionPlan& plan,
+                             const std::string& name) {
   auto it = plan.layers.find(name);
   if (it != plan.layers.end()) return &it->second;
   // Prefix/stem fallback: same first component and same digit-stripped stem.
@@ -42,8 +44,6 @@ const LayerState* lookup_state(const CompressionPlan& plan,
   return nullptr;
 }
 
-}  // namespace
-
 SizeBreakdown model_size(const nn::Module& model, const CompressionPlan& plan) {
   SizeBreakdown sb;
   for (const auto* p : model.parameters()) {
@@ -52,7 +52,7 @@ SizeBreakdown model_size(const nn::Module& model, const CompressionPlan& plan) {
     const auto dot = p->name.rfind('.');
     const std::string layer = dot == std::string::npos ? p->name : p->name.substr(0, dot);
     const bool is_weight = dot != std::string::npos && p->name.substr(dot + 1) == "weight";
-    const LayerState* state = is_weight ? lookup_state(plan, layer) : nullptr;
+    const LayerState* state = is_weight ? find_state(plan, layer) : nullptr;
     if (state == nullptr) {
       sb.compressed_bits += quant::dense_fp32_bits(p->value.numel());
       continue;
@@ -73,7 +73,7 @@ std::vector<hw::LayerProfile> apply_plan(std::vector<hw::LayerProfile> profile,
                                          const CompressionPlan& plan) {
   for (auto& layer : profile) {
     if (layer.weight_count == 0) continue;  // pre/post-processing entries
-    const LayerState* state = lookup_state(plan, layer.name);
+    const LayerState* state = find_state(plan, layer.name);
     if (state == nullptr) continue;
     layer.weight_sparsity = state->sparsity;
     layer.weight_bits = state->compute_bits;

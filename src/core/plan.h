@@ -66,6 +66,12 @@ std::vector<hw::LayerProfile> apply_plan(std::vector<hw::LayerProfile> profile,
 /// weights off the quantization grid.
 void requantize(nn::Module& model, const CompressionPlan& plan);
 
+/// Looks up the plan state for a layer name: exact match first, then the
+/// prefix/stem fallback apply_plan uses (same Algorithm-1 group replication
+/// rule). Null when the layer is unplanned (stays dense fp32).
+const LayerState* find_state(const CompressionPlan& plan,
+                             const std::string& layer_name);
+
 /// Finds the weight parameter of a named prunable layer; null when absent.
 nn::Parameter* find_weight(nn::Module& model, const std::string& layer_name);
 

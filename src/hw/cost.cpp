@@ -41,6 +41,15 @@ double DeviceSpec::bitwidth_speedup(int bits) const {
   return interp_bits(bits, xs, ys, 4);
 }
 
+double DeviceSpec::int_gemm_speedup(int bits) const {
+  // True integer execution: both operands narrow, integer accumulate. The
+  // curve follows datasheet INT8/INT4 tensor-core ratios much more closely
+  // than the weight-only curve above.
+  static const double xs[] = {4, 8, 16, 32};
+  static const double ys[] = {5.2, 3.4, 1.9, 1.0};
+  return interp_bits(bits, xs, ys, 4);
+}
+
 double DeviceSpec::bitwidth_energy_scale(int bits) const {
   static const double xs[] = {4, 8, 16, 32};
   static const double ys[] = {0.22, 0.36, 0.62, 1.0};
@@ -112,16 +121,20 @@ LayerCost CostModel::layer_cost(const LayerProfile& p) const {
   const double eff_macs = static_cast<double>(p.macs) * kept;
 
   const double throughput =
-      spec_.macs_per_s_fp32 * spec_.bitwidth_speedup(p.weight_bits);
+      spec_.macs_per_s_fp32 * (p.integer_path
+                                   ? spec_.int_gemm_speedup(p.weight_bits)
+                                   : spec_.bitwidth_speedup(p.weight_bits));
   c.compute_s = eff_macs / throughput;
 
   // Memory traffic: weights at their storage bitwidth (pattern-sparse
   // streams only the kept values), activations at fp16 on both devices
-  // (standard deployment precision for activations).
+  // (standard deployment precision) — int8 on the packed integer path.
   const double kept_weights =
       static_cast<double>(p.weight_count) * (1.0 - p.weight_sparsity * eff);
   const double weight_bytes = kept_weights * p.weight_bits / 8.0;
-  const double act_bytes = static_cast<double>(p.in_elems + p.out_elems) * 2.0;
+  const double act_width = p.integer_path ? 1.0 : 2.0;
+  const double act_bytes =
+      static_cast<double>(p.in_elems + p.out_elems) * act_width;
   c.memory_s = (weight_bytes + act_bytes) / spec_.mem_bytes_per_s;
 
   const double serial_s = static_cast<double>(p.serial_ops) / spec_.serial_ops_per_s;

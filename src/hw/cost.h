@@ -44,6 +44,10 @@ struct LayerProfile {
   double weight_sparsity = 0.0;   ///< fraction of zero weights [0,1)
   int weight_bits = 32;           ///< storage/compute bitwidth
   SparsityMode mode = SparsityMode::kDense;
+  /// True when the layer runs on the packed integer-accumulate GEMM path
+  /// (upaq::qnn): throughput follows DeviceSpec::int_gemm_speedup and
+  /// activations move at int8 width instead of fp16.
+  bool integer_path = false;
   /// Poorly-parallelizable host-side work (point binning, NMS, decode...).
   /// Charged at the device's serial rate; never reduced by compression —
   /// this is what caps end-to-end speedups on embedded boards.

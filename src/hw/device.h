@@ -40,6 +40,12 @@ struct DeviceSpec {
   /// 32->1x, 16->1.9x, 8->3.4x, 4->5.2x.
   double bitwidth_speedup(int bits) const;
 
+  /// Throughput multiplier when the layer executes on the *packed integer*
+  /// GEMM path (quantized weights AND quantized activations with integer
+  /// accumulate, as in upaq::qnn). Steeper than bitwidth_speedup, which
+  /// models weight-only quantization with fp16 activations.
+  double int_gemm_speedup(int bits) const;
+
   /// Energy per MAC relative to fp32 (narrower datapaths toggle less logic).
   double bitwidth_energy_scale(int bits) const;
 };

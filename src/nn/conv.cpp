@@ -52,6 +52,9 @@ Tensor Conv2d::forward(const Tensor& x) {
   last_out_h_ = oh;
   last_out_w_ = ow;
   if (training_) input_cache_ = x;
+  // Packed integer path (upaq::qnn): inference-only, so training always
+  // stays on the differentiable float route below.
+  if (engine_ != nullptr && !training_) return engine_->forward(x);
 
   const Tensor w2d = weight_.value.reshape({out_c_, in_c_ * kernel_ * kernel_});
   Tensor out({n, out_c_, oh, ow});

@@ -23,6 +23,7 @@ class Conv2d final : public Layer {
   Parameter& weight() { return weight_; }
   const Parameter& weight() const { return weight_; }
   Parameter* bias() { return has_bias_ ? &bias_ : nullptr; }
+  const Parameter* bias() const { return has_bias_ ? &bias_ : nullptr; }
 
   std::int64_t in_channels() const { return in_c_; }
   std::int64_t out_channels() const { return out_c_; }

@@ -50,6 +50,17 @@ struct Parameter {
   }
 };
 
+/// Alternative execution backend a layer can host — e.g. the packed
+/// integer-GEMM path in upaq::qnn. Engines are inference-only: layers that
+/// support one (Conv2d, Linear) delegate eval-mode forward to it and keep
+/// the float path for training, so gradients never flow through an engine.
+class ForwardEngine {
+ public:
+  virtual ~ForwardEngine() = default;
+  virtual Tensor forward(const Tensor& x) = 0;
+  virtual const char* engine_name() const = 0;
+};
+
 /// Kinds of layers the cost model and the compression driver dispatch on.
 enum class LayerKind {
   kConv2d,
@@ -89,9 +100,18 @@ class Layer {
   bool training() const { return training_; }
   virtual void set_training(bool t) { training_ = t; }
 
+  /// Attaches (or with nullptr detaches) an inference engine. Only layer
+  /// kinds that consult engine() in forward honour it; attaching to other
+  /// layers is harmless and ignored.
+  void set_engine(std::unique_ptr<ForwardEngine> engine) {
+    engine_ = std::move(engine);
+  }
+  ForwardEngine* engine() const { return engine_.get(); }
+
  protected:
   std::string name_;
   bool training_ = true;
+  std::unique_ptr<ForwardEngine> engine_;
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

@@ -300,6 +300,8 @@ Tensor Linear::forward(const Tensor& x) {
   UPAQ_CHECK(x.rank() == 2 && x.dim(1) == in_f_,
              name_ + ": Linear expects (N," + std::to_string(in_f_) + ")");
   if (training_) input_cache_ = x;
+  // Packed integer path (upaq::qnn): inference-only, same contract as Conv2d.
+  if (engine_ != nullptr && !training_) return engine_->forward(x);
   const std::int64_t n = x.dim(0);
   Tensor out({n, out_f_});
   // y = x * W^T (+ b); rows of the output are independent, so the batch loop

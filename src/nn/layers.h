@@ -100,7 +100,9 @@ class Linear final : public Layer {
   std::vector<Parameter*> parameters() override;
 
   Parameter& weight() { return weight_; }
+  const Parameter& weight() const { return weight_; }
   Parameter* bias() { return has_bias_ ? &bias_ : nullptr; }
+  const Parameter* bias() const { return has_bias_ ? &bias_ : nullptr; }
   std::int64_t in_features() const { return in_f_; }
   std::int64_t out_features() const { return out_f_; }
 

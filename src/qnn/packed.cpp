@@ -1,0 +1,210 @@
+#include "qnn/packed.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "tensor/check.h"
+
+namespace upaq::qnn {
+
+namespace {
+
+/// Writes the low `bits` of `code` (two's complement) at bit offset `pos`.
+void write_code(std::vector<std::uint8_t>& buf, std::int64_t pos, int bits,
+                std::int32_t code) {
+  std::uint32_t v =
+      static_cast<std::uint32_t>(code) & ((1u << bits) - 1u);
+  for (int b = 0; b < bits; ++b) {
+    const std::int64_t bit = pos + b;
+    if (v & (1u << b))
+      buf[static_cast<std::size_t>(bit >> 3)] |=
+          static_cast<std::uint8_t>(1u << (bit & 7));
+  }
+}
+
+std::int32_t read_code(const std::vector<std::uint8_t>& buf, std::int64_t pos,
+                       int bits) {
+  std::uint32_t v = 0;
+  for (int b = 0; b < bits; ++b) {
+    const std::int64_t bit = pos + b;
+    if (buf[static_cast<std::size_t>(bit >> 3)] & (1u << (bit & 7)))
+      v |= 1u << b;
+  }
+  // Sign-extend from `bits` to 32.
+  if (v & (1u << (bits - 1))) v |= ~((1u << bits) - 1u);
+  return static_cast<std::int32_t>(v);
+}
+
+}  // namespace
+
+std::int32_t PackedTensor::code(std::int64_t i) const {
+  UPAQ_ASSERT(i >= 0 && i < stored_count(), "packed code index out of range");
+  return read_code(data, i * bits, bits);
+}
+
+std::int64_t PackedTensor::storage_bits() const {
+  const std::int64_t nz = stored_count();
+  switch (format) {
+    case quant::StorageFormat::kDense:
+      return numel() * bits;
+    case quant::StorageFormat::kBitmapSparse:
+      return numel() + nz * bits;
+    case quant::StorageFormat::kPatternSparse:
+      return 16 + nz * bits;
+  }
+  UPAQ_ASSERT(false, "unreachable");
+  return 0;
+}
+
+PackedTensor pack(const Tensor& x, int bits, std::int64_t group_size,
+                  quant::StorageFormat format, const Tensor& mask) {
+  UPAQ_CHECK(bits >= 2 && bits <= 16,
+             "pack: bits must be in [2, 16], got " + std::to_string(bits));
+  UPAQ_CHECK(group_size >= 0, "pack: negative group size");
+  UPAQ_CHECK(mask.empty() || shape_equal(mask.shape(), x.shape()),
+             "pack: mask shape mismatch");
+  PackedTensor p;
+  p.shape = x.shape();
+  p.bits = bits;
+  p.group_size = group_size;
+  p.format = format;
+
+  const std::int64_t n = x.numel();
+  const std::int64_t g = group_size > 0 ? group_size : std::max<std::int64_t>(n, 1);
+
+  // Per-group codes on exactly the mp_quantize_grouped grid (same chunking,
+  // same scale arithmetic).
+  std::vector<std::int32_t> codes(static_cast<std::size_t>(n), 0);
+  for (std::int64_t start = 0; start < n; start += g) {
+    const std::int64_t len = std::min(g, n - start);
+    quant::QuantCodes qc = quant::mp_quantize_codes(x.data() + start, len, bits);
+    p.scales.push_back(qc.scale);
+    std::copy(qc.codes.begin(), qc.codes.end(),
+              codes.begin() + static_cast<std::size_t>(start));
+  }
+  if (n == 0) p.scales.push_back(1.0f);  // degenerate: one identity scale
+
+  // Stored set: everything for kDense; kept positions for the sparse layouts.
+  const bool dense = format == quant::StorageFormat::kDense;
+  if (dense) {
+    p.data.assign(static_cast<std::size_t>((n * bits + 7) / 8), 0);
+    for (std::int64_t i = 0; i < n; ++i)
+      write_code(p.data, i * bits, bits, codes[static_cast<std::size_t>(i)]);
+    return p;
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool kept = mask.empty() ? x[i] != 0.0f : mask[i] != 0.0f;
+    if (kept) {
+      p.stored.push_back(i);
+    } else {
+      UPAQ_CHECK(codes[static_cast<std::size_t>(i)] == 0,
+                 "pack: dropped position has a non-zero code — pruned "
+                 "weights must be zeroed (Parameter::project) before packing");
+    }
+  }
+  const std::int64_t nz = static_cast<std::int64_t>(p.stored.size());
+  p.data.assign(static_cast<std::size_t>((nz * bits + 7) / 8), 0);
+  for (std::int64_t i = 0; i < nz; ++i)
+    write_code(p.data, i * bits, bits,
+               codes[static_cast<std::size_t>(p.stored[static_cast<std::size_t>(i)])]);
+  return p;
+}
+
+Tensor unpack(const PackedTensor& p) {
+  Tensor t(p.shape);
+  const std::int64_t count = p.stored_count();
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t e = p.flat_index(i);
+    t[e] = quant::dequantize_code(p.code(i), p.scale_at(e));
+  }
+  return t;
+}
+
+// ------------------------------------------------------------ serialization
+
+namespace {
+
+constexpr char kMagic[8] = {'U', 'P', 'A', 'Q', 'P', 'C', 'K', 'D'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+void save_packed_map(const std::string& path,
+                     const std::map<std::string, PackedTensor>& tensors) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_packed_map: cannot open " + path);
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint32_t>(tensors.size()));
+  for (const auto& [name, p] : tensors) {
+    write_pod(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(os, static_cast<std::int32_t>(p.bits));
+    write_pod(os, p.group_size);
+    write_pod(os, static_cast<std::int32_t>(p.format));
+    write_pod(os, static_cast<std::uint32_t>(p.shape.size()));
+    for (auto d : p.shape) write_pod(os, d);
+    write_pod(os, static_cast<std::uint32_t>(p.scales.size()));
+    os.write(reinterpret_cast<const char*>(p.scales.data()),
+             static_cast<std::streamsize>(p.scales.size() * sizeof(float)));
+    write_pod(os, static_cast<std::uint32_t>(p.stored.size()));
+    os.write(reinterpret_cast<const char*>(p.stored.data()),
+             static_cast<std::streamsize>(p.stored.size() * sizeof(std::int64_t)));
+    write_pod(os, static_cast<std::uint32_t>(p.data.size()));
+    os.write(reinterpret_cast<const char*>(p.data.data()),
+             static_cast<std::streamsize>(p.data.size()));
+  }
+  if (!os) throw std::runtime_error("save_packed_map: write failed: " + path);
+}
+
+std::map<std::string, PackedTensor> load_packed_map(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_packed_map: cannot open " + path);
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || !std::equal(magic, magic + 8, kMagic))
+    throw std::runtime_error("load_packed_map: bad magic in " + path);
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion)
+    throw std::runtime_error("load_packed_map: unsupported version in " + path);
+  const auto count = read_pod<std::uint32_t>(is);
+  std::map<std::string, PackedTensor> out;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    PackedTensor p;
+    p.bits = read_pod<std::int32_t>(is);
+    p.group_size = read_pod<std::int64_t>(is);
+    p.format = static_cast<quant::StorageFormat>(read_pod<std::int32_t>(is));
+    const auto rank = read_pod<std::uint32_t>(is);
+    p.shape.resize(rank);
+    for (auto& d : p.shape) d = read_pod<std::int64_t>(is);
+    p.scales.resize(read_pod<std::uint32_t>(is));
+    is.read(reinterpret_cast<char*>(p.scales.data()),
+            static_cast<std::streamsize>(p.scales.size() * sizeof(float)));
+    p.stored.resize(read_pod<std::uint32_t>(is));
+    is.read(reinterpret_cast<char*>(p.stored.data()),
+            static_cast<std::streamsize>(p.stored.size() * sizeof(std::int64_t)));
+    p.data.resize(read_pod<std::uint32_t>(is));
+    is.read(reinterpret_cast<char*>(p.data.data()),
+            static_cast<std::streamsize>(p.data.size()));
+    if (!is) throw std::runtime_error("load_packed_map: truncated " + path);
+    out.emplace(std::move(name), std::move(p));
+  }
+  return out;
+}
+
+}  // namespace upaq::qnn

@@ -1,0 +1,95 @@
+// Packed low-bit weight storage for the real integer inference path.
+//
+// A PackedTensor stores Algorithm-6 quantization codes (see
+// quant::mp_quantize_codes) in a bit-packed buffer — two's complement,
+// LSB-first within the byte stream — together with the per-group symmetric
+// scales produced by the same chunking as quant::mp_quantize_grouped. The
+// sparse formats keep only the surviving positions of a pruned weight
+// (the mask's nonzeros), so masked kernel positions occupy no storage and
+// are never touched by the GEMM engine (qgemm.h).
+//
+// Invariant: unpack(pack(x, bits, g, ...)) is bitwise identical to
+// quant::mp_quantize_grouped(x, bits, g).values at every stored position and
+// exactly zero elsewhere (pruned positions are zero in x, so their grid
+// value is zero too). tests/test_quant.cpp holds this as a property test.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "quant/quantize.h"
+#include "tensor/tensor.h"
+
+namespace upaq::qnn {
+
+struct PackedTensor {
+  Shape shape;                  ///< original dense weight shape
+  int bits = 8;                 ///< code width; the packer supports 2..16
+  std::int64_t group_size = 0;  ///< scale granularity (0 = whole tensor)
+  quant::StorageFormat format = quant::StorageFormat::kDense;
+  std::vector<std::uint8_t> data;  ///< bit-packed codes, LSB-first
+  std::vector<float> scales;       ///< one symmetric scale per group
+  /// Flat original indices of the stored codes, ascending. Empty for kDense,
+  /// where every position is stored in flat order.
+  std::vector<std::int64_t> stored;
+
+  std::int64_t numel() const { return shape_numel(shape); }
+  std::int64_t stored_count() const {
+    return format == quant::StorageFormat::kDense
+               ? numel()
+               : static_cast<std::int64_t>(stored.size());
+  }
+  /// Scale granularity with the 0 = per-tensor convention resolved.
+  std::int64_t effective_group() const {
+    return group_size > 0 ? group_size : std::max<std::int64_t>(numel(), 1);
+  }
+  std::int64_t group_count() const {
+    return static_cast<std::int64_t>(scales.size());
+  }
+
+  /// i-th stored code, sign-extended to int32.
+  std::int32_t code(std::int64_t i) const;
+  /// Flat original index of the i-th stored code.
+  std::int64_t flat_index(std::int64_t i) const {
+    return format == quant::StorageFormat::kDense ? i : stored[i];
+  }
+  /// Symmetric scale of the group containing flat index `e`.
+  float scale_at(std::int64_t e) const {
+    return scales[static_cast<std::size_t>(e / effective_group())];
+  }
+
+  /// Storage accounting under the same rules as quant::storage_bits — the
+  /// value term is exactly stored_count() * bits; the scales are metadata
+  /// and are not charged (matching the paper's size accounting).
+  std::int64_t storage_bits() const;
+  /// Exact size of the packed value buffer in bits; always the value term
+  /// rounded up to whole bytes.
+  std::int64_t buffer_bits() const {
+    return static_cast<std::int64_t>(data.size()) * 8;
+  }
+};
+
+/// Packs `x` at `bits` with one symmetric scale per `group_size` consecutive
+/// flat elements (0 = one scale for the whole tensor). For the sparse
+/// formats the stored set is the nonzero positions of `mask` (which must
+/// match x's shape) or, when `mask` is empty, the nonzero positions of `x`;
+/// every dropped position must carry code 0 — i.e. pruned weights must
+/// already be zeroed (nn::Parameter::project guarantees this).
+PackedTensor pack(const Tensor& x, int bits, std::int64_t group_size,
+                  quant::StorageFormat format, const Tensor& mask = Tensor());
+
+/// Exact inverse onto the fake-quant grid (see the invariant above).
+Tensor unpack(const PackedTensor& p);
+
+/// Binary (de)serialization of named packed tensors — the "packed blob"
+/// side-car of the zoo experiment cache. Format: magic "UPAQPCKD", u32
+/// version, u32 count, then per entry name/bits/group/format/shape/scales/
+/// stored-indices/code bytes. Throws std::runtime_error on I/O or parse
+/// failure.
+void save_packed_map(const std::string& path,
+                     const std::map<std::string, PackedTensor>& tensors);
+std::map<std::string, PackedTensor> load_packed_map(const std::string& path);
+
+}  // namespace upaq::qnn

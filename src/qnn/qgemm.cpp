@@ -1,0 +1,265 @@
+#include "qnn/qgemm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/thread_pool.h"
+#include "tensor/check.h"
+
+namespace upaq::qnn {
+
+namespace {
+
+// Same inline-below-threshold gating as tensor/ops.cpp: the serial and
+// parallel paths share chunk boundaries, so gating cannot change results.
+constexpr std::int64_t kMinParallelWork = 1 << 15;
+constexpr std::int64_t kRowGrain = 8;
+
+}  // namespace
+
+QuantizedActs quantize_acts(const Tensor& m, int bits) {
+  UPAQ_CHECK(m.rank() == 2, "quantize_acts expects a 2-D matrix");
+  return quantize_acts(m.data(), m.dim(0), m.dim(1), bits);
+}
+
+QuantizedActs quantize_acts(const float* src0, std::int64_t rows,
+                            std::int64_t cols, int bits) {
+  UPAQ_CHECK(bits >= 2 && bits <= 8,
+             "quantize_acts: bits must be in [2, 8], got " + std::to_string(bits));
+  QuantizedActs acts;
+  acts.rows = rows;
+  acts.cols = cols;
+  acts.bits = bits;
+  const std::int64_t n = rows * cols;
+  acts.codes.assign(static_cast<std::size_t>(n), 0);
+
+  // Abs-max with chunked partials: max is exact and order-independent, so
+  // combining per-chunk maxima gives the same alpha at any thread count.
+  // Done locally (not via the generic tensor reduction) so the loop
+  // vectorizes with this file's -O3.
+  float alpha = 0.0f;
+  if (n < kMinParallelWork) {
+    for (std::int64_t i = 0; i < n; ++i)
+      alpha = std::max(alpha, std::fabs(src0[i]));
+  } else {
+    const std::int64_t chunks = (n + kMinParallelWork - 1) / kMinParallelWork;
+    std::vector<float> partial(static_cast<std::size_t>(chunks), 0.0f);
+    parallel::parallel_for(0, n, kMinParallelWork,
+                           [&](std::int64_t i0, std::int64_t i1) {
+                             float a = 0.0f;
+                             for (std::int64_t i = i0; i < i1; ++i)
+                               a = std::max(a, std::fabs(src0[i]));
+                             partial[static_cast<std::size_t>(
+                                 i0 / kMinParallelWork)] = a;
+                           });
+    for (float a : partial) alpha = std::max(alpha, a);
+  }
+  if (alpha == 0.0f) return acts;  // scale 1, all codes zero
+
+  const double max_value = std::pow(2.0, bits - 1) - 1.0;
+  acts.scale = static_cast<float>(alpha / max_value);
+  const float* src = src0;
+  std::int8_t* dst = acts.codes.data();
+  // Hot path: one multiply + clamp + round-half-away per element, all in
+  // float so the compiler can keep the loop in SIMD registers (a libm
+  // std::round per element dominated the packed path before). Clamping
+  // first bounds the value, so the truncating cast is exact.
+  const float inv = 1.0f / acts.scale;
+  const float maxv = static_cast<float>(max_value);
+  auto convert = [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float v = src[i] * inv;
+      v = std::min(std::max(v, -maxv), maxv);
+      // Round half away from zero via a truncating cast; copysign keeps the
+      // loop branch-free (a data-dependent branch here costs more than the
+      // arithmetic).
+      dst[i] = static_cast<std::int8_t>(
+          static_cast<std::int32_t>(v + std::copysign(0.5f, v)));
+    }
+  };
+  if (n < kMinParallelWork) {
+    convert(0, n);
+  } else {
+    parallel::parallel_for(0, n, kMinParallelWork, convert);
+  }
+  return acts;
+}
+
+Tensor dequantize_acts(const QuantizedActs& acts) {
+  Tensor t({acts.rows, acts.cols});
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = quant::dequantize_code(acts.codes[static_cast<std::size_t>(i)],
+                                  acts.scale);
+  return t;
+}
+
+PackedGemm::PackedGemm(const PackedTensor& w, std::int64_t rows, std::int64_t k)
+    : rows_(rows), k_(k), bits_(w.bits) {
+  UPAQ_CHECK(rows > 0 && k > 0 && rows * k == w.numel(),
+             "PackedGemm: rows*k must match the packed element count");
+  for (float s : w.scales) max_scale_ = std::max(max_scale_, s);
+
+  const std::int64_t g = w.effective_group();
+  // Cap segment length so a segment's product sum always fits int32: each
+  // term is at most (2^(bits-1)-1) * 127 (int8 activations). UPAQ's
+  // per-kernel groups (9 weights) never hit this; it only bites per-tensor
+  // scales on large dense rows. Splitting keeps the sums exact — only the
+  // order of the (already rounded) per-segment requantizations changes.
+  const std::int64_t max_w = (std::int64_t{1} << (bits_ - 1)) - 1;
+  const std::int64_t safe_len =
+      std::max<std::int64_t>(1, ((std::int64_t{1} << 31) - 1) / (max_w * 127));
+
+  row_segs_.assign(static_cast<std::size_t>(rows) + 1, 0);
+  const std::int64_t count = w.stored_count();
+  std::int64_t cur_row = -1, cur_group = -1;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int32_t code = w.code(i);
+    if (code == 0) continue;  // contributes nothing; never multiply it
+    const std::int64_t e = w.flat_index(i);
+    const std::int64_t row = e / k, group = e / g;
+    if (row == cur_row && group == cur_group &&
+        entry_count() - segs_.back().begin >= safe_len) {
+      segs_.back().end = entry_count();
+      segs_.push_back({segs_.back().scale, entry_count(), entry_count()});
+    }
+    if (row != cur_row || group != cur_group) {
+      // Close the previous segment and open a new one for this (row, group)
+      // slice. Stored indices are ascending, so each slice is contiguous.
+      if (!segs_.empty()) segs_.back().end = entry_count();
+      segs_.push_back({w.scales[static_cast<std::size_t>(group)],
+                       entry_count(), entry_count()});
+      cur_group = group;
+      if (row != cur_row) {
+        for (std::int64_t r = cur_row + 1; r <= row; ++r)
+          row_segs_[static_cast<std::size_t>(r)] =
+              static_cast<std::int64_t>(segs_.size()) - 1;
+        cur_row = row;
+      }
+    }
+    cols_.push_back(static_cast<std::int32_t>(e % k));
+    codes_.push_back(code);
+  }
+  if (!segs_.empty()) segs_.back().end = entry_count();
+  for (std::int64_t r = cur_row + 1; r <= rows; ++r)
+    row_segs_[static_cast<std::size_t>(r)] =
+        static_cast<std::int64_t>(segs_.size());
+}
+
+void PackedGemm::run(const QuantizedActs& x, const float* bias,
+                     Tensor& out) const {
+  UPAQ_CHECK(x.rows == k_, "PackedGemm::run: activation rows != k");
+  const std::int64_t n = x.cols;
+  UPAQ_CHECK(out.rank() == 2 && out.dim(0) == rows_ && out.dim(1) == n,
+             "PackedGemm::run: bad output shape");
+  run(x.codes.data(), x.scale, n, bias, out.data());
+}
+
+void PackedGemm::run(const std::int8_t* qx, float sx, std::int64_t n,
+                     const float* bias, float* py) const {
+  // Entry-outer / column-inner keeps every activation read contiguous (the
+  // same i-k-j order as the float gemm). Each segment's products accumulate
+  // exactly in int32 (the constructor splits segments so the sum cannot
+  // overflow); the requantization factor is applied in float32 and summed
+  // straight into the output row. The order of every operation is a pure
+  // function of the entry layout, never of the thread count.
+  auto row_block = [&](std::int64_t r0, std::int64_t r1) {
+    std::vector<std::int32_t> iacc(static_cast<std::size_t>(n), 0);
+    for (std::int64_t r = r0; r < r1; ++r) {
+      float* yrow = py + r * n;
+      std::fill(yrow, yrow + n, bias != nullptr ? bias[r] : 0.0f);
+      for (std::int64_t si = row_segs_[static_cast<std::size_t>(r)];
+           si < row_segs_[static_cast<std::size_t>(r) + 1]; ++si) {
+        const Segment& seg = segs_[static_cast<std::size_t>(si)];
+        const std::int64_t len = seg.end - seg.begin;
+        const float m = seg.scale * sx;
+        const std::int32_t* wc = codes_.data() + seg.begin;
+        const std::int32_t* cc = cols_.data() + seg.begin;
+        // UPAQ patterns keep 2 (HCK) or 3 (LCK) weights per kernel, so
+        // almost every segment is tiny: fuse the integer sum and the
+        // requantization into one pass over the columns instead of paying a
+        // separate accumulator flush per segment.
+        if (len == 1) {
+          const std::int32_t w0 = wc[0];
+          const std::int8_t* b0 = qx + static_cast<std::int64_t>(cc[0]) * n;
+          for (std::int64_t j = 0; j < n; ++j)
+            yrow[j] += m * static_cast<float>(w0 * b0[j]);
+        } else if (len == 2) {
+          const std::int32_t w0 = wc[0], w1 = wc[1];
+          const std::int8_t* b0 = qx + static_cast<std::int64_t>(cc[0]) * n;
+          const std::int8_t* b1 = qx + static_cast<std::int64_t>(cc[1]) * n;
+          for (std::int64_t j = 0; j < n; ++j)
+            yrow[j] += m * static_cast<float>(w0 * b0[j] + w1 * b1[j]);
+        } else if (len == 3) {
+          const std::int32_t w0 = wc[0], w1 = wc[1], w2 = wc[2];
+          const std::int8_t* b0 = qx + static_cast<std::int64_t>(cc[0]) * n;
+          const std::int8_t* b1 = qx + static_cast<std::int64_t>(cc[1]) * n;
+          const std::int8_t* b2 = qx + static_cast<std::int64_t>(cc[2]) * n;
+          for (std::int64_t j = 0; j < n; ++j)
+            yrow[j] += m * static_cast<float>(w0 * b0[j] + w1 * b1[j] +
+                                             w2 * b2[j]);
+        } else {
+          for (std::int64_t e = 0; e < len; ++e) {
+            const std::int32_t wv = wc[e];
+            const std::int8_t* brow =
+                qx + static_cast<std::int64_t>(cc[e]) * n;
+            std::int32_t* ia = iacc.data();
+            for (std::int64_t j = 0; j < n; ++j)
+              ia[j] += wv * static_cast<std::int32_t>(brow[j]);
+          }
+          // Requantize the segment sum and reset the integer accumulator
+          // in one pass.
+          std::int32_t* ia = iacc.data();
+          for (std::int64_t j = 0; j < n; ++j) {
+            yrow[j] += m * static_cast<float>(ia[j]);
+            ia[j] = 0;
+          }
+        }
+      }
+    }
+  };
+  if (rows_ * k_ * n < kMinParallelWork) {
+    row_block(0, rows_);
+  } else {
+    parallel::parallel_for(0, rows_, kRowGrain, row_block);
+  }
+}
+
+void PackedGemm::run_t(const QuantizedActs& x, const float* bias,
+                       Tensor& out) const {
+  UPAQ_CHECK(x.cols == k_, "PackedGemm::run_t: activation cols != k");
+  const std::int64_t n = x.rows;
+  UPAQ_CHECK(out.rank() == 2 && out.dim(0) == n && out.dim(1) == rows_,
+             "PackedGemm::run_t: bad output shape");
+  const std::int8_t* qx = x.codes.data();
+  const double sx = static_cast<double>(x.scale);
+  float* py = out.data();
+
+  // One activation row per batch item: batch rows are disjoint outputs, so
+  // the batch loop parallelises deterministically (mirrors nn::Linear).
+  auto batch_block = [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const std::int8_t* xrow = qx + b * k_;
+      float* yrow = py + b * rows_;
+      for (std::int64_t r = 0; r < rows_; ++r) {
+        double acc = bias != nullptr ? static_cast<double>(bias[r]) : 0.0;
+        for (std::int64_t si = row_segs_[static_cast<std::size_t>(r)];
+             si < row_segs_[static_cast<std::size_t>(r) + 1]; ++si) {
+          const Segment& seg = segs_[static_cast<std::size_t>(si)];
+          std::int64_t s = 0;
+          for (std::int64_t e = seg.begin; e < seg.end; ++e)
+            s += static_cast<std::int64_t>(codes_[static_cast<std::size_t>(e)]) *
+                 xrow[cols_[static_cast<std::size_t>(e)]];
+          acc += static_cast<double>(seg.scale) * sx * static_cast<double>(s);
+        }
+        yrow[r] = static_cast<float>(acc);
+      }
+    }
+  };
+  if (n * rows_ * k_ < kMinParallelWork) {
+    batch_block(0, n);
+  } else {
+    parallel::parallel_for(0, n, 32, batch_block);
+  }
+}
+
+}  // namespace upaq::qnn

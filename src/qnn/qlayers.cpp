@@ -1,0 +1,141 @@
+#include "qnn/qlayers.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace upaq::qnn {
+
+namespace {
+
+// Same gating constants as qgemm.cpp / tensor/ops.cpp.
+constexpr std::int64_t kMinParallelWork = 1 << 15;
+constexpr std::int64_t kColRowGrain = 4;
+
+// im2col over already-quantized activation codes: the conv input map is
+// quantized once (C*H*W elements) and the column matrix gathers int8 codes,
+// instead of gathering floats and quantizing the K*K-times-larger column
+// matrix. Padding becomes code 0 — exactly what quantizing a padded float
+// zero yields — and every input value appears in the column matrix, so the
+// per-tensor scale (and therefore every code) is identical either way.
+std::vector<std::int8_t> im2col_codes(const std::int8_t* in, std::int64_t c,
+                                      std::int64_t h, std::int64_t w, int k,
+                                      int stride, int pad) {
+  const std::int64_t oh = ops::conv_out_size(h, k, stride, pad);
+  const std::int64_t ow = ops::conv_out_size(w, k, stride, pad);
+  const std::int64_t rows = c * k * k;
+  std::vector<std::int8_t> cols(static_cast<std::size_t>(rows * oh * ow), 0);
+  std::int8_t* out = cols.data();
+  auto fill_rows = [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t row = r0; row < r1; ++row) {
+      const std::int64_t ch = row / (k * k);
+      const int ky = static_cast<int>((row / k) % k);
+      const int kx = static_cast<int>(row % k);
+      std::int8_t* dst = out + row * oh * ow;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        const std::int64_t iy = oy * stride - pad + ky;
+        if (iy < 0 || iy >= h) {
+          std::fill(dst + oy * ow, dst + (oy + 1) * ow,
+                    static_cast<std::int8_t>(0));
+          continue;
+        }
+        const std::int8_t* src = in + (ch * h + iy) * w;
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const std::int64_t ix = ox * stride - pad + kx;
+          dst[oy * ow + ox] =
+              (ix >= 0 && ix < w) ? src[ix] : static_cast<std::int8_t>(0);
+        }
+      }
+    }
+  };
+  if (rows * oh * ow < kMinParallelWork) {
+    fill_rows(0, rows);
+  } else {
+    parallel::parallel_for(0, rows, kColRowGrain, fill_rows);
+  }
+  return cols;
+}
+
+}  // namespace
+
+PackedConv2d::PackedConv2d(const nn::Conv2d& conv, const LowerSpec& spec)
+    : in_c_(conv.in_channels()),
+      out_c_(conv.out_channels()),
+      kernel_(conv.kernel()),
+      stride_(conv.stride()),
+      pad_(conv.pad()),
+      gemm_(pack(conv.weight().value, spec.weight_bits, spec.group_size,
+                 spec.format, conv.weight().mask),
+            conv.out_channels(),
+            conv.in_channels() * conv.kernel() * conv.kernel()),
+      act_bits_(spec.act_bits) {
+  if (const nn::Parameter* b = conv.bias()) bias_ = b->value;
+}
+
+Tensor PackedConv2d::forward(const Tensor& x) {
+  UPAQ_CHECK(x.rank() == 4 && x.dim(1) == in_c_,
+             "PackedConv2d expects (N," + std::to_string(in_c_) + ",H,W)");
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = ops::conv_out_size(h, kernel_, stride_, pad_);
+  const std::int64_t ow = ops::conv_out_size(w, kernel_, stride_, pad_);
+  Tensor out({n, out_c_, oh, ow});
+  const float* bias = bias_.empty() ? nullptr : bias_.data();
+  // Batch items write disjoint output slices (same decomposition as the
+  // float Conv2d); the integer GEMM inside is exact, so the whole path is
+  // bitwise deterministic at any thread count. The input map is quantized
+  // BEFORE im2col — K*K times less quantization work, and the gather moves
+  // int8 instead of float — which yields the same scale and codes as
+  // quantizing the column matrix (same value multiset). The GEMM writes
+  // straight into the output slice with bias fused into its initial fill.
+  parallel::parallel_for(0, n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const float* xs = x.data() + b * in_c_ * h * w;
+      float* ys = out.data() + b * out_c_ * oh * ow;
+      const QuantizedActs qm = quantize_acts(xs, in_c_, h * w, act_bits_);
+      if (kernel_ == 1 && stride_ == 1 && pad_ == 0) {
+        // 1x1 conv: the column matrix IS the quantized map; no gather.
+        gemm_.run(qm.codes.data(), qm.scale, oh * ow, bias, ys);
+      } else {
+        const std::vector<std::int8_t> cols =
+            im2col_codes(qm.codes.data(), in_c_, h, w, kernel_, stride_, pad_);
+        gemm_.run(cols.data(), qm.scale, oh * ow, bias, ys);
+      }
+    }
+  });
+  return out;
+}
+
+PackedLinear::PackedLinear(const nn::Linear& linear, const LowerSpec& spec)
+    : in_f_(linear.in_features()),
+      out_f_(linear.out_features()),
+      gemm_(pack(linear.weight().value, spec.weight_bits, spec.group_size,
+                 spec.format, linear.weight().mask),
+            linear.out_features(), linear.in_features()),
+      act_bits_(spec.act_bits) {
+  if (const nn::Parameter* b = linear.bias()) bias_ = b->value;
+}
+
+Tensor PackedLinear::forward(const Tensor& x) {
+  UPAQ_CHECK(x.rank() == 2 && x.dim(1) == in_f_,
+             "PackedLinear expects (N," + std::to_string(in_f_) + ")");
+  const QuantizedActs qa = quantize_acts(x, act_bits_);
+  Tensor out({x.dim(0), out_f_});
+  gemm_.run_t(qa, bias_.empty() ? nullptr : bias_.data(), out);
+  return out;
+}
+
+bool lower_layer(nn::Layer& layer, const LowerSpec& spec) {
+  if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+    conv->set_engine(std::make_unique<PackedConv2d>(*conv, spec));
+    return true;
+  }
+  if (auto* linear = dynamic_cast<nn::Linear*>(&layer)) {
+    linear->set_engine(std::make_unique<PackedLinear>(*linear, spec));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace upaq::qnn

@@ -9,39 +9,64 @@
 
 namespace upaq::quant {
 
-QuantResult mp_quantize(const Tensor& x, int quant_bit) {
+QuantCodes mp_quantize_codes(const float* x, std::int64_t n, int quant_bit) {
   UPAQ_CHECK(quant_bit >= 2 && quant_bit <= 32,
              "quant_bit must be in [2, 32], got " + std::to_string(quant_bit));
-  QuantResult res;
-  res.bits = quant_bit;
+  UPAQ_CHECK(n >= 0, "mp_quantize_codes: negative length");
+  QuantCodes out;
+  out.codes.assign(static_cast<std::size_t>(n), 0);
 
   // Line 2: alpha_x = max(|min(x)|, |max(x)|).
-  const float alpha = x.numel() > 0 ? x.abs_max() : 0.0f;
+  float alpha = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) alpha = std::max(alpha, std::fabs(x[i]));
   // Lines 3-4: symmetric integer range.
   const double max_value = std::pow(2.0, quant_bit - 1) - 1.0;
   const double min_value = -max_value;
   if (alpha == 0.0f) {
+    // All-zero input: identity mapping (scale 1, all codes zero).
+    out.scale = 1.0f;
+    return out;
+  }
+  // Line 5: scale maps the largest magnitude onto the largest integer.
+  out.scale = static_cast<float>(alpha / max_value);
+
+  // Line 6: round to grid and clip.
+  for (std::int64_t i = 0; i < n; ++i) {
+    double q = std::round(static_cast<double>(x[i]) / out.scale);
+    q = std::min(std::max(q, min_value), max_value);
+    out.codes[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(q);
+  }
+  return out;
+}
+
+QuantResult mp_quantize(const Tensor& x, int quant_bit) {
+  QuantResult res;
+  res.bits = quant_bit;
+
+  // Integer-domain codes + scale shared with the packed path (upaq::qnn).
+  const QuantCodes q = mp_quantize_codes(x.data(), x.numel(), quant_bit);
+  res.scale = q.scale;
+  if (x.numel() == 0 || x.abs_max() == 0.0f) {
     // All-zero input: identity mapping, zero quantization error.
     res.values = x;
-    res.scale = 1.0f;
     res.sqnr = std::numeric_limits<double>::infinity();
     return res;
   }
-  // Line 5: scale maps the largest magnitude onto the largest integer.
-  const float scale = static_cast<float>(alpha / max_value);
-  res.scale = scale;
 
-  // Lines 6-7: round to grid and clip, then return to the float domain.
+  // Line 7: return to the float domain.
   res.values = Tensor(x.shape());
-  const float* src = x.data();
   float* dst = res.values.data();
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    double q = std::round(static_cast<double>(src[i]) / scale);
-    q = std::min(std::max(q, min_value), max_value);
-    dst[i] = static_cast<float>(q * scale);
-  }
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    dst[i] = dequantize_code(q.codes[static_cast<std::size_t>(i)], q.scale);
 
   // Line 8: SQNR = var(x) / var(x - x_hat) in the de-quantized domain.
+  //
+  // ERRATUM GUARD: the paper's Algorithm 6 line 8 evaluates var(x - x_q)
+  // with x_q still in the *integer* domain, which is dimensionally
+  // inconsistent (the error would scale with 1/scale, not with the signal).
+  // The error term below must stay `x - res.values` — i.e. de-quantized —
+  // and tests/test_quant.cpp pins this down so a refactor cannot silently
+  // revert to the integer-domain variant.
   const Tensor err = x - res.values;
   const double verr = err.var();
   const double vx = x.var();

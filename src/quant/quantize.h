@@ -32,6 +32,27 @@ struct QuantResult {
 /// infinite SQNR.
 QuantResult mp_quantize(const Tensor& x, int quant_bit);
 
+/// Integer-domain output of Algorithm 6 over one flat chunk: the clipped
+/// codes in [-(2^(b-1)-1), 2^(b-1)-1] and the symmetric scale. mp_quantize
+/// is exactly the de-quantization of these codes (dequantize_code below), so
+/// any consumer — in particular the packed storage in upaq::qnn — lands on
+/// the identical grid, bit for bit.
+struct QuantCodes {
+  std::vector<std::int32_t> codes;
+  float scale = 1.0f;  ///< 1.0 for an all-zero chunk (all codes zero)
+};
+
+/// Algorithm 6 in the integer domain over `n` contiguous values.
+QuantCodes mp_quantize_codes(const float* x, std::int64_t n, int quant_bit);
+
+/// De-quantizes one code with the exact arithmetic mp_quantize uses
+/// (double product, single float rounding), so code paths that store
+/// integers reproduce the fake-quant float values bitwise.
+inline float dequantize_code(std::int32_t code, float scale) {
+  return static_cast<float>(static_cast<double>(code) *
+                            static_cast<double>(scale));
+}
+
 /// SQNR expressed in dB (10*log10), clamped for infinite ratios.
 double sqnr_db(double sqnr);
 

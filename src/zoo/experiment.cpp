@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "core/qmodel.h"
 #include "tensor/check.h"
 #include "tensor/serialize.h"
 
@@ -29,6 +30,16 @@ std::string sanitize(std::string s) {
   for (char& c : s)
     if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
   return s;
+}
+
+/// Writes the packed low-bit weight side-car next to the other cache files
+/// and records its path in the outcome. Plans with no quantized layer
+/// (base, pruning-only) produce no blob.
+void save_packed_sidecar(const std::string& path, FrameworkOutcome& out) {
+  const auto packed = core::pack_planned_weights(*out.model, out.plan);
+  if (packed.empty()) return;
+  qnn::save_packed_map(path, packed);
+  out.packed_path = path;
 }
 
 }  // namespace
@@ -81,6 +92,7 @@ FrameworkOutcome ExperimentRunner::run(Framework fw, ModelKind kind) {
   const std::string row_path = stem + ".row";
   const std::string plan_path = stem + ".plan";
   const std::string state_path = stem + ".state";
+  const std::string packed_path = stem + ".packed";
   if (cfg_.use_cache && std::filesystem::exists(row_path) &&
       std::filesystem::exists(plan_path) &&
       std::filesystem::exists(state_path)) {
@@ -95,6 +107,10 @@ FrameworkOutcome ExperimentRunner::run(Framework fw, ModelKind kind) {
     is >> r.compression >> r.map_percent >> r.latency_rtx_ms >>
         r.latency_orin_ms >> r.energy_rtx_j >> r.energy_orin_j >> r.sparsity;
     UPAQ_CHECK(static_cast<bool>(is), "corrupt row cache: " + row_path);
+    if (std::filesystem::exists(packed_path))
+      out.packed_path = packed_path;
+    else
+      save_packed_sidecar(packed_path, out);  // cache predates packed blobs
     return out;
   }
 
@@ -196,6 +212,7 @@ FrameworkOutcome ExperimentRunner::run(Framework fw, ModelKind kind) {
     std::filesystem::create_directories(zoo_.config().cache_dir);
     core::save_plan(plan_path, out.plan);
     io::save_tensor_map(state_path, model.state_dict());
+    save_packed_sidecar(packed_path, out);
     std::ofstream os(row_path);
     os << std::setprecision(17) << out.row.framework << "\n"
        << out.row.compression << ' ' << out.row.map_percent << ' '

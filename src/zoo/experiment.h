@@ -69,6 +69,11 @@ struct FrameworkOutcome {
   FrameworkRow row;
   core::CompressionPlan plan;
   std::unique_ptr<detectors::Detector3D> model;  ///< compressed model (Fig. 6)
+  /// Packed low-bit weight blob (qnn::load_packed_map) for plans with
+  /// quantized layers; empty for pruning-only / base outcomes. Written as
+  /// the `.packed` cache side-car and regenerated on cache hits that
+  /// predate it.
+  std::string packed_path;
 };
 
 class ExperimentRunner {
