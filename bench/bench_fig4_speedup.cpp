@@ -5,13 +5,17 @@
 //
 // The run also times real PointPillars inference through the parallel tensor
 // backend at the active UPAQ_THREADS setting and writes a machine-readable
-// summary (threads used, wall clock, modelled speedups) to bench_fig4.json.
-// Compare serial vs parallel with:
+// summary (threads used, per-scene latency stats, modelled speedups) to
+// bench_fig4.json. Timing goes through the prof span layer: each detect()
+// call is wrapped in a "bench.detect" span after a warm-up pass, and the
+// mean/p50/p99 come out of prof::aggregate — the same machinery the
+// `upaq_tool profile` report uses. Compare serial vs parallel with:
 //   UPAQ_THREADS=1 ./bench_fig4_speedup && UPAQ_THREADS=4 ./bench_fig4_speedup
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "prof/prof.h"
 
 #include "core/qmodel.h"
 #include "core/upaq.h"
@@ -66,24 +70,49 @@ std::vector<upaq::data::Scene> scene_set(int scenes) {
   return set;
 }
 
-double time_scenes_ms(upaq::detectors::Detector3D& model,
-                      const std::vector<upaq::data::Scene>& set, int repeats) {
+/// Per-scene latency distribution over repeats x scenes detect() calls.
+struct LatencyStats {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+LatencyStats time_scenes(upaq::detectors::Detector3D& model,
+                         const std::vector<upaq::data::Scene>& set,
+                         int repeats) {
+  using namespace upaq;
   std::size_t sink = 0;
-  const auto t0 = std::chrono::steady_clock::now();
+  // Warm-up pass: first-touch page faults and pool lane spin-up would
+  // otherwise land in the p99.
+  for (const auto& scene : set) sink += model.detect(scene).size();
+
+  const bool was_enabled = prof::enabled();
+  prof::set_enabled(true);
+  prof::reset();
   for (int r = 0; r < repeats; ++r)
-    for (const auto& scene : set) sink += model.detect(scene).size();
-  const auto t1 = std::chrono::steady_clock::now();
+    for (const auto& scene : set) {
+      prof::Span span("bench.detect");
+      sink += model.detect(scene).size();
+    }
   (void)sink;
-  return std::chrono::duration<double, std::milli>(t1 - t0).count() /
-         (static_cast<double>(set.size()) * repeats);
+  LatencyStats out;
+  for (const auto& st : prof::aggregate(prof::snapshot_events()))
+    if (st.name == "bench.detect") {
+      out.mean_ms = st.mean_ms;
+      out.p50_ms = st.p50_ms;
+      out.p99_ms = st.p99_ms;
+    }
+  prof::reset();
+  prof::set_enabled(was_enabled);
+  return out;
 }
 
-double time_detect_ms(int scenes, int repeats) {
+LatencyStats time_detect(int scenes, int repeats) {
   using namespace upaq;
   auto cfg = detectors::PointPillarsConfig::scaled();
   Rng rng(4242);
   detectors::PointPillars model(cfg, rng);
-  return time_scenes_ms(model, scene_set(scenes), repeats);
+  return time_scenes(model, scene_set(scenes), repeats);
 }
 
 /// Packed-vs-fp32 measurement on the *same* UPAQ-HCK compressed model: the
@@ -92,9 +121,9 @@ double time_detect_ms(int scenes, int repeats) {
 /// scenes. Both paths skip pruned weights; the packed one additionally
 /// executes int8xint4/8 multiplies with integer accumulation.
 struct PackedTiming {
-  double fp32_ms = 0.0;    ///< compressed model, float execution
-  double packed_ms = 0.0;  ///< compressed model, packed integer execution
-  int lowered = 0;         ///< layers running on the integer path
+  LatencyStats fp32;    ///< compressed model, float execution
+  LatencyStats packed;  ///< compressed model, packed integer execution
+  int lowered = 0;      ///< layers running on the integer path
 };
 
 PackedTiming time_packed_ms(int scenes, int repeats) {
@@ -109,10 +138,10 @@ PackedTiming time_packed_ms(int scenes, int repeats) {
 
   const auto set = scene_set(scenes);
   PackedTiming t;
-  t.fp32_ms = time_scenes_ms(model, set, repeats);
+  t.fp32 = time_scenes(model, set, repeats);
   core::QuantizedModel qmodel(model, std::move(result.plan));
   t.lowered = qmodel.lowered_layers();
-  t.packed_ms = time_scenes_ms(qmodel, set, repeats);
+  t.packed = time_scenes(qmodel, set, repeats);
   return t;
 }
 
@@ -132,27 +161,34 @@ int main() {
   std::printf("\nPaper reference (Jetson Orin): PointPillars UPAQ(HCK) 1.97x, "
               "UPAQ(LCK) 1.81x;\nSMOKE UPAQ(HCK) 1.86x, UPAQ(LCK) 1.78x.\n");
 
-  const double detect_ms = time_detect_ms(/*scenes=*/4, /*repeats=*/3);
-  std::printf("\nMeasured PointPillars detect(): %.2f ms/scene at %d thread%s\n",
-              detect_ms, threads, threads == 1 ? "" : "s");
+  const LatencyStats detect = time_detect(/*scenes=*/4, /*repeats=*/3);
+  std::printf("\nMeasured PointPillars detect(): mean %.2f / p50 %.2f / "
+              "p99 %.2f ms per scene at %d thread%s\n",
+              detect.mean_ms, detect.p50_ms, detect.p99_ms, threads,
+              threads == 1 ? "" : "s");
 
   const PackedTiming packed = time_packed_ms(/*scenes=*/4, /*repeats=*/3);
   std::printf("Measured UPAQ(HCK) compressed detect(): %.2f ms/scene fp32, "
               "%.2f ms/scene packed int8/int4 (%d layers on integer path)\n",
-              packed.fp32_ms, packed.packed_ms, packed.lowered);
+              packed.fp32.mean_ms, packed.packed.mean_ms, packed.lowered);
 
   FILE* json = std::fopen("bench_fig4.json", "w");
   if (json) {
+    auto stats = [&](const char* key, const LatencyStats& s_) {
+      std::fprintf(json,
+                   "  \"%s\": {\"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+                   "\"p99_ms\": %.4f},\n",
+                   key, s_.mean_ms, s_.p50_ms, s_.p99_ms);
+    };
     std::fprintf(json, "{\n  \"upaq_threads\": %d,\n", threads);
-    std::fprintf(json, "  \"detect_ms_per_scene\": %.4f,\n", detect_ms);
-    std::fprintf(json, "  \"compressed_fp32_ms_per_scene\": %.4f,\n",
-                 packed.fp32_ms);
-    std::fprintf(json, "  \"packed_int8_ms_per_scene\": %.4f,\n",
-                 packed.packed_ms);
+    stats("detect_ms_per_scene", detect);
+    stats("compressed_fp32_ms_per_scene", packed.fp32);
+    stats("packed_int8_ms_per_scene", packed.packed);
     std::fprintf(json, "  \"packed_lowered_layers\": %d,\n", packed.lowered);
     std::fprintf(json, "  \"packed_vs_fp32_speedup\": %.4f,\n",
-                 packed.packed_ms > 0.0 ? packed.fp32_ms / packed.packed_ms
-                                        : 0.0);
+                 packed.packed.mean_ms > 0.0
+                     ? packed.fp32.mean_ms / packed.packed.mean_ms
+                     : 0.0);
     std::fprintf(json, "  \"speedups\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto& r = rows[i];

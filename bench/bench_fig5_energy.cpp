@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/plan.h"
+#include "parallel/thread_pool.h"
 #include "detectors/pointpillars.h"
 #include "detectors/smoke.h"
 #include "zoo/experiment.h"
@@ -133,7 +134,9 @@ int main() {
 
   FILE* json = std::fopen("bench_fig5.json", "w");
   if (json) {
-    std::fprintf(json, "{\n  \"energy_reductions\": [\n");
+    std::fprintf(json, "{\n  \"upaq_threads\": %d,\n",
+                 upaq::parallel::thread_count());
+    std::fprintf(json, "  \"energy_reductions\": [\n");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto& r = rows[i];
       std::fprintf(json,

@@ -1,11 +1,16 @@
 // Deployment what-if explorer: sweep (sparsity, bitwidth) over the
 // paper-scale PointPillars spec on both devices and print the latency /
 // energy landscape the efficiency score optimizes over — plus an
-// NVpower-style power trace of one simulated inference.
+// NVpower-style power trace of one simulated inference and a
+// measured-vs-modeled sanity check of the analytic model against real
+// traced inference on this host (the scaled config, so it runs in seconds).
 #include <cstdio>
 
+#include "data/scene.h"
 #include "detectors/pointpillars.h"
 #include "hw/power.h"
+#include "prof/prof.h"
+#include "prof/report.h"
 
 int main() {
   using namespace upaq;
@@ -71,5 +76,29 @@ int main() {
     std::printf("%s", glyphs[std::max(0, level)]);
   }
   std::printf("\n");
+
+  // Ground the analytic sweep above in a real measurement: trace a few
+  // scaled-config inference passes through the prof layer and print the
+  // per-layer measured-vs-modeled table. Absolute drift is expected (host
+  // CPU vs modeled Jetson); a layer whose drift is far from the median is
+  // where the model misjudges the workload shape.
+  {
+    Rng rng(4242);
+    detectors::PointPillars model(detectors::PointPillarsConfig::scaled(), rng);
+    model.set_training(false);
+    Rng srng(99);
+    data::SceneGenerator gen;
+    const auto scene = gen.sample(srng);
+    prof::set_enabled(true);
+    std::size_t sink = model.detect(scene).size();  // warm-up
+    prof::reset();
+    const int passes = 3;
+    for (int i = 0; i < passes; ++i) sink += model.detect(scene).size();
+    (void)sink;
+    const auto cmp = prof::build_cost_report(
+        prof::snapshot_events(), orin, model.cost_profile(), passes);
+    std::printf("\nmeasured (host, scaled config) vs modeled (Orin Nano):\n%s",
+                prof::cost_report_table(cmp).c_str());
+  }
   return 0;
 }

@@ -5,17 +5,32 @@
 //             [--connectivity F] [--finetune ITERS] [--alpha A] [--beta B]
 //             [--gamma G] [--cache DIR] [--no-finetune]
 //
-// Trains (or loads) the chosen detector, compresses it with the requested
-// configuration, optionally fine-tunes, and prints the accuracy /
-// compression / deployment-cost summary. Everything the Table-2 bench does,
-// but with the knobs exposed.
+//   upaq_tool profile [--model pointpillars|smoke] [--scenes K] [--runs R]
+//                     [--trace FILE]
+//
+// The default mode trains (or loads) the chosen detector, compresses it with
+// the requested configuration, optionally fine-tunes, and prints the
+// accuracy / compression / deployment-cost summary. Everything the Table-2
+// bench does, but with the knobs exposed.
+//
+// `profile` runs eval-mode inference under the prof span layer and prints a
+// per-layer stats table, the measured-vs-modeled cost report, the prof
+// counters, and per-worker pool utilization. --trace exports a
+// chrome://tracing JSON (open in chrome://tracing or Perfetto).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/upaq.h"
+#include "data/scene.h"
+#include "detectors/pointpillars.h"
+#include "detectors/smoke.h"
+#include "parallel/thread_pool.h"
+#include "prof/prof.h"
+#include "prof/report.h"
 #include "zoo/zoo.h"
 
 namespace {
@@ -27,9 +42,111 @@ using namespace upaq;
                "usage: %s [--model pointpillars|smoke] [--preset hck|lck]\n"
                "          [--nonzeros N] [--bits B1,B2,...] [--candidates K]\n"
                "          [--connectivity F] [--finetune ITERS]\n"
-               "          [--alpha A] [--beta B] [--gamma G] [--cache DIR]\n",
-               argv0);
+               "          [--alpha A] [--beta B] [--gamma G] [--cache DIR]\n"
+               "       %s profile [--model pointpillars|smoke] [--scenes K]\n"
+               "          [--runs R] [--trace FILE]\n",
+               argv0, argv0);
   std::exit(2);
+}
+
+/// `upaq_tool profile`: trace eval-mode inference of an untrained scaled
+/// detector (weights seeded, not learned — the workload shape is what is
+/// being profiled) and confront the measurements with the analytic model.
+int run_profile(int argc, char** argv) {
+  std::string model_name = "pointpillars";
+  std::string trace_path;
+  int scenes = 4, runs = 3;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--model")
+      model_name = next();
+    else if (arg == "--scenes")
+      scenes = std::atoi(next());
+    else if (arg == "--runs")
+      runs = std::atoi(next());
+    else if (arg == "--trace")
+      trace_path = next();
+    else
+      usage(argv[0]);
+  }
+  const bool is_pp = model_name == "pointpillars";
+  if (!is_pp && model_name != "smoke") usage(argv[0]);
+  if (scenes < 1 || runs < 1) usage(argv[0]);
+
+  prof::set_thread_name("main");
+  const int threads = parallel::thread_count();
+  Rng rng(4242);
+  std::unique_ptr<detectors::Detector3D> model;
+  if (is_pp)
+    model = std::make_unique<detectors::PointPillars>(
+        detectors::PointPillarsConfig::scaled(), rng);
+  else
+    model = std::make_unique<detectors::Smoke>(detectors::SmokeConfig::scaled(),
+                                               rng);
+  model->set_training(false);
+
+  Rng srng(99);
+  data::SceneGenerator gen;
+  std::vector<data::Scene> set;
+  for (int i = 0; i < scenes; ++i) set.push_back(gen.sample(srng));
+
+  // Warm-up pass: page in weights, spin up the pool lanes, then drop its
+  // events so the report only covers steady-state passes.
+  prof::set_enabled(true);
+  std::size_t sink = model->detect(set.front()).size();
+  prof::reset();
+
+  for (int r = 0; r < runs; ++r)
+    for (const auto& scene : set) sink += model->detect(scene).size();
+  (void)sink;
+
+  const auto events = prof::snapshot_events();
+  const int passes = runs * scenes;
+  std::printf("%s profile: %d scene%s x %d run%s, %d thread%s\n\n",
+              model->model_name(), scenes, scenes == 1 ? "" : "s", runs,
+              runs == 1 ? "" : "s", threads, threads == 1 ? "" : "s");
+  std::printf("%s\n", prof::stats_table(prof::aggregate(events)).c_str());
+
+  const hw::CostModel cost_model(hw::device_spec(hw::Device::kJetsonOrinNano));
+  const auto cmp =
+      prof::build_cost_report(events, cost_model, model->cost_profile(), passes);
+  std::printf("measured (host CPU) vs modeled (Jetson Orin Nano), per pass:\n%s\n",
+              prof::cost_report_table(cmp).c_str());
+
+  std::printf("counters:\n");
+  for (int c = 0; c < static_cast<int>(prof::Counter::kCount); ++c) {
+    const auto counter = static_cast<prof::Counter>(c);
+    std::printf("  %-22s %llu\n", prof::counter_name(counter),
+                static_cast<unsigned long long>(prof::counter_value(counter)));
+  }
+
+  // Per-worker utilization: total pool.job time per thread. Lanes missing
+  // from the table never claimed a job in the profiled window.
+  std::map<std::uint64_t, double> lane_ms;
+  for (const auto& e : events)
+    if (e.name == "pool.job") lane_ms[e.tid] += e.dur_ns * 1e-6;
+  std::map<std::uint64_t, std::string> names;
+  for (const auto& [tid, name] : prof::thread_names()) names[tid] = name;
+  std::printf("\npool lanes (pool.job time across %d passes):\n", passes);
+  for (const auto& [tid, ms] : lane_ms) {
+    const auto it = names.find(tid);
+    std::printf("  tid %llu %-16s %8.2f ms\n",
+                static_cast<unsigned long long>(tid),
+                it == names.end() ? "(unnamed)" : it->second.c_str(), ms);
+  }
+  if (lane_ms.empty()) std::printf("  (no pool jobs recorded)\n");
+
+  if (!trace_path.empty()) {
+    if (prof::write_chrome_trace(trace_path))
+      std::printf("\nwrote chrome trace to %s\n", trace_path.c_str());
+    else
+      std::fprintf(stderr, "\nfailed to write %s\n", trace_path.c_str());
+  }
+  return 0;
 }
 
 std::vector<int> parse_bits(const std::string& arg) {
@@ -49,6 +166,9 @@ std::vector<int> parse_bits(const std::string& arg) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "profile") == 0)
+    return run_profile(argc, argv);
+
   std::string model_name = "pointpillars";
   core::UpaqConfig cfg = core::UpaqConfig::lck();
   int finetune = 300;

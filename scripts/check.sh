@@ -19,13 +19,21 @@ UPAQ_THREADS=1 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$J
 echo "==> tier1, parallel (UPAQ_THREADS=4)"
 UPAQ_THREADS=4 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"
 
+# Tracing must never change results: the whole tier-1 label (including the
+# determinism suite) has to pass with every span/counter live.
+echo "==> tier1, traced (UPAQ_TRACE=1, UPAQ_THREADS=4)"
+UPAQ_TRACE=1 UPAQ_THREADS=4 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"
+
 # The packed-integer path does raw bit twiddling (sign extension, packed
 # buffers) — run its suites under ASan/UBSan so memory and UB bugs in the
-# pack/unpack/GEMM code cannot slip past the plain Release gate.
-echo "==> qnn + quant suites under UPAQ_SANITIZE=address,undefined"
+# pack/unpack/GEMM code cannot slip past the plain Release gate. The prof
+# suite rides along: its event buffers are touched from every pool worker,
+# so it is the natural place for the sanitizers to catch a lifetime bug.
+echo "==> qnn + quant + prof suites under UPAQ_SANITIZE=address,undefined"
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$ASAN_DIR" -S . -DUPAQ_SANITIZE=address,undefined
-cmake --build "$ASAN_DIR" -j "$JOBS" --target test_qnn test_quant
+cmake --build "$ASAN_DIR" -j "$JOBS" --target test_qnn test_quant test_prof
 UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_qnn|test_quant' --output-on-failure
+UPAQ_TRACE=1 UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_prof' --output-on-failure
 
-echo "check.sh: OK (tier1 passed serial and 4-thread; qnn sanitized)"
+echo "check.sh: OK (tier1 passed serial, 4-thread, and traced; qnn+prof sanitized)"

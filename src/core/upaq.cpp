@@ -1,5 +1,7 @@
 #include "core/upaq.h"
 
+#include "prof/prof.h"
+
 #include <algorithm>
 #include <limits>
 #include <map>
@@ -117,6 +119,7 @@ UpaqResult UpaqCompressor::compress(detectors::Detector3D& model) {
   Rng rng(cfg_.seed);
   for (const auto& group : groups) {
     const std::string root_name = graph.node(group.root).name;
+    prof::Span group_span("upaq.group", root_name);
     nn::Parameter* root_w = find_weight(model, root_name);
     UPAQ_ASSERT(root_w != nullptr, "group root has no weight: " + root_name);
     std::vector<std::string> member_names;
@@ -169,6 +172,7 @@ UpaqResult UpaqCompressor::compress(detectors::Detector3D& model) {
         sparsity = prune::tensor_sparsity(mask);
       }
       for (int bits : cfg_.quant_bits) {
+        prof::Span cand_span("upaq.es_candidate");
         // Algorithm 6 runs per kernel/tile: each gets its own scale.
         const auto q = quant::mp_quantize_grouped(masked, bits, tile);
         ++result.candidates_evaluated;

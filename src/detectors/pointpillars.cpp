@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "parallel/thread_pool.h"
+#include "prof/prof.h"
 #include "tensor/ops.h"
 
 namespace upaq::detectors {
@@ -119,6 +120,7 @@ PointPillars::PointPillars(PointPillarsConfig cfg, Rng& rng) : cfg_(std::move(cf
 }
 
 PointPillars::Pillars PointPillars::pillarize(const data::Scene& scene) const {
+  prof::Span span("pre.pillarize");
   const float pillar = cfg_.pillar_size();
   const int g = cfg_.grid;
   const int maxp = cfg_.max_points_per_pillar;
@@ -191,37 +193,43 @@ void PointPillars::forward(const data::Scene& scene, ForwardState& state) {
   // argmax table), so the pillar loop parallelises deterministically.
   Tensor pooled({std::max<std::int64_t>(pillar_count, 1), c});
   state.max_argmax.assign(static_cast<std::size_t>(pillar_count * c), 0);
-  parallel::parallel_for(0, pillar_count, 64, [&](std::int64_t p0,
-                                                  std::int64_t p1) {
-    for (std::int64_t p = p0; p < p1; ++p) {
-      const int v = pil.valid_counts[static_cast<std::size_t>(p)];
-      for (int ch = 0; ch < c; ++ch) {
-        float best = -std::numeric_limits<float>::infinity();
-        std::int64_t best_row = p * maxp;
-        for (int i = 0; i < v; ++i) {
-          const float val = point_feats.at(p * maxp + i, ch);
-          if (val > best) {
-            best = val;
-            best_row = p * maxp + i;
+  {
+    prof::Span pool_span("pfn.maxpool");
+    parallel::parallel_for(0, pillar_count, 64, [&](std::int64_t p0,
+                                                    std::int64_t p1) {
+      for (std::int64_t p = p0; p < p1; ++p) {
+        const int v = pil.valid_counts[static_cast<std::size_t>(p)];
+        for (int ch = 0; ch < c; ++ch) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_row = p * maxp;
+          for (int i = 0; i < v; ++i) {
+            const float val = point_feats.at(p * maxp + i, ch);
+            if (val > best) {
+              best = val;
+              best_row = p * maxp + i;
+            }
           }
+          pooled.at(p, ch) = best;
+          state.max_argmax[static_cast<std::size_t>(p * c + ch)] = best_row;
         }
-        pooled.at(p, ch) = best;
-        state.max_argmax[static_cast<std::size_t>(p * c + ch)] = best_row;
       }
-    }
-  });
+    });
+  }
 
   // Scatter pillar embeddings to the pseudo-image. Pillar coords are unique
   // (one bucket per occupied cell), so the writes are disjoint.
   Tensor pseudo({1, c, cfg_.grid, cfg_.grid});
-  parallel::parallel_for(0, pillar_count, 256, [&](std::int64_t p0,
-                                                   std::int64_t p1) {
-    for (std::int64_t p = p0; p < p1; ++p) {
-      const auto [row, col] = pil.coords[static_cast<std::size_t>(p)];
-      for (int ch = 0; ch < c; ++ch)
-        pseudo.at(0, ch, row, col) = pooled.at(p, ch);
-    }
-  });
+  {
+    prof::Span scatter_span("pre.scatter");
+    parallel::parallel_for(0, pillar_count, 256, [&](std::int64_t p0,
+                                                     std::int64_t p1) {
+      for (std::int64_t p = p0; p < p1; ++p) {
+        const auto [row, col] = pil.coords[static_cast<std::size_t>(p)];
+        for (int ch = 0; ch < c; ++ch)
+          pseudo.at(0, ch, row, col) = pooled.at(p, ch);
+      }
+    });
+  }
 
   // Backbone + FPN-style concat + head.
   const Tensor b1 = block_seq_[0].forward(pseudo);
@@ -269,6 +277,7 @@ void PointPillars::backward(const ForwardState& state, const Tensor& grad_cls,
 
 std::vector<eval::Box3D> PointPillars::decode(const Tensor& cls_logits,
                                               const Tensor& reg_out) const {
+  prof::Span span("post.nms");
   const int g2 = head_grid_;
   const float cell = cfg_.pillar_size() * 2.0f;
   std::vector<eval::Box3D> cands;
@@ -304,6 +313,7 @@ std::vector<eval::Box3D> PointPillars::decode(const Tensor& cls_logits,
 }
 
 std::vector<eval::Box3D> PointPillars::detect(const data::Scene& scene) {
+  prof::Span span("detect", "PointPillars");
   set_training(false);
   ForwardState state;
   forward(scene, state);

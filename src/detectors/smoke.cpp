@@ -1,5 +1,7 @@
 #include "detectors/smoke.h"
 
+#include "prof/prof.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -168,6 +170,7 @@ bool Smoke::observes(const eval::Box3D& box) const {
 }
 
 Tensor Smoke::render(const data::Scene& scene) const {
+  prof::Span span("pre.normalize");
   Rng rng(scene_seed(scene));
   return data::render_camera(scene, cfg_.camera, rng);
 }
@@ -197,6 +200,7 @@ void Smoke::backward(const Tensor& grad_hm, const Tensor& grad_reg) {
 
 std::vector<eval::Box3D> Smoke::decode(const Tensor& hm_logits,
                                        const Tensor& reg_out) const {
+  prof::Span span("post.decode");
   // Sigmoid heatmap + 3x3 local-maximum peak extraction.
   struct Peak {
     float score;
@@ -252,6 +256,7 @@ std::vector<eval::Box3D> Smoke::decode(const Tensor& hm_logits,
 }
 
 std::vector<eval::Box3D> Smoke::detect(const data::Scene& scene) {
+  prof::Span span("detect", "SMOKE");
   set_training(false);
   ForwardState state;
   forward(render(scene), state);

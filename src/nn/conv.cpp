@@ -40,7 +40,7 @@ std::vector<Parameter*> Conv2d::parameters() {
   return ps;
 }
 
-Tensor Conv2d::forward(const Tensor& x) {
+Tensor Conv2d::do_forward(const Tensor& x) {
   UPAQ_CHECK(x.rank() == 4, "Conv2d expects (N,C,H,W), got " +
                                 shape_to_string(x.shape()));
   UPAQ_CHECK(x.dim(1) == in_c_,
@@ -82,7 +82,7 @@ Tensor Conv2d::forward(const Tensor& x) {
   return out;
 }
 
-Tensor Conv2d::backward(const Tensor& grad_out) {
+Tensor Conv2d::do_backward(const Tensor& grad_out) {
   UPAQ_CHECK(!input_cache_.empty(),
              name_ + ": backward without forward (or eval mode)");
   const Tensor& x = input_cache_;

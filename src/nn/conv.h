@@ -15,8 +15,6 @@ class Conv2d final : public Layer {
   Conv2d(std::int64_t in_channels, std::int64_t out_channels, int kernel,
          int stride, int pad, bool bias, Rng& rng, std::string name);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
   LayerKind kind() const override { return LayerKind::kConv2d; }
   std::vector<Parameter*> parameters() override;
 
@@ -35,6 +33,10 @@ class Conv2d final : public Layer {
   /// model reads these after a shape-probing forward.
   std::int64_t last_out_h() const { return last_out_h_; }
   std::int64_t last_out_w() const { return last_out_w_; }
+
+ protected:
+  Tensor do_forward(const Tensor& x) override;
+  Tensor do_backward(const Tensor& grad_out) override;
 
  private:
   std::int64_t in_c_, out_c_;

@@ -78,12 +78,19 @@ const char* layer_kind_name(LayerKind k);
 /// Abstract differentiable layer. forward() caches whatever backward() needs;
 /// backward() accumulates parameter gradients and returns the gradient with
 /// respect to the input.
+///
+/// forward()/backward() are non-virtual profiled entry points: they emit a
+/// prof span named after the layer (backward spans get a ".bwd" suffix) and
+/// dispatch to the do_forward()/do_backward() overrides. Every call site —
+/// Sequential chains and the detectors' hand-wired graphs alike — therefore
+/// gets per-layer tracing without opting in; with tracing off the wrapper is
+/// a single branch.
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  virtual Tensor forward(const Tensor& x) = 0;
-  virtual Tensor backward(const Tensor& grad_out) = 0;
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
   virtual LayerKind kind() const = 0;
 
   /// Trainable parameters (may be empty for stateless layers).
@@ -109,6 +116,9 @@ class Layer {
   ForwardEngine* engine() const { return engine_.get(); }
 
  protected:
+  virtual Tensor do_forward(const Tensor& x) = 0;
+  virtual Tensor do_backward(const Tensor& grad_out) = 0;
+
   std::string name_;
   bool training_ = true;
   std::unique_ptr<ForwardEngine> engine_;

@@ -44,7 +44,7 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, Rng& rng, std::string name,
   beta_ = Parameter(name_ + ".beta", Tensor({channels_}));
 }
 
-Tensor BatchNorm2d::forward(const Tensor& x) {
+Tensor BatchNorm2d::do_forward(const Tensor& x) {
   UPAQ_CHECK(x.rank() == 4 && x.dim(1) == channels_,
              name_ + ": BatchNorm2d shape mismatch for input " +
                  shape_to_string(x.shape()));
@@ -119,7 +119,7 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
   return out;
 }
 
-Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+Tensor BatchNorm2d::do_backward(const Tensor& grad_out) {
   UPAQ_CHECK(!input_cache_.empty(), name_ + ": backward without forward");
   const std::int64_t n = input_cache_.dim(0), c = channels_,
                      h = input_cache_.dim(2), w = input_cache_.dim(3);
@@ -164,7 +164,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
 
 // --------------------------------------------------------------------- ReLU
 
-Tensor Relu::forward(const Tensor& x) {
+Tensor Relu::do_forward(const Tensor& x) {
   if (training_) input_cache_ = x;
   Tensor out = x;
   float* p = out.data();
@@ -176,7 +176,7 @@ Tensor Relu::forward(const Tensor& x) {
   return out;
 }
 
-Tensor Relu::backward(const Tensor& grad_out) {
+Tensor Relu::do_backward(const Tensor& grad_out) {
   UPAQ_CHECK(!input_cache_.empty(), name_ + ": backward without forward");
   Tensor grad = grad_out;
   const float* x = input_cache_.data();
@@ -191,7 +191,7 @@ Tensor Relu::backward(const Tensor& grad_out) {
 
 // ------------------------------------------------------------------ MaxPool
 
-Tensor MaxPool2d::forward(const Tensor& x) {
+Tensor MaxPool2d::do_forward(const Tensor& x) {
   UPAQ_CHECK(x.rank() == 4, "MaxPool2d expects NCHW");
   const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int k = kernel_;
@@ -229,7 +229,7 @@ Tensor MaxPool2d::forward(const Tensor& x) {
   return out;
 }
 
-Tensor MaxPool2d::backward(const Tensor& grad_out) {
+Tensor MaxPool2d::do_backward(const Tensor& grad_out) {
   UPAQ_CHECK(!input_shape_.empty(), name_ + ": backward without forward");
   Tensor grad_x(input_shape_);
   const float* g = grad_out.data();
@@ -241,7 +241,7 @@ Tensor MaxPool2d::backward(const Tensor& grad_out) {
 
 // ----------------------------------------------------------------- Upsample
 
-Tensor Upsample::forward(const Tensor& x) {
+Tensor Upsample::do_forward(const Tensor& x) {
   UPAQ_CHECK(x.rank() == 4, "Upsample expects NCHW");
   UPAQ_CHECK(factor_ >= 1, "Upsample factor must be >= 1");
   const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
@@ -261,7 +261,7 @@ Tensor Upsample::forward(const Tensor& x) {
   return out;
 }
 
-Tensor Upsample::backward(const Tensor& grad_out) {
+Tensor Upsample::do_backward(const Tensor& grad_out) {
   UPAQ_CHECK(!input_shape_.empty(), name_ + ": backward without forward");
   const std::int64_t n = input_shape_[0], c = input_shape_[1],
                      h = input_shape_[2], w = input_shape_[3];
@@ -296,7 +296,7 @@ std::vector<Parameter*> Linear::parameters() {
   return ps;
 }
 
-Tensor Linear::forward(const Tensor& x) {
+Tensor Linear::do_forward(const Tensor& x) {
   UPAQ_CHECK(x.rank() == 2 && x.dim(1) == in_f_,
              name_ + ": Linear expects (N," + std::to_string(in_f_) + ")");
   if (training_) input_cache_ = x;
@@ -329,7 +329,7 @@ Tensor Linear::forward(const Tensor& x) {
   return out;
 }
 
-Tensor Linear::backward(const Tensor& grad_out) {
+Tensor Linear::do_backward(const Tensor& grad_out) {
   UPAQ_CHECK(!input_cache_.empty(), name_ + ": backward without forward");
   const std::int64_t n = input_cache_.dim(0);
   UPAQ_CHECK(grad_out.rank() == 2 && grad_out.dim(0) == n &&

@@ -13,8 +13,6 @@ class BatchNorm2d final : public Layer {
   BatchNorm2d(std::int64_t channels, Rng& rng, std::string name,
               float momentum = 0.1f, float eps = 1e-5f);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
   LayerKind kind() const override { return LayerKind::kBatchNorm; }
   std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
 
@@ -23,6 +21,10 @@ class BatchNorm2d final : public Layer {
   Tensor& running_mean() { return running_mean_; }
   Tensor& running_var() { return running_var_; }
   std::int64_t channels() const { return channels_; }
+
+ protected:
+  Tensor do_forward(const Tensor& x) override;
+  Tensor do_backward(const Tensor& grad_out) override;
 
  private:
   std::int64_t channels_;
@@ -42,12 +44,14 @@ class Relu final : public Layer {
       : slope_(negative_slope) {
     set_name(std::move(name));
   }
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
   LayerKind kind() const override {
     return slope_ == 0.0f ? LayerKind::kRelu : LayerKind::kLeakyRelu;
   }
   float negative_slope() const { return slope_; }
+
+ protected:
+  Tensor do_forward(const Tensor& x) override;
+  Tensor do_backward(const Tensor& grad_out) override;
 
  private:
   float slope_;
@@ -60,10 +64,12 @@ class MaxPool2d final : public Layer {
   explicit MaxPool2d(int kernel, std::string name) : kernel_(kernel) {
     set_name(std::move(name));
   }
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
   LayerKind kind() const override { return LayerKind::kMaxPool; }
   int kernel() const { return kernel_; }
+
+ protected:
+  Tensor do_forward(const Tensor& x) override;
+  Tensor do_backward(const Tensor& grad_out) override;
 
  private:
   int kernel_;
@@ -77,10 +83,12 @@ class Upsample final : public Layer {
   explicit Upsample(int factor, std::string name) : factor_(factor) {
     set_name(std::move(name));
   }
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
   LayerKind kind() const override { return LayerKind::kUpsample; }
   int factor() const { return factor_; }
+
+ protected:
+  Tensor do_forward(const Tensor& x) override;
+  Tensor do_backward(const Tensor& grad_out) override;
 
  private:
   int factor_;
@@ -94,8 +102,6 @@ class Linear final : public Layer {
  public:
   Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
          Rng& rng, std::string name);
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
   LayerKind kind() const override { return LayerKind::kLinear; }
   std::vector<Parameter*> parameters() override;
 
@@ -105,6 +111,10 @@ class Linear final : public Layer {
   const Parameter* bias() const { return has_bias_ ? &bias_ : nullptr; }
   std::int64_t in_features() const { return in_f_; }
   std::int64_t out_features() const { return out_f_; }
+
+ protected:
+  Tensor do_forward(const Tensor& x) override;
+  Tensor do_backward(const Tensor& grad_out) override;
 
  private:
   std::int64_t in_f_, out_f_;

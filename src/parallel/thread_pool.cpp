@@ -1,5 +1,7 @@
 #include "parallel/thread_pool.h"
 
+#include "prof/prof.h"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -72,7 +74,8 @@ struct ThreadPool::Impl {
 
   std::mutex run_mutex;         // serializes concurrent external run() calls
 
-  void worker_loop() {
+  void worker_loop(int index) {
+    prof::set_thread_name("pool/worker/" + std::to_string(index));
     std::uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Job> j;
@@ -83,7 +86,13 @@ struct ThreadPool::Impl {
         seen = epoch;
         j = job;
       }
-      if (j) j->execute();
+      if (j) {
+        // One span per job per worker: the aggregate of these is the
+        // worker's utilization, and their absence from a trace means the
+        // lane sat idle.
+        prof::Span span("pool.job");
+        j->execute();
+      }
     }
   }
 };
@@ -92,7 +101,8 @@ ThreadPool::ThreadPool(int threads) : impl_(std::make_unique<Impl>()) {
   const int workers = std::max(0, threads - 1);
   impl_->workers.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i)
-    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+    impl_->workers.emplace_back(
+        [impl = impl_.get(), i] { impl->worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -111,6 +121,8 @@ int ThreadPool::threads() const {
 void ThreadPool::run(std::int64_t tasks,
                      const std::function<void(std::int64_t)>& fn) {
   if (tasks <= 0) return;
+  prof::add(prof::Counter::kPoolJobs, 1);
+  prof::add(prof::Counter::kPoolTasks, static_cast<std::uint64_t>(tasks));
   if (tl_in_task || impl_->workers.empty() || tasks == 1) {
     // Serial / nested path: inline, in index order. tl_in_task stays as-is
     // so a task body calling run() again keeps inlining.
@@ -129,7 +141,12 @@ void ThreadPool::run(std::int64_t tasks,
   }
   impl_->cv.notify_all();
 
-  job->execute();  // the calling thread is a lane too
+  {
+    // The calling thread is a lane too; its share of the job shows up under
+    // the same span name as the workers'.
+    prof::Span span("pool.job");
+    job->execute();
+  }
 
   {
     std::unique_lock<std::mutex> lock(job->done_mutex);
@@ -162,15 +179,30 @@ int env_thread_count() {
 }  // namespace
 
 int thread_count() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
-  if (g_threads == 0) g_threads = env_thread_count();
-  return g_threads;
+  bool fresh = false;
+  int resolved = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (g_threads == 0) {
+      g_threads = env_thread_count();
+      fresh = true;
+    }
+    resolved = g_threads;
+  }
+  // Record the resolved lane count once per resolution, so every exported
+  // trace (and every bench JSON that reads thread_count()) is
+  // self-describing. Off the hot path: parallel_for hits the fast branch.
+  if (fresh) prof::set_metadata("upaq_threads", std::to_string(resolved));
+  return resolved;
 }
 
 void set_thread_count(int n) {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
-  g_threads = std::max(1, n);
-  g_pool.reset();  // rebuilt lazily with the new lane count
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_threads = std::max(1, n);
+    g_pool.reset();  // rebuilt lazily with the new lane count
+  }
+  prof::set_metadata("upaq_threads", std::to_string(std::max(1, n)));
 }
 
 ThreadPool& global_pool() {

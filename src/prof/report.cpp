@@ -1,0 +1,76 @@
+#include "prof/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace upaq::prof {
+
+CostComparison build_cost_report(const std::vector<Event>& events,
+                                 const hw::CostModel& model,
+                                 const std::vector<hw::LayerProfile>& profile,
+                                 int passes) {
+  CostComparison cmp;
+  cmp.passes = std::max(passes, 1);
+
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> measured;
+  for (const auto& e : events) {
+    auto& [count, total_ns] = measured[e.name];
+    ++count;
+    total_ns += e.dur_ns;
+  }
+
+  std::vector<double> drifts;
+  for (const auto& p : profile) {
+    CostRow row;
+    row.name = p.name;
+    row.modeled_ms = model.layer_cost(p).latency_s * 1e3;
+    if (auto it = measured.find(p.name); it != measured.end()) {
+      row.spans = it->second.first;
+      row.measured_ms = static_cast<double>(it->second.second) * 1e-6 /
+                        static_cast<double>(cmp.passes);
+      cmp.measured_total_ms += row.measured_ms;
+      if (row.modeled_ms > 0.0) {
+        row.drift = row.measured_ms / row.modeled_ms;
+        drifts.push_back(row.drift);
+      }
+    }
+    cmp.modeled_total_ms += row.modeled_ms;
+    cmp.rows.push_back(std::move(row));
+  }
+  if (!drifts.empty()) {
+    std::sort(drifts.begin(), drifts.end());
+    cmp.median_drift = drifts[drifts.size() / 2];
+  }
+  return cmp;
+}
+
+std::string cost_report_table(const CostComparison& cmp) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-20s %8s %14s %14s %10s\n", "layer",
+                "spans", "measured ms", "modeled ms", "drift");
+  out += line;
+  for (const auto& r : cmp.rows) {
+    if (r.spans > 0) {
+      std::snprintf(line, sizeof(line), "%-20s %8lld %14.4f %14.4f %9.1fx\n",
+                    r.name.c_str(), static_cast<long long>(r.spans),
+                    r.measured_ms, r.modeled_ms, r.drift);
+    } else {
+      std::snprintf(line, sizeof(line), "%-20s %8s %14s %14.4f %10s\n",
+                    r.name.c_str(), "-", "-", r.modeled_ms, "-");
+    }
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "%-20s %8s %14.4f %14.4f %9.1fx (median per-layer %.1fx)\n",
+                "total", "", cmp.measured_total_ms, cmp.modeled_total_ms,
+                cmp.modeled_total_ms > 0.0
+                    ? cmp.measured_total_ms / cmp.modeled_total_ms
+                    : 0.0,
+                cmp.median_drift);
+  out += line;
+  return out;
+}
+
+}  // namespace upaq::prof

@@ -1,0 +1,57 @@
+// Measured-vs-modeled cost report: confronts the analytic hw::CostModel
+// with per-layer wall-clock measurements taken by the prof span layer.
+//
+// The nn::Layer forward wrapper names its spans after the layer ("
+// block0.conv0"), and the detectors name their host-side stage spans after
+// the cost-profile entries ("pre.pillarize", "pre.scatter", "post.nms",
+// "pre.normalize", "post.decode"), so matching a profile row to its
+// measurement is a name lookup. The drift ratio measured/modeled says how
+// far the analytic model is from this machine's reality — the model targets
+// a Jetson Orin / RTX 4080, the measurement runs on the host CPU, so the
+// absolute ratio is expected to be far from 1; what matters is that it is
+// *consistent* across layers (a layer whose drift is 10x its neighbours' is
+// where the model and the implementation disagree about the workload shape).
+//
+// Lives in its own library (upaq_prof_report) because hw sits above
+// tensor/parallel, which themselves link the core prof library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/cost.h"
+#include "prof/prof.h"
+
+namespace upaq::prof {
+
+struct CostRow {
+  std::string name;
+  std::int64_t spans = 0;     ///< measured span count (0 = not observed)
+  double measured_ms = 0.0;   ///< mean measured latency per pass
+  double modeled_ms = 0.0;    ///< hw::CostModel latency
+  double drift = 0.0;         ///< measured / modeled (0 when unmeasurable)
+};
+
+struct CostComparison {
+  std::vector<CostRow> rows;       ///< profile order
+  double measured_total_ms = 0.0;  ///< sum of matched measurements
+  double modeled_total_ms = 0.0;
+  int passes = 1;
+  /// Median per-layer drift of the matched rows: the scale factor between
+  /// this host and the modeled device. Rows whose drift sits far from this
+  /// are the genuinely mispredicted layers.
+  double median_drift = 0.0;
+};
+
+/// Matches `events` (spans named after profile entries) against the cost
+/// model's per-layer latency. `passes` is how many forward passes the events
+/// cover; measured latencies are per-pass means.
+CostComparison build_cost_report(const std::vector<Event>& events,
+                                 const hw::CostModel& model,
+                                 const std::vector<hw::LayerProfile>& profile,
+                                 int passes);
+
+/// Fixed-width text rendering of the comparison.
+std::string cost_report_table(const CostComparison& cmp);
+
+}  // namespace upaq::prof

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "parallel/thread_pool.h"
+#include "prof/prof.h"
 #include "tensor/check.h"
 
 namespace upaq::qnn {
@@ -26,6 +27,7 @@ QuantizedActs quantize_acts(const float* src0, std::int64_t rows,
                             std::int64_t cols, int bits) {
   UPAQ_CHECK(bits >= 2 && bits <= 8,
              "quantize_acts: bits must be in [2, 8], got " + std::to_string(bits));
+  prof::add(prof::Counter::kActQuantCalls, 1);
   QuantizedActs acts;
   acts.rows = rows;
   acts.cols = cols;
@@ -156,6 +158,8 @@ void PackedGemm::run(const QuantizedActs& x, const float* bias,
 
 void PackedGemm::run(const std::int8_t* qx, float sx, std::int64_t n,
                      const float* bias, float* py) const {
+  prof::add(prof::Counter::kPackedSegments,
+            static_cast<std::uint64_t>(segs_.size()));
   // Entry-outer / column-inner keeps every activation read contiguous (the
   // same i-k-j order as the float gemm). Each segment's products accumulate
   // exactly in int32 (the constructor splits segments so the sum cannot
@@ -230,6 +234,9 @@ void PackedGemm::run_t(const QuantizedActs& x, const float* bias,
   const std::int64_t n = x.rows;
   UPAQ_CHECK(out.rank() == 2 && out.dim(0) == n && out.dim(1) == rows_,
              "PackedGemm::run_t: bad output shape");
+  prof::add(prof::Counter::kPackedSegments,
+            static_cast<std::uint64_t>(segs_.size()) *
+                static_cast<std::uint64_t>(n));
   const std::int8_t* qx = x.codes.data();
   const double sx = static_cast<double>(x.scale);
   float* py = out.data();

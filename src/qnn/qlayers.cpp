@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "parallel/thread_pool.h"
+#include "prof/prof.h"
 #include "tensor/ops.h"
 
 namespace upaq::qnn {
@@ -27,6 +28,7 @@ std::vector<std::int8_t> im2col_codes(const std::int8_t* in, std::int64_t c,
   const std::int64_t ow = ops::conv_out_size(w, k, stride, pad);
   const std::int64_t rows = c * k * k;
   std::vector<std::int8_t> cols(static_cast<std::size_t>(rows * oh * ow), 0);
+  prof::add(prof::Counter::kIm2colBytes, cols.size());
   std::int8_t* out = cols.data();
   auto fill_rows = [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t row = r0; row < r1; ++row) {
@@ -75,6 +77,7 @@ PackedConv2d::PackedConv2d(const nn::Conv2d& conv, const LowerSpec& spec)
 }
 
 Tensor PackedConv2d::forward(const Tensor& x) {
+  prof::Span span(engine_name());
   UPAQ_CHECK(x.rank() == 4 && x.dim(1) == in_c_,
              "PackedConv2d expects (N," + std::to_string(in_c_) + ",H,W)");
   const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
@@ -118,6 +121,7 @@ PackedLinear::PackedLinear(const nn::Linear& linear, const LowerSpec& spec)
 }
 
 Tensor PackedLinear::forward(const Tensor& x) {
+  prof::Span span(engine_name());
   UPAQ_CHECK(x.rank() == 2 && x.dim(1) == in_f_,
              "PackedLinear expects (N," + std::to_string(in_f_) + ")");
   const QuantizedActs qa = quantize_acts(x, act_bits_);

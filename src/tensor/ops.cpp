@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "parallel/thread_pool.h"
+#include "prof/prof.h"
 
 namespace upaq::ops {
 
@@ -37,6 +38,8 @@ void gemm_accumulate(const Tensor& a, const Tensor& b, Tensor& c, float alpha) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   UPAQ_CHECK(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n,
              "gemm shape mismatch");
+  prof::add(prof::Counter::kGemmFlops,
+            static_cast<std::uint64_t>(2 * m * k * n));
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
@@ -68,6 +71,8 @@ void gemm_nt_accumulate(const Tensor& a, const Tensor& b, Tensor& c,
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   UPAQ_CHECK(b.dim(1) == k && c.dim(0) == m && c.dim(1) == n,
              "gemm_nt shape mismatch");
+  prof::add(prof::Counter::kGemmFlops,
+            static_cast<std::uint64_t>(2 * m * k * n));
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
@@ -109,6 +114,8 @@ Tensor im2col_impl(const float* in, std::int64_t c, std::int64_t h,
   const std::int64_t oh = conv_out_size(h, kh, stride, pad);
   const std::int64_t ow = conv_out_size(w, kw, stride, pad);
   Tensor cols({c * kh * kw, oh * ow});
+  prof::add(prof::Counter::kIm2colBytes,
+            static_cast<std::uint64_t>(cols.numel()) * sizeof(float));
   float* out = cols.data();
   const std::int64_t rows = c * kh * kw;
   auto fill_rows = [&](std::int64_t r0, std::int64_t r1) {
