@@ -1,8 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the design choices DESIGN.md calls
-// out: the zero-skipping GEMM path that makes pattern-pruned kernels fast on
-// real hardware, per-kernel vs per-tensor quantization, Algorithm-2 pattern
-// generation, and the rotated-IoU/NMS geometry kernels.
+// out: the cache-blocked vs naive GEMM, the zero-skipping GEMM path that
+// makes pattern-pruned kernels fast on real hardware, the workspace arena,
+// per-kernel vs per-tensor quantization, Algorithm-2 pattern generation, and
+// the rotated-IoU/NMS geometry kernels.
+//
+// main() additionally runs a hard equivalence gate before any timing: the
+// blocked GEMM is checked against a double-precision naive reference on a
+// few shapes and the binary exits non-zero on mismatch, so check.sh's
+// perf-smoke stage fails on correctness even though timing stays warn-only.
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
 
 #include "eval/box.h"
 #include "nn/conv.h"
@@ -10,11 +19,81 @@
 #include "qnn/qgemm.h"
 #include "qnn/qlayers.h"
 #include "quant/quantize.h"
+#include "tensor/gemm_kernel.h"
 #include "tensor/ops.h"
+#include "tensor/workspace.h"
 
 namespace {
 
 using namespace upaq;
+
+// Blocked-vs-naive float GEMM ablation on a dense conv-sized product
+// ((out_c, in_c*9) x (in_c*9, oh*ow)): the naive i-k-j loop is the PR-3
+// kernel, BM_GemmBlocked is the panel kernel behind ops::gemm_accumulate,
+// and the Prepacked row drops the per-call A pack (the conv weight cache).
+constexpr std::int64_t kGemmM = 128, kGemmK = 288, kGemmN = 2304;
+
+void naive_gemm(const float* a, const float* b, float* c, std::int64_t m,
+                std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = a[i * k + kk];
+      if (av == 0.0f) continue;
+      for (std::int64_t j = 0; j < n; ++j) c[i * n + j] += av * b[kk * n + j];
+    }
+}
+
+void BM_GemmNaive(benchmark::State& state) {
+  Rng rng(7);
+  Tensor a = Tensor::uniform({kGemmM, kGemmK}, rng);
+  Tensor b = Tensor::uniform({kGemmK, kGemmN}, rng);
+  Tensor c({kGemmM, kGemmN});
+  for (auto _ : state) {
+    naive_gemm(a.data(), b.data(), c.data(), kGemmM, kGemmK, kGemmN);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmNaive);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  Rng rng(7);
+  Tensor a = Tensor::uniform({kGemmM, kGemmK}, rng);
+  Tensor b = Tensor::uniform({kGemmK, kGemmN}, rng);
+  Tensor c({kGemmM, kGemmN});
+  for (auto _ : state) {
+    ops::gemm_accumulate(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmBlocked);
+
+void BM_GemmBlockedPrepacked(benchmark::State& state) {
+  Rng rng(7);
+  Tensor a = Tensor::uniform({kGemmM, kGemmK}, rng);
+  Tensor b = Tensor::uniform({kGemmK, kGemmN}, rng);
+  Tensor c({kGemmM, kGemmN});
+  const gemm::PackedA pa = gemm::pack_a(a.data(), kGemmM, kGemmK);
+  for (auto _ : state) {
+    gemm::gemm_packed(pa, b.data(), c.data(), kGemmN, 1.0f);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmBlockedPrepacked);
+
+// Workspace arena on/off over the full conv forward: the "off" row frees the
+// arena blocks at every release-to-empty, pricing the heap traffic the arena
+// removes from the steady-state path.
+void BM_ConvWorkspaceReuse(benchmark::State& state) {
+  const bool reuse = state.range(0) != 0;
+  Rng rng(1);
+  nn::Conv2d conv(32, 32, 3, 1, 1, false, rng, "c");
+  conv.set_training(false);
+  Tensor x = Tensor::uniform({1, 32, 48, 48}, rng);
+  workspace::set_reuse(reuse);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+  workspace::set_reuse(true);
+}
+BENCHMARK(BM_ConvWorkspaceReuse)->Arg(1)->Arg(0);
 
 // Dense vs pattern-pruned convolution: the GEMM skips zero weight entries,
 // so semi-structured sparsity translates into genuine CPU time savings —
@@ -193,6 +272,51 @@ void BM_NmsBev(benchmark::State& state) {
 }
 BENCHMARK(BM_NmsBev);
 
+/// Blocked-vs-reference equivalence gate. Compares ops::gemm_accumulate
+/// against a double-precision naive product on a few deliberately awkward
+/// shapes (1, primes, non-multiples of the 6/8/256 tile grains). Returns
+/// false on any element outside rtol 1e-5 + k-scaled atol.
+bool gemm_equivalence_gate() {
+  struct Shape { std::int64_t m, k, n; };
+  const Shape shapes[] = {{1, 1, 1}, {7, 13, 5}, {64, 97, 130},
+                          {130, 257, 33}, {6, 256, 8}, {61, 300, 259}};
+  Rng rng(11);
+  for (const auto& s : shapes) {
+    Tensor a = Tensor::uniform({s.m, s.k}, rng);
+    Tensor b = Tensor::uniform({s.k, s.n}, rng);
+    Tensor c({s.m, s.n});
+    ops::gemm_accumulate(a, b, c, 1.0f);
+    for (std::int64_t i = 0; i < s.m; ++i)
+      for (std::int64_t j = 0; j < s.n; ++j) {
+        double ref = 0.0;
+        for (std::int64_t kk = 0; kk < s.k; ++kk)
+          ref += static_cast<double>(a.at(i, kk)) *
+                 static_cast<double>(b.at(kk, j));
+        const double got = static_cast<double>(c.at(i, j));
+        const double tol =
+            1e-5 * std::fabs(ref) + 3e-7 * static_cast<double>(s.k);
+        if (std::fabs(got - ref) > tol) {
+          std::fprintf(stderr,
+                       "GEMM equivalence FAILED at (%lld,%lld,%lld)[%lld,%lld]:"
+                       " got %.9g want %.9g\n",
+                       static_cast<long long>(s.m), static_cast<long long>(s.k),
+                       static_cast<long long>(s.n), static_cast<long long>(i),
+                       static_cast<long long>(j), got, ref);
+          return false;
+        }
+      }
+  }
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (!gemm_equivalence_gate()) return 1;
+  std::printf("GEMM equivalence gate: OK\n");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -22,6 +22,7 @@
 #include "data/scene.h"
 #include "detectors/pointpillars.h"
 #include "parallel/thread_pool.h"
+#include "tensor/workspace.h"
 #include "zoo/experiment.h"
 
 namespace {
@@ -70,11 +71,14 @@ std::vector<upaq::data::Scene> scene_set(int scenes) {
   return set;
 }
 
-/// Per-scene latency distribution over repeats x scenes detect() calls.
+/// Per-scene latency distribution over repeats x scenes detect() calls, plus
+/// the achieved float-GEMM throughput over the timed window (counter FLOPs /
+/// summed span wall time — the number the blocked kernels move).
 struct LatencyStats {
   double mean_ms = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  double gemm_gflops = 0.0;
 };
 
 LatencyStats time_scenes(upaq::detectors::Detector3D& model,
@@ -96,11 +100,14 @@ LatencyStats time_scenes(upaq::detectors::Detector3D& model,
     }
   (void)sink;
   LatencyStats out;
+  const double flops =
+      static_cast<double>(prof::counter_value(prof::Counter::kGemmFlops));
   for (const auto& st : prof::aggregate(prof::snapshot_events()))
     if (st.name == "bench.detect") {
       out.mean_ms = st.mean_ms;
       out.p50_ms = st.p50_ms;
       out.p99_ms = st.p99_ms;
+      if (st.total_ms > 0.0) out.gemm_gflops = flops / (st.total_ms * 1e6);
     }
   prof::reset();
   prof::set_enabled(was_enabled);
@@ -163,9 +170,9 @@ int main() {
 
   const LatencyStats detect = time_detect(/*scenes=*/4, /*repeats=*/3);
   std::printf("\nMeasured PointPillars detect(): mean %.2f / p50 %.2f / "
-              "p99 %.2f ms per scene at %d thread%s\n",
+              "p99 %.2f ms per scene at %d thread%s (%.2f GFLOP/s float GEMM)\n",
               detect.mean_ms, detect.p50_ms, detect.p99_ms, threads,
-              threads == 1 ? "" : "s");
+              threads == 1 ? "" : "s", detect.gemm_gflops);
 
   const PackedTiming packed = time_packed_ms(/*scenes=*/4, /*repeats=*/3);
   std::printf("Measured UPAQ(HCK) compressed detect(): %.2f ms/scene fp32, "
@@ -177,13 +184,20 @@ int main() {
     auto stats = [&](const char* key, const LatencyStats& s_) {
       std::fprintf(json,
                    "  \"%s\": {\"mean_ms\": %.4f, \"p50_ms\": %.4f, "
-                   "\"p99_ms\": %.4f},\n",
-                   key, s_.mean_ms, s_.p50_ms, s_.p99_ms);
+                   "\"p99_ms\": %.4f, \"gemm_gflops\": %.4f},\n",
+                   key, s_.mean_ms, s_.p50_ms, s_.p99_ms, s_.gemm_gflops);
     };
     std::fprintf(json, "{\n  \"upaq_threads\": %d,\n", threads);
     stats("detect_ms_per_scene", detect);
     stats("compressed_fp32_ms_per_scene", packed.fp32);
     stats("packed_int8_ms_per_scene", packed.packed);
+    const workspace::Stats ws = workspace::stats();
+    std::fprintf(json,
+                 "  \"workspace\": {\"high_water_bytes\": %llu, "
+                 "\"block_allocs\": %llu, \"reuses\": %llu},\n",
+                 static_cast<unsigned long long>(ws.high_water_bytes),
+                 static_cast<unsigned long long>(ws.block_allocs),
+                 static_cast<unsigned long long>(ws.reuses));
     std::fprintf(json, "  \"packed_lowered_layers\": %d,\n", packed.lowered);
     std::fprintf(json, "  \"packed_vs_fp32_speedup\": %.4f,\n",
                  packed.packed.mean_ms > 0.0

@@ -17,6 +17,7 @@
 // per-layer stats table, the measured-vs-modeled cost report, the prof
 // counters, and per-worker pool utilization. --trace exports a
 // chrome://tracing JSON (open in chrome://tracing or Perfetto).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +32,7 @@
 #include "parallel/thread_pool.h"
 #include "prof/prof.h"
 #include "prof/report.h"
+#include "tensor/workspace.h"
 #include "zoo/zoo.h"
 
 namespace {
@@ -100,9 +102,14 @@ int run_profile(int argc, char** argv) {
   std::size_t sink = model->detect(set.front()).size();
   prof::reset();
 
+  const auto t0 = std::chrono::steady_clock::now();
   for (int r = 0; r < runs; ++r)
     for (const auto& scene : set) sink += model->detect(scene).size();
   (void)sink;
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
 
   const auto events = prof::snapshot_events();
   const int passes = runs * scenes;
@@ -123,6 +130,23 @@ int run_profile(int argc, char** argv) {
     std::printf("  %-22s %llu\n", prof::counter_name(counter),
                 static_cast<unsigned long long>(prof::counter_value(counter)));
   }
+
+  // Achieved float-GEMM throughput over the profiled window, plus the arena
+  // footprint the zero-allocation forward path settled into.
+  const double gflops =
+      wall_ms > 0.0
+          ? static_cast<double>(
+                prof::counter_value(prof::Counter::kGemmFlops)) /
+                (wall_ms * 1e6)
+          : 0.0;
+  const workspace::Stats ws = workspace::stats();
+  std::printf("\ngemm throughput: %.2f GFLOP/s achieved over %.1f ms wall\n",
+              gflops, wall_ms);
+  std::printf("workspace: high-water %.1f KiB, %llu block allocs, "
+              "%llu arena reuses\n",
+              ws.high_water_bytes / 1024.0,
+              static_cast<unsigned long long>(ws.block_allocs),
+              static_cast<unsigned long long>(ws.reuses));
 
   // Per-worker utilization: total pool.job time per thread. Lanes missing
   // from the table never claimed a job in the profiled window.

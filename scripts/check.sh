@@ -24,16 +24,28 @@ UPAQ_THREADS=4 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$J
 echo "==> tier1, traced (UPAQ_TRACE=1, UPAQ_THREADS=4)"
 UPAQ_TRACE=1 UPAQ_THREADS=4 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"
 
+# Perf smoke: bench_ablation_micro runs a hard equivalence gate (blocked
+# GEMM vs a double-precision naive reference) before its benchmarks — a
+# nonzero exit fails the check. The timing numbers themselves are
+# informational only: this box is shared/virtualised, so wall-clock
+# regressions warn but never gate.
+echo "==> perf smoke (GEMM equivalence gate hard-fails; timings warn-only)"
+UPAQ_THREADS=4 "$BUILD_DIR"/bench/bench_ablation_micro \
+  --benchmark_filter='BM_Gemm' --benchmark_min_time=0.05 \
+  || { echo "perf smoke FAILED (equivalence gate)"; exit 1; }
+
 # The packed-integer path does raw bit twiddling (sign extension, packed
 # buffers) — run its suites under ASan/UBSan so memory and UB bugs in the
 # pack/unpack/GEMM code cannot slip past the plain Release gate. The prof
 # suite rides along: its event buffers are touched from every pool worker,
 # so it is the natural place for the sanitizers to catch a lifetime bug.
-echo "==> qnn + quant + prof suites under UPAQ_SANITIZE=address,undefined"
+# test_gemm_kernel joins them: the panel packer and workspace arena do raw
+# pointer arithmetic over reused blocks, exactly where ASan earns its keep.
+echo "==> qnn + quant + prof + gemm/workspace suites under UPAQ_SANITIZE=address,undefined"
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$ASAN_DIR" -S . -DUPAQ_SANITIZE=address,undefined
-cmake --build "$ASAN_DIR" -j "$JOBS" --target test_qnn test_quant test_prof
-UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_qnn|test_quant' --output-on-failure
+cmake --build "$ASAN_DIR" -j "$JOBS" --target test_qnn test_quant test_prof test_gemm_kernel
+UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_qnn|test_quant|test_gemm_kernel' --output-on-failure
 UPAQ_TRACE=1 UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_prof' --output-on-failure
 
-echo "check.sh: OK (tier1 passed serial, 4-thread, and traced; qnn+prof sanitized)"
+echo "check.sh: OK (tier1 passed serial, 4-thread, and traced; perf smoke + sanitizers green)"

@@ -1,11 +1,30 @@
 #include "nn/conv.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "parallel/thread_pool.h"
 #include "tensor/ops.h"
+#include "tensor/workspace.h"
 
 namespace upaq::nn {
 
 namespace {
+
+/// FNV-1a over the float bit patterns: the weight-pack staleness check.
+/// Parameter::version covers every in-repo mutation path (they all funnel
+/// through project()/load_state_dict), but numeric gradchecks and tests poke
+/// values directly — the fingerprint catches those too, so a stale pack can
+/// never silently change results.
+std::uint64_t hash_floats(const float* p, std::int64_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::uint32_t bits;
+    std::memcpy(&bits, p + i, sizeof(bits));
+    h = (h ^ bits) * 1099511628211ull;
+  }
+  return h;
+}
 
 /// 2-D transpose.
 Tensor transpose2d(const Tensor& a) {
@@ -40,6 +59,17 @@ std::vector<Parameter*> Conv2d::parameters() {
   return ps;
 }
 
+void Conv2d::refresh_weight_pack() {
+  const std::uint64_t h = hash_floats(weight_.value.data(),
+                                      weight_.value.numel());
+  if (packed_w2d_version_ == weight_.version && packed_w2d_hash_ == h) return;
+  w2d_cache_ = weight_.value.reshape({out_c_, in_c_ * kernel_ * kernel_});
+  packed_w2d_ = gemm::pack_a(w2d_cache_.data(), out_c_,
+                             in_c_ * kernel_ * kernel_);
+  packed_w2d_version_ = weight_.version;
+  packed_w2d_hash_ = h;
+}
+
 Tensor Conv2d::do_forward(const Tensor& x) {
   UPAQ_CHECK(x.rank() == 4, "Conv2d expects (N,C,H,W), got " +
                                 shape_to_string(x.shape()));
@@ -56,27 +86,28 @@ Tensor Conv2d::do_forward(const Tensor& x) {
   // stays on the differentiable float route below.
   if (engine_ != nullptr && !training_) return engine_->forward(x);
 
-  const Tensor w2d = weight_.value.reshape({out_c_, in_c_ * kernel_ * kernel_});
+  refresh_weight_pack();
+  const std::int64_t kcols = in_c_ * kernel_ * kernel_;
   Tensor out({n, out_c_, oh, ow});
   // Batch items write disjoint output slices, so the batch loop parallelises
   // deterministically. With a single-item batch the chunk runs inline and the
-  // row-parallel GEMM inside provides the parallelism instead.
+  // stripe-parallel GEMM inside provides the parallelism instead. The column
+  // matrix lives in the per-thread workspace arena and the GEMM accumulates
+  // straight into the (zero-initialised or bias-prefilled) output slice, so
+  // the steady-state loop body performs no heap allocation.
   parallel::parallel_for(0, n, 1, [&](std::int64_t b0, std::int64_t b1) {
     for (std::int64_t b = b0; b < b1; ++b) {
-      const Tensor cols = ops::im2col(x, b, kernel_, kernel_, stride_, pad_);
-      Tensor y({out_c_, oh * ow});
-      ops::gemm_accumulate(w2d, cols, y);
+      workspace::Scope ws;
+      float* cols = ws.floats(kcols * oh * ow);
+      ops::im2col_into(x.data() + b * in_c_ * h * w, in_c_, h, w, kernel_,
+                       kernel_, stride_, pad_, cols);
       float* dst = out.data() + b * out_c_ * oh * ow;
-      const float* src = y.data();
       if (has_bias_) {
-        for (std::int64_t oc = 0; oc < out_c_; ++oc) {
-          const float bv = bias_.value[oc];
-          for (std::int64_t i = 0; i < oh * ow; ++i)
-            dst[oc * oh * ow + i] = src[oc * oh * ow + i] + bv;
-        }
-      } else {
-        std::copy(src, src + out_c_ * oh * ow, dst);
+        for (std::int64_t oc = 0; oc < out_c_; ++oc)
+          std::fill(dst + oc * oh * ow, dst + (oc + 1) * oh * ow,
+                    bias_.value[oc]);
       }
+      gemm::gemm_packed(packed_w2d_, cols, dst, oh * ow, 1.0f);
     }
   });
   return out;
@@ -93,8 +124,8 @@ Tensor Conv2d::do_backward(const Tensor& grad_out) {
                  grad_out.dim(3) == ow,
              name_ + ": grad_out shape mismatch");
 
-  const Tensor w2d = weight_.value.reshape({out_c_, in_c_ * kernel_ * kernel_});
-  const Tensor w2d_t = transpose2d(w2d);
+  refresh_weight_pack();
+  const Tensor w2d_t = transpose2d(w2d_cache_);
   const std::int64_t kcols = in_c_ * kernel_ * kernel_;
   Tensor grad_x({n, in_c_, h, w});
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "nn/layer.h"
+#include "tensor/gemm_kernel.h"
 #include "tensor/rng.h"
 
 namespace upaq::nn {
@@ -39,11 +40,23 @@ class Conv2d final : public Layer {
   Tensor do_backward(const Tensor& grad_out) override;
 
  private:
+  /// Rebuilds the cached 2-D weight view and pre-packed GEMM panels when
+  /// weight_.version has moved (optimizer step, requantize, load_state_dict).
+  void refresh_weight_pack();
+
   std::int64_t in_c_, out_c_;
   int kernel_, stride_, pad_;
   bool has_bias_;
   Parameter weight_;
   Parameter bias_;
+
+  // Weight-derived caches keyed on weight_.version: the (out_c, in_c*kh*kw)
+  // reshape and the panel-packed (or sparse-classified) form the blocked GEMM
+  // consumes. ~0 sentinel = never built.
+  Tensor w2d_cache_;
+  gemm::PackedA packed_w2d_;
+  std::uint64_t packed_w2d_version_ = ~std::uint64_t{0};
+  std::uint64_t packed_w2d_hash_ = 0;  ///< value fingerprint (out-of-band writes)
 
   // Cached activations for backward.
   Tensor input_cache_;

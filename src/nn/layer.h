@@ -29,6 +29,11 @@ struct Parameter {
   /// bitwidth here for size accounting.
   int quant_bits = 32;
   bool requires_grad = true;
+  /// Mutation counter for derived-state caches (the conv pre-packed weight
+  /// panels key on it). Every code path that rewrites `value` must call
+  /// mark_mutated(); in this repo they all already funnel through project()
+  /// or Module::load_state_dict, which do.
+  std::uint64_t version = 0;
 
   Parameter() = default;
   Parameter(std::string n, Tensor v)
@@ -36,9 +41,15 @@ struct Parameter {
 
   void zero_grad() { grad.zero(); }
 
+  /// Invalidates caches derived from `value` (pre-packed GEMM panels).
+  void mark_mutated() { ++version; }
+
   /// Re-applies the pruning mask to the value (no-op when dense). Called
-  /// after every optimizer step during mask-frozen fine-tuning.
+  /// after every optimizer step during mask-frozen fine-tuning — which makes
+  /// it the natural cache-invalidation point for every weight mutation in
+  /// the repo (optimizer steps, requantize, pruning application).
   void project() {
+    mark_mutated();
     if (!mask.empty()) value.mul_(mask);
   }
 

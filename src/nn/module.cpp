@@ -58,6 +58,7 @@ void Module::load_state_dict(const std::map<std::string, Tensor>& state) {
                  "state_dict shape mismatch for " + p->name);
       p->value = it->second;
       p->grad = Tensor(p->value.shape());
+      p->mark_mutated();
     }
     if (auto* bn = dynamic_cast<BatchNorm2d*>(l.get())) {
       auto mean_it = state.find(l->name() + ".running_mean");

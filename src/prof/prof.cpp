@@ -109,6 +109,9 @@ const char* counter_name(Counter c) {
     case Counter::kPackedSegments: return "packed_segments";
     case Counter::kPoolJobs: return "pool_jobs";
     case Counter::kPoolTasks: return "pool_tasks";
+    case Counter::kGemmKernelCalls: return "gemm_kernel_calls";
+    case Counter::kWorkspaceBytes: return "workspace_bytes";
+    case Counter::kWorkspaceReuses: return "workspace_reuses";
     case Counter::kCount: break;
   }
   return "?";

@@ -49,6 +49,9 @@ enum class Counter : int {
   kPackedSegments,    ///< packed-GEMM scale segments executed
   kPoolJobs,          ///< thread-pool run() dispatches
   kPoolTasks,         ///< thread-pool tasks executed
+  kGemmKernelCalls,   ///< blocked/sparse GEMM kernel entry invocations
+  kWorkspaceBytes,    ///< bytes of workspace arena blocks allocated
+  kWorkspaceReuses,   ///< workspace allocations served without the heap
   kCount,
 };
 

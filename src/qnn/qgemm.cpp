@@ -6,6 +6,8 @@
 #include "parallel/thread_pool.h"
 #include "prof/prof.h"
 #include "tensor/check.h"
+#include "tensor/gemm_kernel.h"
+#include "tensor/workspace.h"
 
 namespace upaq::qnn {
 
@@ -16,6 +18,13 @@ namespace {
 constexpr std::int64_t kMinParallelWork = 1 << 15;
 constexpr std::int64_t kRowGrain = 8;
 
+// Column block of the generic (len >= 4) segment path: the int32 accumulator
+// covers kColBlock outputs (2 KiB, L1-resident) instead of the whole feature
+// map. Blocking is bitwise-free: int32 segment sums are exact and the
+// per-element requantization order (segment order) does not depend on the
+// column decomposition.
+constexpr std::int64_t kColBlock = 512;
+
 }  // namespace
 
 QuantizedActs quantize_acts(const Tensor& m, int bits) {
@@ -25,15 +34,20 @@ QuantizedActs quantize_acts(const Tensor& m, int bits) {
 
 QuantizedActs quantize_acts(const float* src0, std::int64_t rows,
                             std::int64_t cols, int bits) {
-  UPAQ_CHECK(bits >= 2 && bits <= 8,
-             "quantize_acts: bits must be in [2, 8], got " + std::to_string(bits));
-  prof::add(prof::Counter::kActQuantCalls, 1);
   QuantizedActs acts;
   acts.rows = rows;
   acts.cols = cols;
   acts.bits = bits;
-  const std::int64_t n = rows * cols;
-  acts.codes.assign(static_cast<std::size_t>(n), 0);
+  acts.codes.assign(static_cast<std::size_t>(rows * cols), 0);
+  acts.scale = quantize_acts_into(src0, rows * cols, bits, acts.codes.data());
+  return acts;
+}
+
+float quantize_acts_into(const float* src, std::int64_t n, int bits,
+                         std::int8_t* dst) {
+  UPAQ_CHECK(bits >= 2 && bits <= 8,
+             "quantize_acts: bits must be in [2, 8], got " + std::to_string(bits));
+  prof::add(prof::Counter::kActQuantCalls, 1);
 
   // Abs-max with chunked partials: max is exact and order-independent, so
   // combining per-chunk maxima gives the same alpha at any thread count.
@@ -42,7 +56,7 @@ QuantizedActs quantize_acts(const float* src0, std::int64_t rows,
   float alpha = 0.0f;
   if (n < kMinParallelWork) {
     for (std::int64_t i = 0; i < n; ++i)
-      alpha = std::max(alpha, std::fabs(src0[i]));
+      alpha = std::max(alpha, std::fabs(src[i]));
   } else {
     const std::int64_t chunks = (n + kMinParallelWork - 1) / kMinParallelWork;
     std::vector<float> partial(static_cast<std::size_t>(chunks), 0.0f);
@@ -50,23 +64,25 @@ QuantizedActs quantize_acts(const float* src0, std::int64_t rows,
                            [&](std::int64_t i0, std::int64_t i1) {
                              float a = 0.0f;
                              for (std::int64_t i = i0; i < i1; ++i)
-                               a = std::max(a, std::fabs(src0[i]));
+                               a = std::max(a, std::fabs(src[i]));
                              partial[static_cast<std::size_t>(
                                  i0 / kMinParallelWork)] = a;
                            });
     for (float a : partial) alpha = std::max(alpha, a);
   }
-  if (alpha == 0.0f) return acts;  // scale 1, all codes zero
+  if (alpha == 0.0f) {
+    // Caller scratch (workspace arena) is not pre-zeroed, so fill explicitly.
+    std::fill(dst, dst + n, static_cast<std::int8_t>(0));
+    return 1.0f;
+  }
 
   const double max_value = std::pow(2.0, bits - 1) - 1.0;
-  acts.scale = static_cast<float>(alpha / max_value);
-  const float* src = src0;
-  std::int8_t* dst = acts.codes.data();
+  const float scale = static_cast<float>(alpha / max_value);
   // Hot path: one multiply + clamp + round-half-away per element, all in
   // float so the compiler can keep the loop in SIMD registers (a libm
   // std::round per element dominated the packed path before). Clamping
   // first bounds the value, so the truncating cast is exact.
-  const float inv = 1.0f / acts.scale;
+  const float inv = 1.0f / scale;
   const float maxv = static_cast<float>(max_value);
   auto convert = [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
@@ -84,7 +100,7 @@ QuantizedActs quantize_acts(const float* src0, std::int64_t rows,
   } else {
     parallel::parallel_for(0, n, kMinParallelWork, convert);
   }
-  return acts;
+  return scale;
 }
 
 Tensor dequantize_acts(const QuantizedActs& acts) {
@@ -160,62 +176,66 @@ void PackedGemm::run(const std::int8_t* qx, float sx, std::int64_t n,
                      const float* bias, float* py) const {
   prof::add(prof::Counter::kPackedSegments,
             static_cast<std::uint64_t>(segs_.size()));
-  // Entry-outer / column-inner keeps every activation read contiguous (the
-  // same i-k-j order as the float gemm). Each segment's products accumulate
+  // Column-blocked, entry-outer / column-inner: every activation read is
+  // contiguous (the same i-k-j order as the float gemm) and the generic
+  // segments accumulate into an L1-resident kColBlock-wide int32 scratch
+  // from the per-thread workspace arena. Each segment's products accumulate
   // exactly in int32 (the constructor splits segments so the sum cannot
   // overflow); the requantization factor is applied in float32 and summed
-  // straight into the output row. The order of every operation is a pure
-  // function of the entry layout, never of the thread count.
+  // straight into the output row. Per output element the operation sequence
+  // (bias, then segments in order) is untouched by the blocking, so results
+  // are bitwise identical to the unblocked sweep — and a pure function of
+  // the entry layout, never of the thread count.
   auto row_block = [&](std::int64_t r0, std::int64_t r1) {
-    std::vector<std::int32_t> iacc(static_cast<std::size_t>(n), 0);
+    workspace::Scope ws;
+    std::int32_t* iacc = ws.i32(std::min(n, kColBlock));
     for (std::int64_t r = r0; r < r1; ++r) {
       float* yrow = py + r * n;
       std::fill(yrow, yrow + n, bias != nullptr ? bias[r] : 0.0f);
-      for (std::int64_t si = row_segs_[static_cast<std::size_t>(r)];
-           si < row_segs_[static_cast<std::size_t>(r) + 1]; ++si) {
-        const Segment& seg = segs_[static_cast<std::size_t>(si)];
-        const std::int64_t len = seg.end - seg.begin;
-        const float m = seg.scale * sx;
-        const std::int32_t* wc = codes_.data() + seg.begin;
-        const std::int32_t* cc = cols_.data() + seg.begin;
-        // UPAQ patterns keep 2 (HCK) or 3 (LCK) weights per kernel, so
-        // almost every segment is tiny: fuse the integer sum and the
-        // requantization into one pass over the columns instead of paying a
-        // separate accumulator flush per segment.
-        if (len == 1) {
-          const std::int32_t w0 = wc[0];
-          const std::int8_t* b0 = qx + static_cast<std::int64_t>(cc[0]) * n;
-          for (std::int64_t j = 0; j < n; ++j)
-            yrow[j] += m * static_cast<float>(w0 * b0[j]);
-        } else if (len == 2) {
-          const std::int32_t w0 = wc[0], w1 = wc[1];
-          const std::int8_t* b0 = qx + static_cast<std::int64_t>(cc[0]) * n;
-          const std::int8_t* b1 = qx + static_cast<std::int64_t>(cc[1]) * n;
-          for (std::int64_t j = 0; j < n; ++j)
-            yrow[j] += m * static_cast<float>(w0 * b0[j] + w1 * b1[j]);
-        } else if (len == 3) {
-          const std::int32_t w0 = wc[0], w1 = wc[1], w2 = wc[2];
-          const std::int8_t* b0 = qx + static_cast<std::int64_t>(cc[0]) * n;
-          const std::int8_t* b1 = qx + static_cast<std::int64_t>(cc[1]) * n;
-          const std::int8_t* b2 = qx + static_cast<std::int64_t>(cc[2]) * n;
-          for (std::int64_t j = 0; j < n; ++j)
-            yrow[j] += m * static_cast<float>(w0 * b0[j] + w1 * b1[j] +
-                                             w2 * b2[j]);
-        } else {
-          for (std::int64_t e = 0; e < len; ++e) {
-            const std::int32_t wv = wc[e];
-            const std::int8_t* brow =
-                qx + static_cast<std::int64_t>(cc[e]) * n;
-            std::int32_t* ia = iacc.data();
-            for (std::int64_t j = 0; j < n; ++j)
-              ia[j] += wv * static_cast<std::int32_t>(brow[j]);
-          }
-          // Requantize the segment sum and reset the integer accumulator
-          // in one pass.
-          std::int32_t* ia = iacc.data();
-          for (std::int64_t j = 0; j < n; ++j) {
-            yrow[j] += m * static_cast<float>(ia[j]);
-            ia[j] = 0;
+      for (std::int64_t j0 = 0; j0 < n; j0 += kColBlock) {
+        const std::int64_t nb = std::min(kColBlock, n - j0);
+        for (std::int64_t si = row_segs_[static_cast<std::size_t>(r)];
+             si < row_segs_[static_cast<std::size_t>(r) + 1]; ++si) {
+          const Segment& seg = segs_[static_cast<std::size_t>(si)];
+          const std::int64_t len = seg.end - seg.begin;
+          const float m = seg.scale * sx;
+          const std::int32_t* wc = codes_.data() + seg.begin;
+          const std::int32_t* cc = cols_.data() + seg.begin;
+          float* yb = yrow + j0;
+          // UPAQ patterns keep 2 (HCK) or 3 (LCK) weights per kernel, so
+          // almost every segment is tiny: fuse the integer sum and the
+          // requantization into one pass over the columns instead of paying
+          // a separate accumulator flush per segment.
+          if (len == 1) {
+            const std::int32_t w0 = wc[0];
+            const std::int8_t* b0 =
+                qx + static_cast<std::int64_t>(cc[0]) * n + j0;
+            for (std::int64_t j = 0; j < nb; ++j)
+              yb[j] += m * static_cast<float>(w0 * b0[j]);
+          } else if (len == 2) {
+            const std::int32_t w0 = wc[0], w1 = wc[1];
+            const std::int8_t* b0 =
+                qx + static_cast<std::int64_t>(cc[0]) * n + j0;
+            const std::int8_t* b1 =
+                qx + static_cast<std::int64_t>(cc[1]) * n + j0;
+            for (std::int64_t j = 0; j < nb; ++j)
+              yb[j] += m * static_cast<float>(w0 * b0[j] + w1 * b1[j]);
+          } else if (len == 3) {
+            const std::int32_t w0 = wc[0], w1 = wc[1], w2 = wc[2];
+            const std::int8_t* b0 =
+                qx + static_cast<std::int64_t>(cc[0]) * n + j0;
+            const std::int8_t* b1 =
+                qx + static_cast<std::int64_t>(cc[1]) * n + j0;
+            const std::int8_t* b2 =
+                qx + static_cast<std::int64_t>(cc[2]) * n + j0;
+            for (std::int64_t j = 0; j < nb; ++j)
+              yb[j] += m * static_cast<float>(w0 * b0[j] + w1 * b1[j] +
+                                              w2 * b2[j]);
+          } else {
+            std::fill(iacc, iacc + nb, 0);
+            gemm::s8_segment_accumulate(cc, wc, len, qx, n, j0, nb, iacc);
+            for (std::int64_t j = 0; j < nb; ++j)
+              yb[j] += m * static_cast<float>(iacc[j]);
           }
         }
       }
@@ -234,12 +254,15 @@ void PackedGemm::run_t(const QuantizedActs& x, const float* bias,
   const std::int64_t n = x.rows;
   UPAQ_CHECK(out.rank() == 2 && out.dim(0) == n && out.dim(1) == rows_,
              "PackedGemm::run_t: bad output shape");
+  run_t(x.codes.data(), x.scale, n, bias, out.data());
+}
+
+void PackedGemm::run_t(const std::int8_t* qx, float act_scale, std::int64_t n,
+                       const float* bias, float* py) const {
   prof::add(prof::Counter::kPackedSegments,
             static_cast<std::uint64_t>(segs_.size()) *
                 static_cast<std::uint64_t>(n));
-  const std::int8_t* qx = x.codes.data();
-  const double sx = static_cast<double>(x.scale);
-  float* py = out.data();
+  const double sx = static_cast<double>(act_scale);
 
   // One activation row per batch item: batch rows are disjoint outputs, so
   // the batch loop parallelises deterministically (mirrors nn::Linear).

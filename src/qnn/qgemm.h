@@ -45,6 +45,13 @@ QuantizedActs quantize_acts(const Tensor& m, int bits = 8);
 QuantizedActs quantize_acts(const float* src, std::int64_t rows,
                             std::int64_t cols, int bits = 8);
 
+/// Allocation-free core: quantizes `count` floats into a caller-provided
+/// int8 buffer (the packed layers point this at workspace arena scratch) and
+/// returns the symmetric scale. The heap-returning overloads wrap this, so
+/// all three produce identical codes for identical values.
+float quantize_acts_into(const float* src, std::int64_t count, int bits,
+                         std::int8_t* dst);
+
 /// Exact float image of the activation codes (for the equivalence tests'
 /// fake-quant reference path).
 Tensor dequantize_acts(const QuantizedActs& acts);
@@ -70,6 +77,11 @@ class PackedGemm {
   /// Transposed-activation variant for Linear: x laid out (n, k) row-major
   /// (one activation row per batch item), out(n, rows).
   void run_t(const QuantizedActs& x, const float* bias, Tensor& out) const;
+
+  /// Raw-buffer variant of run_t(): `codes` is the (n, k) activation matrix,
+  /// `out` an (n, rows) buffer written in place.
+  void run_t(const std::int8_t* codes, float act_scale, std::int64_t n,
+             const float* bias, float* out) const;
 
   std::int64_t rows() const { return rows_; }
   std::int64_t k() const { return k_; }

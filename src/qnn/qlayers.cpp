@@ -6,6 +6,7 @@
 #include "parallel/thread_pool.h"
 #include "prof/prof.h"
 #include "tensor/ops.h"
+#include "tensor/workspace.h"
 
 namespace upaq::qnn {
 
@@ -21,15 +22,16 @@ constexpr std::int64_t kColRowGrain = 4;
 // matrix. Padding becomes code 0 — exactly what quantizing a padded float
 // zero yields — and every input value appears in the column matrix, so the
 // per-tensor scale (and therefore every code) is identical either way.
-std::vector<std::int8_t> im2col_codes(const std::int8_t* in, std::int64_t c,
-                                      std::int64_t h, std::int64_t w, int k,
-                                      int stride, int pad) {
+// Writes into caller-provided scratch (the workspace arena) so the
+// steady-state packed-conv loop never touches the heap.
+void im2col_codes_into(const std::int8_t* in, std::int64_t c, std::int64_t h,
+                       std::int64_t w, int k, int stride, int pad,
+                       std::int8_t* out) {
   const std::int64_t oh = ops::conv_out_size(h, k, stride, pad);
   const std::int64_t ow = ops::conv_out_size(w, k, stride, pad);
   const std::int64_t rows = c * k * k;
-  std::vector<std::int8_t> cols(static_cast<std::size_t>(rows * oh * ow), 0);
-  prof::add(prof::Counter::kIm2colBytes, cols.size());
-  std::int8_t* out = cols.data();
+  prof::add(prof::Counter::kIm2colBytes,
+            static_cast<std::uint64_t>(rows * oh * ow));
   auto fill_rows = [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t row = r0; row < r1; ++row) {
       const std::int64_t ch = row / (k * k);
@@ -57,7 +59,6 @@ std::vector<std::int8_t> im2col_codes(const std::int8_t* in, std::int64_t c,
   } else {
     parallel::parallel_for(0, rows, kColRowGrain, fill_rows);
   }
-  return cols;
 }
 
 }  // namespace
@@ -94,16 +95,19 @@ Tensor PackedConv2d::forward(const Tensor& x) {
   // straight into the output slice with bias fused into its initial fill.
   parallel::parallel_for(0, n, 1, [&](std::int64_t b0, std::int64_t b1) {
     for (std::int64_t b = b0; b < b1; ++b) {
+      workspace::Scope ws;
       const float* xs = x.data() + b * in_c_ * h * w;
       float* ys = out.data() + b * out_c_ * oh * ow;
-      const QuantizedActs qm = quantize_acts(xs, in_c_, h * w, act_bits_);
+      std::int8_t* qcodes = ws.i8(in_c_ * h * w);
+      const float sx = quantize_acts_into(xs, in_c_ * h * w, act_bits_, qcodes);
       if (kernel_ == 1 && stride_ == 1 && pad_ == 0) {
         // 1x1 conv: the column matrix IS the quantized map; no gather.
-        gemm_.run(qm.codes.data(), qm.scale, oh * ow, bias, ys);
+        gemm_.run(qcodes, sx, oh * ow, bias, ys);
       } else {
-        const std::vector<std::int8_t> cols =
-            im2col_codes(qm.codes.data(), in_c_, h, w, kernel_, stride_, pad_);
-        gemm_.run(cols.data(), qm.scale, oh * ow, bias, ys);
+        std::int8_t* cols =
+            ws.i8(in_c_ * kernel_ * kernel_ * oh * ow);
+        im2col_codes_into(qcodes, in_c_, h, w, kernel_, stride_, pad_, cols);
+        gemm_.run(cols, sx, oh * ow, bias, ys);
       }
     }
   });
@@ -124,9 +128,12 @@ Tensor PackedLinear::forward(const Tensor& x) {
   prof::Span span(engine_name());
   UPAQ_CHECK(x.rank() == 2 && x.dim(1) == in_f_,
              "PackedLinear expects (N," + std::to_string(in_f_) + ")");
-  const QuantizedActs qa = quantize_acts(x, act_bits_);
   Tensor out({x.dim(0), out_f_});
-  gemm_.run_t(qa, bias_.empty() ? nullptr : bias_.data(), out);
+  workspace::Scope ws;
+  std::int8_t* qcodes = ws.i8(x.numel());
+  const float sx = quantize_acts_into(x.data(), x.numel(), act_bits_, qcodes);
+  gemm_.run_t(qcodes, sx, x.dim(0), bias_.empty() ? nullptr : bias_.data(),
+              out.data());
   return out;
 }
 

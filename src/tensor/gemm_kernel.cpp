@@ -1,0 +1,273 @@
+#include "tensor/gemm_kernel.h"
+
+#include <algorithm>
+
+#include "parallel/thread_pool.h"
+#include "prof/prof.h"
+#include "tensor/workspace.h"
+
+namespace upaq::gemm {
+
+namespace {
+
+// Same below-this-runs-serial gating as tensor/ops.cpp: dispatch cost beats
+// the win for tiny products, and gating on the (shape-only) work size keeps
+// serial and parallel arithmetic identical.
+constexpr std::int64_t kMinParallelWork = 1 << 15;
+constexpr std::int64_t kSparseRowGrain = 8;
+
+std::int64_t round_up(std::int64_t v, std::int64_t m) {
+  return (v + m - 1) / m * m;
+}
+
+/// MR x NR register micro-tile over one KC slab, written to `acc`.
+///
+/// The accumulators must be one vector register per C row (broadcast A
+/// element x contiguous B row, the classic outer-product shape). Left to
+/// its own devices the auto-vectorizer instead vectorizes over the A
+/// panel's contiguous r axis and drowns the FMAs in cross-lane shuffles,
+/// so on GNU compilers the shape is spelled out with vector extensions —
+/// ISA-independent (the compiler lowers to whatever the target offers)
+/// and exactly one kNR-wide lane group per C row.
+#if defined(__GNUC__) || defined(__clang__)
+typedef float vnr __attribute__((vector_size(kNR * sizeof(float))));
+static_assert(kNR == 8, "micro-tile accumulator type assumes kNR == 8");
+
+void micro_tile(std::int64_t kc, const float* __restrict__ ap,
+                const float* __restrict__ bp, float* __restrict__ acc) {
+  vnr t0{}, t1{}, t2{}, t3{}, t4{}, t5{};
+  static_assert(kMR == 6, "accumulator count assumes kMR == 6");
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* __restrict__ a = ap + p * kMR;
+    vnr b;
+    __builtin_memcpy(&b, bp + p * kNR, sizeof(b));
+    t0 += a[0] * b;
+    t1 += a[1] * b;
+    t2 += a[2] * b;
+    t3 += a[3] * b;
+    t4 += a[4] * b;
+    t5 += a[5] * b;
+  }
+  const vnr t[kMR] = {t0, t1, t2, t3, t4, t5};
+  __builtin_memcpy(acc, t, sizeof(t));
+}
+#else
+void micro_tile(std::int64_t kc, const float* ap, const float* bp,
+                float* acc) {
+  float t[kMR * kNR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * kMR;
+    const float* b = bp + p * kNR;
+    for (int r = 0; r < kMR; ++r) {
+      const float ar = a[r];
+      for (int j = 0; j < kNR; ++j) t[r * kNR + j] += ar * b[j];
+    }
+  }
+  for (int i = 0; i < kMR * kNR; ++i) acc[i] = t[i];
+}
+#endif
+
+/// Packs rows [0, m) x columns [pc, pc+kc) of row-major A into MR-row panels
+/// at `dst` (column-major within a panel, rows beyond m zero-filled).
+void pack_a_slab(float* dst, const float* a, std::int64_t m, std::int64_t k,
+                 std::int64_t pc, std::int64_t kc, std::int64_t mpad) {
+  for (std::int64_t ip = 0; ip < mpad / kMR; ++ip) {
+    float* panel = dst + ip * kMR * kc;
+    for (std::int64_t j = 0; j < kc; ++j) {
+      for (std::int64_t r = 0; r < kMR; ++r) {
+        const std::int64_t row = ip * kMR + r;
+        panel[j * kMR + r] = row < m ? a[row * k + pc + j] : 0.0f;
+      }
+    }
+  }
+}
+
+/// Packs a kc x nw B slab (columns [jc, jc+nw), k-rows [pc, pc+kc)) into
+/// NR-column panels. BT = false reads row-major (k, n) B; BT = true reads
+/// row-major (n, k) B as its transpose.
+template <bool BT>
+void pack_b_slab(float* dst, const float* b, std::int64_t k, std::int64_t n,
+                 std::int64_t pc, std::int64_t kc, std::int64_t jc,
+                 std::int64_t nw) {
+  const std::int64_t jpanels = (nw + kNR - 1) / kNR;
+  for (std::int64_t jp = 0; jp < jpanels; ++jp) {
+    float* panel = dst + jp * kc * kNR;
+    const std::int64_t jv = std::min(kNR, nw - jp * kNR);
+    if constexpr (BT) {
+      // Transposed read: column (jc + j) of B^T is row (jc + j) of B, so
+      // each jr strand streams contiguously over p.
+      for (std::int64_t jr = 0; jr < kNR; ++jr) {
+        if (jr < jv) {
+          const float* src = b + (jc + jp * kNR + jr) * k + pc;
+          for (std::int64_t p = 0; p < kc; ++p) panel[p * kNR + jr] = src[p];
+        } else {
+          for (std::int64_t p = 0; p < kc; ++p) panel[p * kNR + jr] = 0.0f;
+        }
+      }
+    } else {
+      (void)k;
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = b + (pc + p) * n + jc + jp * kNR;
+        float* row = panel + p * kNR;
+        for (std::int64_t jr = 0; jr < jv; ++jr) row[jr] = src[jr];
+        for (std::int64_t jr = jv; jr < kNR; ++jr) row[jr] = 0.0f;
+      }
+    }
+  }
+}
+
+/// Blocked panel kernel over a pre-packed A (`ap`, mpad x k in slab layout).
+/// Parallel grain: one kNC-column stripe per chunk — stripes own disjoint C
+/// columns and accumulate KC slabs in ascending k order, so the result is a
+/// pure function of (shapes, values), never the thread count.
+template <bool BT>
+void run_blocked(const float* ap, std::int64_t m, std::int64_t k,
+                 const float* b, float* c, std::int64_t n, float alpha) {
+  const std::int64_t mpad = round_up(m, kMR);
+  const std::int64_t row_panels = mpad / kMR;
+  const std::int64_t stripes = (n + kNC - 1) / kNC;
+  auto stripe_body = [&](std::int64_t s0, std::int64_t s1) {
+    workspace::Scope ws;
+    float* bp = ws.floats(kKC * kNC);
+    for (std::int64_t s = s0; s < s1; ++s) {
+      const std::int64_t jc = s * kNC;
+      const std::int64_t nw = std::min(kNC, n - jc);
+      const std::int64_t jpanels = (nw + kNR - 1) / kNR;
+      for (std::int64_t pc = 0; pc < k; pc += kKC) {
+        const std::int64_t kc = std::min(kKC, k - pc);
+        pack_b_slab<BT>(bp, b, k, n, pc, kc, jc, nw);
+        const float* aslab = ap + mpad * pc;
+        for (std::int64_t jp = 0; jp < jpanels; ++jp) {
+          const std::int64_t jv = std::min(kNR, nw - jp * kNR);
+          for (std::int64_t ip = 0; ip < row_panels; ++ip) {
+            float acc[kMR * kNR] = {};
+            micro_tile(kc, aslab + ip * kMR * kc, bp + jp * kc * kNR, acc);
+            const std::int64_t rv = std::min(kMR, m - ip * kMR);
+            for (std::int64_t r = 0; r < rv; ++r) {
+              float* crow = c + (ip * kMR + r) * n + jc + jp * kNR;
+              for (std::int64_t j = 0; j < jv; ++j)
+                crow[j] += alpha * acc[r * kNR + j];
+            }
+          }
+        }
+      }
+    }
+  };
+  if (m * k * n < kMinParallelWork) {
+    stripe_body(0, stripes);
+  } else {
+    parallel::parallel_for(0, stripes, 1, stripe_body);
+  }
+}
+
+/// Zero-skipping row kernel (the pre-blocking i-k-j loop): per-element skips
+/// make pattern-pruned weight rows cheap, which dense panel math cannot do.
+void run_rowskip(const float* a, const float* b, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n, float alpha) {
+  auto rows = [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* crow = c + i * n;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = alpha * a[i * k + kk];
+        if (av == 0.0f) continue;  // free zero-skipping for pruned rows
+        const float* brow = b + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  };
+  if (m * k * n < kMinParallelWork) {
+    rows(0, m);
+  } else {
+    parallel::parallel_for(0, m, kSparseRowGrain, rows);
+  }
+}
+
+bool mostly_zero(const float* a, std::int64_t count) {
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < count; ++i) zeros += a[i] == 0.0f;
+  return static_cast<double>(zeros) >
+         kSparseZeroFraction * static_cast<double>(count);
+}
+
+void count_call(std::int64_t m, std::int64_t k, std::int64_t n) {
+  prof::add(prof::Counter::kGemmFlops,
+            static_cast<std::uint64_t>(2 * m * k * n));
+  prof::add(prof::Counter::kGemmKernelCalls, 1);
+}
+
+}  // namespace
+
+PackedA pack_a(const float* a, std::int64_t m, std::int64_t k) {
+  PackedA p;
+  p.m = m;
+  p.k = k;
+  p.sparse = mostly_zero(a, m * k);
+  if (p.sparse) {
+    p.data.assign(a, a + m * k);
+    return p;
+  }
+  const std::int64_t mpad = round_up(m, kMR);
+  p.data.assign(static_cast<std::size_t>(mpad * k), 0.0f);
+  for (std::int64_t pc = 0; pc < k; pc += kKC) {
+    const std::int64_t kc = std::min(kKC, k - pc);
+    pack_a_slab(p.data.data() + mpad * pc, a, m, k, pc, kc, mpad);
+  }
+  return p;
+}
+
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n, float alpha) {
+  if (m <= 0 || k <= 0 || n <= 0) return;
+  count_call(m, k, n);
+  if (mostly_zero(a, m * k)) {
+    run_rowskip(a, b, c, m, k, n, alpha);
+    return;
+  }
+  workspace::Scope ws;
+  const std::int64_t mpad = round_up(m, kMR);
+  float* ap = ws.floats(mpad * k);
+  for (std::int64_t pc = 0; pc < k; pc += kKC) {
+    const std::int64_t kc = std::min(kKC, k - pc);
+    pack_a_slab(ap + mpad * pc, a, m, k, pc, kc, mpad);
+  }
+  run_blocked<false>(ap, m, k, b, c, n, alpha);
+}
+
+void gemm_packed(const PackedA& a, const float* b, float* c, std::int64_t n,
+                 float alpha) {
+  if (a.m <= 0 || a.k <= 0 || n <= 0) return;
+  count_call(a.m, a.k, n);
+  if (a.sparse) {
+    run_rowskip(a.data.data(), b, c, a.m, a.k, n, alpha);
+    return;
+  }
+  run_blocked<false>(a.data.data(), a.m, a.k, b, c, n, alpha);
+}
+
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, float alpha) {
+  if (m <= 0 || k <= 0 || n <= 0) return;
+  count_call(m, k, n);
+  workspace::Scope ws;
+  const std::int64_t mpad = round_up(m, kMR);
+  float* ap = ws.floats(mpad * k);
+  for (std::int64_t pc = 0; pc < k; pc += kKC) {
+    const std::int64_t kc = std::min(kKC, k - pc);
+    pack_a_slab(ap + mpad * pc, a, m, k, pc, kc, mpad);
+  }
+  run_blocked<true>(ap, m, k, b, c, n, alpha);
+}
+
+void s8_segment_accumulate(const std::int32_t* cols, const std::int32_t* codes,
+                           std::int64_t len, const std::int8_t* qx,
+                           std::int64_t ldq, std::int64_t j0, std::int64_t nb,
+                           std::int32_t* acc) {
+  for (std::int64_t e = 0; e < len; ++e) {
+    const std::int32_t w = codes[e];
+    const std::int8_t* brow = qx + static_cast<std::int64_t>(cols[e]) * ldq + j0;
+    for (std::int64_t j = 0; j < nb; ++j)
+      acc[j] += w * static_cast<std::int32_t>(brow[j]);
+  }
+}
+
+}  // namespace upaq::gemm

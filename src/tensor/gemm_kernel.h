@@ -1,0 +1,88 @@
+// Cache-blocked, panel-packed GEMM micro-kernels.
+//
+// The float GEMM entry points of tensor/ops.h (and the qnn integer path)
+// dispatch here. Two regimes, chosen per call from the *data*, never from
+// the thread count:
+//
+//   dense  — the value matrix A is packed into MR-row panels, B into NR-column
+//            panels, and an MR x NR register micro-tile walks KC-deep slabs.
+//            Blocking: the N dimension is cut into fixed kNC-column stripes
+//            (one stripe per parallel chunk — stripes own disjoint C columns,
+//            so results are bitwise thread-count independent); within a
+//            stripe the K dimension is cut into kKC slabs whose B panels are
+//            packed into the thread workspace.
+//   sparse — when more than kSparseZeroFraction of A is exactly zero (the
+//            pattern-pruned conv weights), the zero-skipping row kernel is
+//            kept: per-element skips beat dense panel math at 2-of-9 or
+//            3-of-9 density, and the panel pack would erase the sparsity.
+//
+// Determinism: tile constants are compile-time fixed; stripe/slab boundaries
+// are pure functions of (m, k, n). A C element is written by exactly one
+// stripe, accumulating KC slabs in ascending k order, so 1-thread and
+// N-thread runs are bitwise identical (tests/test_determinism.cpp).
+//
+// All scratch (panel packs) comes from workspace::Scope — steady-state calls
+// allocate nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace upaq::gemm {
+
+// Register micro-tile: MR x NR fp32 accumulators. 6x8 = 12 SSE registers of
+// accumulator state, leaving room for the A broadcasts and B loads without
+// spilling at the baseline x86-64 ISA.
+inline constexpr std::int64_t kMR = 6;
+inline constexpr std::int64_t kNR = 8;
+// K slab depth: one A panel (kMR * kKC floats) stays L1-resident while it
+// sweeps the stripe's B panels.
+inline constexpr std::int64_t kKC = 256;
+// Stripe width (multiple of kNR): the parallel grain over N. A stripe's B
+// slab pack is kKC * kNC * 4 bytes = 256 KiB, L2-resident per thread.
+inline constexpr std::int64_t kNC = 256;
+// A-matrix zero fraction above which the zero-skipping row kernel wins over
+// dense panel math (pattern-pruned weights sit at 6/9 .. 7/9 zeros).
+inline constexpr double kSparseZeroFraction = 0.5;
+
+/// Pre-packed form of an (m x k) row-major A matrix, so steady-state callers
+/// (conv weights) skip both the 2-D view copy and the per-call panel pack.
+/// The representation matches the dispatch the values ask for: panel-packed
+/// when dense, a plain row-major copy when the zero-skip path wins.
+struct PackedA {
+  std::int64_t m = 0, k = 0;
+  bool sparse = false;
+  std::vector<float> data;
+  bool empty() const { return m == 0; }
+};
+
+/// Packs (and classifies) A once. Deterministic: layout and sparse/dense
+/// choice depend only on the matrix contents.
+PackedA pack_a(const float* a, std::int64_t m, std::int64_t k);
+
+/// C(m,n) += alpha * A(m,k) * B(k,n); raw row-major buffers. Dispatches to
+/// the sparse row kernel or the blocked panel kernel by A's zero fraction.
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n, float alpha);
+
+/// gemm() over a pre-packed A (no per-call classification or A pack).
+void gemm_packed(const PackedA& a, const float* b, float* c, std::int64_t n,
+                 float alpha);
+
+/// C(m,n) += alpha * A(m,k) * B(n,k)^T — both operands row-major, B read as
+/// its transpose (the conv dW orientation). Always blocked: the B panel pack
+/// absorbs the transpose, so the micro-kernel is the same as gemm()'s.
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n, float alpha);
+
+/// Column-blocked int32-accumulate helper for the qnn segment GEMM: for the
+/// entry list {(cols[e], codes[e])}, e in [0, len), accumulates
+///   acc[j] += codes[e] * qx[cols[e] * ldq + j0 + j]   for j in [0, nb)
+/// into the caller's int32 block accumulator. Exact integer arithmetic —
+/// bitwise identical to the unblocked sweep for any block decomposition.
+void s8_segment_accumulate(const std::int32_t* cols, const std::int32_t* codes,
+                           std::int64_t len, const std::int8_t* qx,
+                           std::int64_t ldq, std::int64_t j0, std::int64_t nb,
+                           std::int32_t* acc);
+
+}  // namespace upaq::gemm

@@ -5,6 +5,7 @@
 
 #include "parallel/thread_pool.h"
 #include "prof/prof.h"
+#include "tensor/gemm_kernel.h"
 
 namespace upaq::ops {
 
@@ -15,9 +16,8 @@ namespace {
 // chunk boundaries do not depend on thread count.
 constexpr std::int64_t kMinParallelWork = 1 << 15;
 
-// Fixed chunk grains (rows per chunk). Thread-count independent by design —
+// Fixed chunk grain (rows per chunk). Thread-count independent by design —
 // see parallel/thread_pool.h for the determinism contract.
-constexpr std::int64_t kGemmRowGrain = 8;
 constexpr std::int64_t kColRowGrain = 4;
 
 }  // namespace
@@ -38,30 +38,7 @@ void gemm_accumulate(const Tensor& a, const Tensor& b, Tensor& c, float alpha) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   UPAQ_CHECK(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n,
              "gemm shape mismatch");
-  prof::add(prof::Counter::kGemmFlops,
-            static_cast<std::uint64_t>(2 * m * k * n));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // i-k-j loop order keeps the inner loop contiguous over B and C rows.
-  // Chunks own disjoint row blocks of C, so the parallel result is bitwise
-  // identical to the serial one.
-  auto rows = [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      float* crow = pc + i * n;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float av = alpha * pa[i * k + kk];
-        if (av == 0.0f) continue;  // free zero-skipping for pruned rows
-        const float* brow = pb + kk * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  };
-  if (m * k * n < kMinParallelWork) {
-    rows(0, m);
-  } else {
-    parallel::parallel_for(0, m, kGemmRowGrain, rows);
-  }
+  gemm::gemm(a.data(), b.data(), c.data(), m, k, n, alpha);
 }
 
 void gemm_nt_accumulate(const Tensor& a, const Tensor& b, Tensor& c,
@@ -71,31 +48,7 @@ void gemm_nt_accumulate(const Tensor& a, const Tensor& b, Tensor& c,
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   UPAQ_CHECK(b.dim(1) == k && c.dim(0) == m && c.dim(1) == n,
              "gemm_nt shape mismatch");
-  prof::add(prof::Counter::kGemmFlops,
-            static_cast<std::uint64_t>(2 * m * k * n));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // C[i,j] += alpha * dot(A row i, B row j): both reads contiguous, no
-  // transpose copy needed. Double accumulation keeps long dot products tame.
-  auto rows = [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* brow = pb + j * k;
-        double acc = 0.0;
-        for (std::int64_t kk = 0; kk < k; ++kk)
-          acc += static_cast<double>(arow[kk]) * brow[kk];
-        crow[j] += alpha * static_cast<float>(acc);
-      }
-    }
-  };
-  if (m * k * n < kMinParallelWork) {
-    rows(0, m);
-  } else {
-    parallel::parallel_for(0, m, kGemmRowGrain, rows);
-  }
+  gemm::gemm_nt(a.data(), b.data(), c.data(), m, k, n, alpha);
 }
 
 std::int64_t conv_out_size(std::int64_t in, int k, int stride, int pad) {
@@ -105,19 +58,14 @@ std::int64_t conv_out_size(std::int64_t in, int k, int stride, int pad) {
   return eff / stride + 1;
 }
 
-namespace {
-
-/// Shared im2col kernel over a raw (C,H,W) plane. Parallel over column rows
-/// (each row of the output matrix is a disjoint write).
-Tensor im2col_impl(const float* in, std::int64_t c, std::int64_t h,
-                   std::int64_t w, int kh, int kw, int stride, int pad) {
+void im2col_into(const float* in, std::int64_t c, std::int64_t h,
+                 std::int64_t w, int kh, int kw, int stride, int pad,
+                 float* out) {
   const std::int64_t oh = conv_out_size(h, kh, stride, pad);
   const std::int64_t ow = conv_out_size(w, kw, stride, pad);
-  Tensor cols({c * kh * kw, oh * ow});
-  prof::add(prof::Counter::kIm2colBytes,
-            static_cast<std::uint64_t>(cols.numel()) * sizeof(float));
-  float* out = cols.data();
   const std::int64_t rows = c * kh * kw;
+  prof::add(prof::Counter::kIm2colBytes,
+            static_cast<std::uint64_t>(rows * oh * ow) * sizeof(float));
   auto fill_rows = [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t row = r0; row < r1; ++row) {
       const std::int64_t ch = row / (kh * kw);
@@ -143,6 +91,17 @@ Tensor im2col_impl(const float* in, std::int64_t c, std::int64_t h,
   } else {
     parallel::parallel_for(0, rows, kColRowGrain, fill_rows);
   }
+}
+
+namespace {
+
+/// Tensor-returning wrapper over the raw kernel.
+Tensor im2col_impl(const float* in, std::int64_t c, std::int64_t h,
+                   std::int64_t w, int kh, int kw, int stride, int pad) {
+  const std::int64_t oh = conv_out_size(h, kh, stride, pad);
+  const std::int64_t ow = conv_out_size(w, kw, stride, pad);
+  Tensor cols({c * kh * kw, oh * ow});
+  im2col_into(in, c, h, w, kh, kw, stride, pad, cols.data());
   return cols;
 }
 

@@ -15,16 +15,17 @@ namespace upaq::ops {
 /// C = A(mxk) * B(kxn); all matrices row-major 2-D tensors.
 Tensor matmul(const Tensor& a, const Tensor& b);
 
-/// C += alpha * A(mxk) * B(kxn) into a pre-allocated 2-D tensor.
-/// Parallelised over row blocks of C; each output row is produced by exactly
-/// one chunk with a fixed inner-loop order, so results are bitwise identical
-/// for every thread count.
+/// C += alpha * A(mxk) * B(kxn) into a pre-allocated 2-D tensor. Dispatches
+/// to the cache-blocked panel kernel (tensor/gemm_kernel.h) when A is dense
+/// and to the zero-skipping row kernel when A is mostly zeros (pruned
+/// weights). Either way the chunk decomposition depends only on the shapes,
+/// so results are bitwise identical for every thread count.
 void gemm_accumulate(const Tensor& a, const Tensor& b, Tensor& c, float alpha = 1.0f);
 
 /// C += alpha * A(mxk) * B(nxk)^T — i.e. both operands are read row-wise.
 /// Used by the conv backward weight-gradient GEMM so the column matrix never
-/// has to be transposed/copied. Same row-block parallel determinism as
-/// gemm_accumulate.
+/// has to be transposed/copied. Blocked panel kernel; the B pack absorbs the
+/// transpose. Same stripe-parallel determinism as gemm_accumulate.
 void gemm_nt_accumulate(const Tensor& a, const Tensor& b, Tensor& c,
                         float alpha = 1.0f);
 
@@ -35,6 +36,14 @@ Tensor im2col(const Tensor& input, int kh, int kw, int stride, int pad);
 /// without copying it out first (the (C,H,W) slice is contiguous in NCHW).
 Tensor im2col(const Tensor& input, std::int64_t batch, int kh, int kw,
               int stride, int pad);
+
+/// Raw-buffer im2col into a caller-provided (c*kh*kw, out_h*out_w) buffer —
+/// the workspace-backed variant the conv forward path uses so steady-state
+/// inference never allocates a column Tensor. Identical fill (and prof
+/// accounting) to the Tensor-returning overloads.
+void im2col_into(const float* in, std::int64_t c, std::int64_t h,
+                 std::int64_t w, int kh, int kw, int stride, int pad,
+                 float* out);
 
 /// col2im: inverse scatter-add of im2col, columns (C*kh*kw, out_h*out_w)
 /// -> (C,H,W). Used by the conv backward pass.

@@ -53,6 +53,34 @@ TEST(Determinism, GemmAccumulate) {
   expect_bitwise_equal(s, p, "gemm_accumulate");
 }
 
+TEST(Determinism, GemmAccumulateBlockedStripes) {
+  // Large enough to cross multiple kNC=256 column stripes and kKC=256 k
+  // slabs, so the cache-blocked panel kernel runs with a multi-chunk
+  // parallel decomposition — 1-thread vs 4-thread must stay bitwise equal.
+  Rng rng(110);
+  const Tensor a = Tensor::uniform({150, 260}, rng);
+  const Tensor b = Tensor::uniform({260, 530}, rng);
+  const Tensor c0 = Tensor::uniform({150, 530}, rng);
+  auto [s, p] = run_both([&] {
+    Tensor c = c0.clone();
+    ops::gemm_accumulate(a, b, c, 1.3f);
+    return c;
+  });
+  expect_bitwise_equal(s, p, "gemm_accumulate (blocked, multi-stripe)");
+}
+
+TEST(Determinism, GemmNtAccumulateBlockedStripes) {
+  Rng rng(111);
+  const Tensor a = Tensor::uniform({70, 300}, rng);
+  const Tensor b = Tensor::uniform({280, 300}, rng);
+  auto [s, p] = run_both([&] {
+    Tensor c({70, 280});
+    ops::gemm_nt_accumulate(a, b, c, 0.9f);
+    return c;
+  });
+  expect_bitwise_equal(s, p, "gemm_nt_accumulate (blocked, multi-stripe)");
+}
+
 TEST(Determinism, GemmNtAccumulate) {
   Rng rng(101);
   const Tensor a = Tensor::uniform({37, 129}, rng);
