@@ -6,7 +6,7 @@
 //             [--gamma G] [--cache DIR] [--no-finetune]
 //
 //   upaq_tool profile [--model pointpillars|smoke] [--scenes K] [--runs R]
-//                     [--trace FILE]
+//                     [--trace FILE] [--packed]
 //
 // The default mode trains (or loads) the chosen detector, compresses it with
 // the requested configuration, optionally fine-tunes, and prints the
@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/qmodel.h"
 #include "core/upaq.h"
 #include "data/scene.h"
 #include "detectors/pointpillars.h"
@@ -46,7 +47,7 @@ using namespace upaq;
                "          [--connectivity F] [--finetune ITERS]\n"
                "          [--alpha A] [--beta B] [--gamma G] [--cache DIR]\n"
                "       %s profile [--model pointpillars|smoke] [--scenes K]\n"
-               "          [--runs R] [--trace FILE]\n",
+               "          [--runs R] [--trace FILE] [--packed]\n",
                argv0, argv0);
   std::exit(2);
 }
@@ -58,6 +59,7 @@ int run_profile(int argc, char** argv) {
   std::string model_name = "pointpillars";
   std::string trace_path;
   int scenes = 4, runs = 3;
+  bool packed = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -72,6 +74,8 @@ int run_profile(int argc, char** argv) {
       runs = std::atoi(next());
     else if (arg == "--trace")
       trace_path = next();
+    else if (arg == "--packed")
+      packed = true;
     else
       usage(argv[0]);
   }
@@ -91,6 +95,20 @@ int run_profile(int argc, char** argv) {
                                                rng);
   model->set_training(false);
 
+  // --packed: compress with the HCK preset and lower onto the qnn integer
+  // engines, so the profile covers the packed path (integer GOP/s line,
+  // qgemm_macs counter, per-layer integer spans) instead of the float one.
+  std::unique_ptr<core::QuantizedModel> qmodel;
+  detectors::Detector3D* target = model.get();
+  if (packed) {
+    core::UpaqCompressor compressor(core::UpaqConfig::hck());
+    auto result = compressor.compress(*model);
+    model->set_training(false);
+    qmodel = std::make_unique<core::QuantizedModel>(*model,
+                                                    std::move(result.plan));
+    target = qmodel.get();
+  }
+
   Rng srng(99);
   data::SceneGenerator gen;
   std::vector<data::Scene> set;
@@ -99,12 +117,12 @@ int run_profile(int argc, char** argv) {
   // Warm-up pass: page in weights, spin up the pool lanes, then drop its
   // events so the report only covers steady-state passes.
   prof::set_enabled(true);
-  std::size_t sink = model->detect(set.front()).size();
+  std::size_t sink = target->detect(set.front()).size();
   prof::reset();
 
   const auto t0 = std::chrono::steady_clock::now();
   for (int r = 0; r < runs; ++r)
-    for (const auto& scene : set) sink += model->detect(scene).size();
+    for (const auto& scene : set) sink += target->detect(scene).size();
   (void)sink;
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
@@ -114,13 +132,13 @@ int run_profile(int argc, char** argv) {
   const auto events = prof::snapshot_events();
   const int passes = runs * scenes;
   std::printf("%s profile: %d scene%s x %d run%s, %d thread%s\n\n",
-              model->model_name(), scenes, scenes == 1 ? "" : "s", runs,
+              target->model_name(), scenes, scenes == 1 ? "" : "s", runs,
               runs == 1 ? "" : "s", threads, threads == 1 ? "" : "s");
   std::printf("%s\n", prof::stats_table(prof::aggregate(events)).c_str());
 
   const hw::CostModel cost_model(hw::device_spec(hw::Device::kJetsonOrinNano));
-  const auto cmp =
-      prof::build_cost_report(events, cost_model, model->cost_profile(), passes);
+  const auto cmp = prof::build_cost_report(events, cost_model,
+                                           target->cost_profile(), passes);
   std::printf("measured (host CPU) vs modeled (Jetson Orin Nano), per pass:\n%s\n",
               prof::cost_report_table(cmp).c_str());
 
@@ -139,9 +157,22 @@ int run_profile(int argc, char** argv) {
                 prof::counter_value(prof::Counter::kGemmFlops)) /
                 (wall_ms * 1e6)
           : 0.0;
+  // Integer GEMM work is counted in MACs; report it as ops (2 per MAC) so
+  // the number is directly comparable with the float GFLOP/s line.
+  const double igops =
+      wall_ms > 0.0
+          ? 2.0 *
+                static_cast<double>(
+                    prof::counter_value(prof::Counter::kQgemmMacs)) /
+                (wall_ms * 1e6)
+          : 0.0;
   const workspace::Stats ws = workspace::stats();
   std::printf("\ngemm throughput: %.2f GFLOP/s achieved over %.1f ms wall\n",
               gflops, wall_ms);
+  if (igops > 0.0)
+    std::printf("integer gemm throughput: %.2f GOP/s achieved over the same "
+                "window\n",
+                igops);
   std::printf("workspace: high-water %.1f KiB, %llu block allocs, "
               "%llu arena reuses\n",
               ws.high_water_bytes / 1024.0,

@@ -41,11 +41,39 @@ UPAQ_THREADS=4 "$BUILD_DIR"/bench/bench_ablation_micro \
 # so it is the natural place for the sanitizers to catch a lifetime bug.
 # test_gemm_kernel joins them: the panel packer and workspace arena do raw
 # pointer arithmetic over reused blocks, exactly where ASan earns its keep.
+# Packed-vs-fp32 ratchet: the whole point of the panel kernel is that the
+# integer path beats the float path on the same compressed model. The bench
+# recomputes bench_fig4.json; the p50-based ratio must stay above the floor.
+# The floor is deliberately below the measured ~1.25-1.35x: this box is
+# shared, and the ratchet exists to catch "quantized slower than fp32 again"
+# regressions, not to police scheduler noise.
+PACKED_SPEEDUP_FLOOR="1.05"
+echo "==> packed-vs-fp32 speedup ratchet (floor ${PACKED_SPEEDUP_FLOOR}x)"
+UPAQ_THREADS=1 "$BUILD_DIR"/bench/bench_fig4_speedup > /dev/null
+SPEEDUP="$(sed -n 's/.*"packed_vs_fp32_speedup": \([0-9.]*\).*/\1/p' bench_fig4.json)"
+if [ -z "$SPEEDUP" ]; then
+  echo "ratchet FAILED: packed_vs_fp32_speedup missing from bench_fig4.json"
+  exit 1
+fi
+if ! awk -v s="$SPEEDUP" -v f="$PACKED_SPEEDUP_FLOOR" 'BEGIN { exit !(s >= f) }'; then
+  echo "ratchet FAILED: packed_vs_fp32_speedup=${SPEEDUP} < floor ${PACKED_SPEEDUP_FLOOR}"
+  exit 1
+fi
+echo "packed_vs_fp32_speedup=${SPEEDUP} (>= ${PACKED_SPEEDUP_FLOOR})"
+
+# The packed-integer path does raw bit twiddling (sign extension, packed
+# buffers) — run its suites under ASan/UBSan so memory and UB bugs in the
+# pack/unpack/GEMM code cannot slip past the plain Release gate. The prof
+# suite rides along: its event buffers are touched from every pool worker,
+# so it is the natural place for the sanitizers to catch a lifetime bug.
+# test_gemm_kernel joins them: the panel packer and workspace arena do raw
+# pointer arithmetic over reused blocks, exactly where ASan earns its keep;
+# test_qgemm_kernel covers the interleaved int8 panel kernel the same way.
 echo "==> qnn + quant + prof + gemm/workspace suites under UPAQ_SANITIZE=address,undefined"
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$ASAN_DIR" -S . -DUPAQ_SANITIZE=address,undefined
-cmake --build "$ASAN_DIR" -j "$JOBS" --target test_qnn test_quant test_prof test_gemm_kernel
-UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_qnn|test_quant|test_gemm_kernel' --output-on-failure
+cmake --build "$ASAN_DIR" -j "$JOBS" --target test_qnn test_quant test_prof test_gemm_kernel test_qgemm_kernel
+UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_qnn|test_quant|test_gemm_kernel|test_qgemm_kernel' --output-on-failure
 UPAQ_TRACE=1 UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_prof' --output-on-failure
 
-echo "check.sh: OK (tier1 passed serial, 4-thread, and traced; perf smoke + sanitizers green)"
+echo "check.sh: OK (tier1 passed serial, 4-thread, and traced; perf smoke + ratchet + sanitizers green)"

@@ -112,6 +112,7 @@ const char* counter_name(Counter c) {
     case Counter::kGemmKernelCalls: return "gemm_kernel_calls";
     case Counter::kWorkspaceBytes: return "workspace_bytes";
     case Counter::kWorkspaceReuses: return "workspace_reuses";
+    case Counter::kQgemmMacs: return "qgemm_macs";
     case Counter::kCount: break;
   }
   return "?";
@@ -243,6 +244,7 @@ std::vector<SpanStats> aggregate(const std::vector<Event>& events) {
       return static_cast<double>(durs[std::min(idx, durs.size() - 1)]) * 1e-6;
     };
     s.p50_ms = at_q(0.50);
+    s.p90_ms = at_q(0.90);
     s.p99_ms = at_q(0.99);
     out.push_back(std::move(s));
   }
@@ -256,17 +258,18 @@ std::string stats_table(const std::vector<SpanStats>& stats,
                         std::size_t max_rows) {
   std::string out;
   char line[256];
-  std::snprintf(line, sizeof(line), "%-32s %8s %12s %10s %10s %10s\n", "span",
-                "count", "total ms", "mean ms", "p50 ms", "p99 ms");
+  std::snprintf(line, sizeof(line), "%-32s %8s %12s %10s %10s %10s %10s\n",
+                "span", "count", "total ms", "mean ms", "p50 ms", "p90 ms",
+                "p99 ms");
   out += line;
   const std::size_t rows =
       max_rows == 0 ? stats.size() : std::min(max_rows, stats.size());
   for (std::size_t i = 0; i < rows; ++i) {
     const auto& s = stats[i];
     std::snprintf(line, sizeof(line),
-                  "%-32s %8lld %12.3f %10.4f %10.4f %10.4f\n", s.name.c_str(),
-                  static_cast<long long>(s.count), s.total_ms, s.mean_ms,
-                  s.p50_ms, s.p99_ms);
+                  "%-32s %8lld %12.3f %10.4f %10.4f %10.4f %10.4f\n",
+                  s.name.c_str(), static_cast<long long>(s.count), s.total_ms,
+                  s.mean_ms, s.p50_ms, s.p90_ms, s.p99_ms);
     out += line;
   }
   if (rows < stats.size()) {

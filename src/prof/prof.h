@@ -52,6 +52,8 @@ enum class Counter : int {
   kGemmKernelCalls,   ///< blocked/sparse GEMM kernel entry invocations
   kWorkspaceBytes,    ///< bytes of workspace arena blocks allocated
   kWorkspaceReuses,   ///< workspace allocations served without the heap
+  kQgemmMacs,         ///< integer-GEMM multiply-accumulates (surviving
+                      ///< entries x output columns; segment + panel paths)
   kCount,
 };
 
@@ -116,11 +118,12 @@ struct SpanStats {
   double total_ms = 0.0;
   double mean_ms = 0.0;
   double p50_ms = 0.0;
+  double p90_ms = 0.0;
   double p99_ms = 0.0;
 };
 
-/// Groups events by name and computes count/total/mean/p50/p99, sorted by
-/// descending total time.
+/// Groups events by name and computes count/total/mean/p50/p90/p99, sorted
+/// by descending total time.
 std::vector<SpanStats> aggregate(const std::vector<Event>& events);
 
 /// Renders the stats as a fixed-width text table.

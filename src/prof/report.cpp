@@ -73,4 +73,81 @@ std::string cost_report_table(const CostComparison& cmp) {
   return out;
 }
 
+namespace {
+
+/// Per-name mean span latency (ms per pass) over an event list.
+std::map<std::string, std::pair<std::int64_t, double>> mean_by_name(
+    const std::vector<Event>& events, int passes) {
+  std::map<std::string, std::pair<std::int64_t, double>> out;
+  for (const auto& e : events) {
+    auto& [count, total_ms] = out[e.name];
+    ++count;
+    total_ms += static_cast<double>(e.dur_ns) * 1e-6;
+  }
+  for (auto& [name, v] : out) v.second /= static_cast<double>(passes);
+  return out;
+}
+
+}  // namespace
+
+IntSpeedupReport build_int_speedup_report(
+    const std::vector<Event>& fp32_events,
+    const std::vector<Event>& packed_events, const hw::DeviceSpec& spec,
+    const std::vector<hw::LayerProfile>& profile, int passes) {
+  IntSpeedupReport rep;
+  const int p_ = std::max(passes, 1);
+  const auto fp32 = mean_by_name(fp32_events, p_);
+  const auto packed = mean_by_name(packed_events, p_);
+  for (const auto& p : profile) {
+    if (!p.integer_path) continue;
+    IntSpeedupRow row;
+    row.name = p.name;
+    row.weight_bits = p.weight_bits;
+    row.modeled = spec.int_gemm_speedup(p.weight_bits);
+    const auto f = fp32.find(p.name);
+    const auto q = packed.find(p.name);
+    if (f != fp32.end() && q != packed.end()) {
+      row.spans = q->second.first;
+      row.fp32_ms = f->second.second;
+      row.packed_ms = q->second.second;
+      rep.fp32_total_ms += row.fp32_ms;
+      rep.packed_total_ms += row.packed_ms;
+      if (row.packed_ms > 0.0) {
+        row.measured = row.fp32_ms / row.packed_ms;
+        if (row.modeled > 0.0) row.drift = row.measured / row.modeled;
+      }
+    }
+    rep.rows.push_back(std::move(row));
+  }
+  if (rep.packed_total_ms > 0.0)
+    rep.measured_total = rep.fp32_total_ms / rep.packed_total_ms;
+  return rep;
+}
+
+std::string int_speedup_table(const IntSpeedupReport& rep) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-20s %5s %12s %12s %10s %9s %8s\n",
+                "layer", "bits", "fp32 ms", "packed ms", "measured", "modeled",
+                "drift");
+  out += line;
+  for (const auto& r : rep.rows) {
+    if (r.spans > 0) {
+      std::snprintf(line, sizeof(line),
+                    "%-20s %5d %12.4f %12.4f %9.2fx %8.2fx %7.2fx\n",
+                    r.name.c_str(), r.weight_bits, r.fp32_ms, r.packed_ms,
+                    r.measured, r.modeled, r.drift);
+    } else {
+      std::snprintf(line, sizeof(line), "%-20s %5d %12s %12s %10s %8.2fx %8s\n",
+                    r.name.c_str(), r.weight_bits, "-", "-", "-", r.modeled,
+                    "-");
+    }
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-20s %5s %12.4f %12.4f %9.2fx\n", "total",
+                "", rep.fp32_total_ms, rep.packed_total_ms, rep.measured_total);
+  out += line;
+  return out;
+}
+
 }  // namespace upaq::prof

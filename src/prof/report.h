@@ -54,4 +54,41 @@ CostComparison build_cost_report(const std::vector<Event>& events,
 /// Fixed-width text rendering of the comparison.
 std::string cost_report_table(const CostComparison& cmp);
 
+/// One integer-path layer of the packed-vs-float comparison: the same
+/// compressed model timed twice on identical inputs — once on the float
+/// engines, once lowered onto the packed integer engines. The layer spans
+/// are named after the layer in both runs, so the join is a name lookup.
+struct IntSpeedupRow {
+  std::string name;
+  int weight_bits = 32;    ///< planned weight bitwidth (sets the model anchor)
+  std::int64_t spans = 0;  ///< packed-run span count (0 = not observed)
+  double fp32_ms = 0.0;    ///< mean float-path latency per pass
+  double packed_ms = 0.0;  ///< mean packed-path latency per pass
+  double measured = 0.0;   ///< fp32_ms / packed_ms (0 when unmeasurable)
+  double modeled = 0.0;    ///< hw::DeviceSpec::int_gemm_speedup(weight_bits)
+  double drift = 0.0;      ///< measured / modeled (0 when unmeasurable)
+};
+
+struct IntSpeedupReport {
+  std::vector<IntSpeedupRow> rows;  ///< integer-path profile entries, in order
+  double fp32_total_ms = 0.0;       ///< summed matched float-path means
+  double packed_total_ms = 0.0;     ///< summed matched packed-path means
+  /// Whole-path measured speedup over the matched layers.
+  double measured_total = 0.0;
+};
+
+/// Confronts the measured per-layer packed-vs-float speedup with the device
+/// model's int_gemm_speedup(bits) curve. Only profile entries flagged
+/// integer_path are compared; both event sets must cover `passes` forward
+/// passes. The drift column says how far this host's integer-path reality is
+/// from the modeled device anchor — as with the cost report, consistency
+/// across layers matters more than the absolute level.
+IntSpeedupReport build_int_speedup_report(
+    const std::vector<Event>& fp32_events,
+    const std::vector<Event>& packed_events, const hw::DeviceSpec& spec,
+    const std::vector<hw::LayerProfile>& profile, int passes);
+
+/// Fixed-width text rendering of the integer-speedup comparison.
+std::string int_speedup_table(const IntSpeedupReport& rep);
+
 }  // namespace upaq::prof

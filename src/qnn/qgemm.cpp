@@ -18,13 +18,6 @@ namespace {
 constexpr std::int64_t kMinParallelWork = 1 << 15;
 constexpr std::int64_t kRowGrain = 8;
 
-// Column block of the generic (len >= 4) segment path: the int32 accumulator
-// covers kColBlock outputs (2 KiB, L1-resident) instead of the whole feature
-// map. Blocking is bitwise-free: int32 segment sums are exact and the
-// per-element requantization order (segment order) does not depend on the
-// column decomposition.
-constexpr std::int64_t kColBlock = 512;
-
 }  // namespace
 
 QuantizedActs quantize_acts(const Tensor& m, int bits) {
@@ -48,59 +41,11 @@ float quantize_acts_into(const float* src, std::int64_t n, int bits,
   UPAQ_CHECK(bits >= 2 && bits <= 8,
              "quantize_acts: bits must be in [2, 8], got " + std::to_string(bits));
   prof::add(prof::Counter::kActQuantCalls, 1);
-
-  // Abs-max with chunked partials: max is exact and order-independent, so
-  // combining per-chunk maxima gives the same alpha at any thread count.
-  // Done locally (not via the generic tensor reduction) so the loop
-  // vectorizes with this file's -O3.
-  float alpha = 0.0f;
-  if (n < kMinParallelWork) {
-    for (std::int64_t i = 0; i < n; ++i)
-      alpha = std::max(alpha, std::fabs(src[i]));
-  } else {
-    const std::int64_t chunks = (n + kMinParallelWork - 1) / kMinParallelWork;
-    std::vector<float> partial(static_cast<std::size_t>(chunks), 0.0f);
-    parallel::parallel_for(0, n, kMinParallelWork,
-                           [&](std::int64_t i0, std::int64_t i1) {
-                             float a = 0.0f;
-                             for (std::int64_t i = i0; i < i1; ++i)
-                               a = std::max(a, std::fabs(src[i]));
-                             partial[static_cast<std::size_t>(
-                                 i0 / kMinParallelWork)] = a;
-                           });
-    for (float a : partial) alpha = std::max(alpha, a);
-  }
-  if (alpha == 0.0f) {
-    // Caller scratch (workspace arena) is not pre-zeroed, so fill explicitly.
-    std::fill(dst, dst + n, static_cast<std::int8_t>(0));
-    return 1.0f;
-  }
-
-  const double max_value = std::pow(2.0, bits - 1) - 1.0;
-  const float scale = static_cast<float>(alpha / max_value);
-  // Hot path: one multiply + clamp + round-half-away per element, all in
-  // float so the compiler can keep the loop in SIMD registers (a libm
-  // std::round per element dominated the packed path before). Clamping
-  // first bounds the value, so the truncating cast is exact.
-  const float inv = 1.0f / scale;
-  const float maxv = static_cast<float>(max_value);
-  auto convert = [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      float v = src[i] * inv;
-      v = std::min(std::max(v, -maxv), maxv);
-      // Round half away from zero via a truncating cast; copysign keeps the
-      // loop branch-free (a data-dependent branch here costs more than the
-      // arithmetic).
-      dst[i] = static_cast<std::int8_t>(
-          static_cast<std::int32_t>(v + std::copysign(0.5f, v)));
-    }
-  };
-  if (n < kMinParallelWork) {
-    convert(0, n);
-  } else {
-    parallel::parallel_for(0, n, kMinParallelWork, convert);
-  }
-  return scale;
+  // Hot loops live in the kernel TU (gemm_kernel.cpp) for its codegen; the
+  // arithmetic is exact per element, so where it compiles cannot change the
+  // codes (a libm std::round per element here dominated the packed path
+  // once; a scalar abs-max/convert at this TU's -O2 was next).
+  return gemm::s8_quantize(src, n, bits, dst);
 }
 
 Tensor dequantize_acts(const QuantizedActs& acts) {
@@ -111,7 +56,8 @@ Tensor dequantize_acts(const QuantizedActs& acts) {
   return t;
 }
 
-PackedGemm::PackedGemm(const PackedTensor& w, std::int64_t rows, std::int64_t k)
+PackedGemm::PackedGemm(const PackedTensor& w, std::int64_t rows, std::int64_t k,
+                       PanelMode mode)
     : rows_(rows), k_(k), bits_(w.bits) {
   UPAQ_CHECK(rows > 0 && k > 0 && rows * k == w.numel(),
              "PackedGemm: rows*k must match the packed element count");
@@ -161,6 +107,73 @@ PackedGemm::PackedGemm(const PackedTensor& w, std::int64_t rows, std::int64_t k)
   for (std::int64_t r = cur_row + 1; r <= rows; ++r)
     row_segs_[static_cast<std::size_t>(r)] =
         static_cast<std::int64_t>(segs_.size());
+
+  // Density dispatch (PanelMode docs): dense-ish int8-representable weights
+  // get the blocked panel kernel; pattern-pruned matrices keep the segment
+  // kernels where the zeros cost nothing.
+  const bool fits_i8 = bits_ <= 8;
+  const double zero_frac =
+      1.0 - static_cast<double>(entry_count()) / static_cast<double>(rows * k);
+  const bool want_panel =
+      mode == PanelMode::kForcePanel ||
+      (mode == PanelMode::kAuto && fits_i8 &&
+       zero_frac <= gemm::kSparseZeroFraction);
+  if (want_panel) {
+    UPAQ_CHECK(fits_i8, "PackedGemm: panel path needs weight bits <= 8, got " +
+                            std::to_string(bits_));
+    build_panel(g);
+  }
+}
+
+void PackedGemm::build_panel(std::int64_t group) {
+  // Decode the surviving codes ONCE into a dense row-major int8 matrix
+  // (bits_ <= 8 guarantees |code| <= 127) — steady-state run() calls never
+  // touch the bit-packed representation again.
+  std::vector<std::int8_t> dense(static_cast<std::size_t>(rows_ * k_), 0);
+  for (std::int64_t r = 0; r < rows_; ++r)
+    for (std::int64_t si = row_segs_[static_cast<std::size_t>(r)];
+         si < row_segs_[static_cast<std::size_t>(r) + 1]; ++si) {
+      const Segment& seg = segs_[static_cast<std::size_t>(si)];
+      for (std::int64_t e = seg.begin; e < seg.end; ++e)
+        dense[static_cast<std::size_t>(
+            r * k_ + cols_[static_cast<std::size_t>(e)])] =
+            static_cast<std::int8_t>(codes_[static_cast<std::size_t>(e)]);
+    }
+  // Slab cuts must land on requantization boundaries for EVERY row — a
+  // segment straddling a cut would lose its first slab's partial sum (panel
+  // accumulators reset per slab). Scale groups tile every row at the same
+  // column period only when the group size divides k; otherwise the group
+  // grid drifts across rows and the single safe slab is the whole k.
+  const std::int64_t period = (group > 0 && k_ % group == 0) ? group : k_;
+  const std::int64_t slab =
+      std::min(k_, std::max(period, (gemm::kQKC / period) * period));
+  gemm::q8_pack_a(dense.data(), rows_, k_, slab, panel_);
+  // Requantization schedule: one flush event per segment, firing at the
+  // column after the segment's last entry. All-zero groups yield no segment
+  // and thus no event — exactly like the segment engine, which never
+  // requantizes them (flushing an all-zero accumulator could still flip a
+  // -0.0 bias fill to +0.0).
+  const std::int64_t panels = (rows_ + gemm::kQMR - 1) / gemm::kQMR;
+  panel_.events.assign(static_cast<std::size_t>(panels), {});
+  for (std::int64_t r = 0; r < rows_; ++r)
+    for (std::int64_t si = row_segs_[static_cast<std::size_t>(r)];
+         si < row_segs_[static_cast<std::size_t>(r) + 1]; ++si) {
+      const Segment& seg = segs_[static_cast<std::size_t>(si)];
+      gemm::QFlush ev;
+      ev.col = cols_[static_cast<std::size_t>(seg.end - 1)] + 1;
+      ev.row = static_cast<std::int32_t>(r % gemm::kQMR);
+      ev.scale = seg.scale;
+      panel_.events[static_cast<std::size_t>(r / gemm::kQMR)].push_back(ev);
+    }
+  // Per-row event columns are strictly increasing (entry columns ascend), so
+  // sorting by (col, row) is a total order — the kernel replays each row's
+  // segments in exactly the segment engine's ascending order.
+  for (auto& evs : panel_.events)
+    std::sort(evs.begin(), evs.end(),
+              [](const gemm::QFlush& a, const gemm::QFlush& b) {
+                if (a.col != b.col) return a.col < b.col;
+                return a.row < b.row;
+              });
 }
 
 void PackedGemm::run(const QuantizedActs& x, const float* bias,
@@ -176,76 +189,34 @@ void PackedGemm::run(const std::int8_t* qx, float sx, std::int64_t n,
                      const float* bias, float* py) const {
   prof::add(prof::Counter::kPackedSegments,
             static_cast<std::uint64_t>(segs_.size()));
-  // Column-blocked, entry-outer / column-inner: every activation read is
-  // contiguous (the same i-k-j order as the float gemm) and the generic
-  // segments accumulate into an L1-resident kColBlock-wide int32 scratch
-  // from the per-thread workspace arena. Each segment's products accumulate
-  // exactly in int32 (the constructor splits segments so the sum cannot
-  // overflow); the requantization factor is applied in float32 and summed
-  // straight into the output row. Per output element the operation sequence
-  // (bias, then segments in order) is untouched by the blocking, so results
-  // are bitwise identical to the unblocked sweep — and a pure function of
-  // the entry layout, never of the thread count.
-  auto row_block = [&](std::int64_t r0, std::int64_t r1) {
-    workspace::Scope ws;
-    std::int32_t* iacc = ws.i32(std::min(n, kColBlock));
-    for (std::int64_t r = r0; r < r1; ++r) {
-      float* yrow = py + r * n;
-      std::fill(yrow, yrow + n, bias != nullptr ? bias[r] : 0.0f);
-      for (std::int64_t j0 = 0; j0 < n; j0 += kColBlock) {
-        const std::int64_t nb = std::min(kColBlock, n - j0);
-        for (std::int64_t si = row_segs_[static_cast<std::size_t>(r)];
-             si < row_segs_[static_cast<std::size_t>(r) + 1]; ++si) {
-          const Segment& seg = segs_[static_cast<std::size_t>(si)];
-          const std::int64_t len = seg.end - seg.begin;
-          const float m = seg.scale * sx;
-          const std::int32_t* wc = codes_.data() + seg.begin;
-          const std::int32_t* cc = cols_.data() + seg.begin;
-          float* yb = yrow + j0;
-          // UPAQ patterns keep 2 (HCK) or 3 (LCK) weights per kernel, so
-          // almost every segment is tiny: fuse the integer sum and the
-          // requantization into one pass over the columns instead of paying
-          // a separate accumulator flush per segment.
-          if (len == 1) {
-            const std::int32_t w0 = wc[0];
-            const std::int8_t* b0 =
-                qx + static_cast<std::int64_t>(cc[0]) * n + j0;
-            for (std::int64_t j = 0; j < nb; ++j)
-              yb[j] += m * static_cast<float>(w0 * b0[j]);
-          } else if (len == 2) {
-            const std::int32_t w0 = wc[0], w1 = wc[1];
-            const std::int8_t* b0 =
-                qx + static_cast<std::int64_t>(cc[0]) * n + j0;
-            const std::int8_t* b1 =
-                qx + static_cast<std::int64_t>(cc[1]) * n + j0;
-            for (std::int64_t j = 0; j < nb; ++j)
-              yb[j] += m * static_cast<float>(w0 * b0[j] + w1 * b1[j]);
-          } else if (len == 3) {
-            const std::int32_t w0 = wc[0], w1 = wc[1], w2 = wc[2];
-            const std::int8_t* b0 =
-                qx + static_cast<std::int64_t>(cc[0]) * n + j0;
-            const std::int8_t* b1 =
-                qx + static_cast<std::int64_t>(cc[1]) * n + j0;
-            const std::int8_t* b2 =
-                qx + static_cast<std::int64_t>(cc[2]) * n + j0;
-            for (std::int64_t j = 0; j < nb; ++j)
-              yb[j] += m * static_cast<float>(w0 * b0[j] + w1 * b1[j] +
-                                              w2 * b2[j]);
-          } else {
-            std::fill(iacc, iacc + nb, 0);
-            gemm::s8_segment_accumulate(cc, wc, len, qx, n, j0, nb, iacc);
-            for (std::int64_t j = 0; j < nb; ++j)
-              yb[j] += m * static_cast<float>(iacc[j]);
-          }
-        }
+  prof::add(prof::Counter::kQgemmMacs,
+            static_cast<std::uint64_t>(entry_count()) *
+                static_cast<std::uint64_t>(n));
+  if (!panel_.empty()) {
+    // Bias prefill mirrors the segment path's per-row fill; the panel kernel
+    // then requantizes into it with the same per-element operation order, so
+    // the two paths are bitwise identical (tests/test_qgemm_kernel.cpp).
+    auto fill = [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t r = r0; r < r1; ++r) {
+        float* yrow = py + r * n;
+        std::fill(yrow, yrow + n, bias != nullptr ? bias[r] : 0.0f);
       }
+    };
+    if (rows_ * n < kMinParallelWork) {
+      fill(0, rows_);
+    } else {
+      parallel::parallel_for(0, rows_, kRowGrain, fill);
     }
-  };
-  if (rows_ * k_ * n < kMinParallelWork) {
-    row_block(0, rows_);
-  } else {
-    parallel::parallel_for(0, rows_, kRowGrain, row_block);
+    gemm::q8_gemm_panel(panel_, qx, sx, n, py);
+    return;
   }
+  // Entry-skipping segment sweep, hosted wholesale in the -march=native
+  // kernel TU (the -O2 loops that used to sit here were the whole packed-path
+  // regression). Per output element the operation sequence (bias, then
+  // segments in order) is a pure function of the entry layout, never of the
+  // thread count or blocking.
+  gemm::s8_gemm_segments(cols_.data(), codes_.data(), segs_.data(),
+                         row_segs_.data(), rows_, k_, qx, sx, n, bias, py);
 }
 
 void PackedGemm::run_t(const QuantizedActs& x, const float* bias,
@@ -261,6 +232,9 @@ void PackedGemm::run_t(const std::int8_t* qx, float act_scale, std::int64_t n,
                        const float* bias, float* py) const {
   prof::add(prof::Counter::kPackedSegments,
             static_cast<std::uint64_t>(segs_.size()) *
+                static_cast<std::uint64_t>(n));
+  prof::add(prof::Counter::kQgemmMacs,
+            static_cast<std::uint64_t>(entry_count()) *
                 static_cast<std::uint64_t>(n));
   const double sx = static_cast<double>(act_scale);
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "qnn/packed.h"
+#include "tensor/gemm_kernel.h"
 #include "tensor/tensor.h"
 
 namespace upaq::qnn {
@@ -58,10 +59,22 @@ Tensor dequantize_acts(const QuantizedActs& acts);
 
 class PackedGemm {
  public:
+  /// run() execution strategy. kAuto picks per matrix: codes that fit int8
+  /// (weight bits <= 8) and are dense enough (zero fraction at or below
+  /// gemm::kSparseZeroFraction) take the blocked panel kernel; pattern-pruned
+  /// high-sparsity matrices keep the entry-skipping segment kernels, where
+  /// the zeros are never touched. The force modes exist for the equivalence
+  /// tests — both paths are bitwise identical by construction, so forcing is
+  /// never needed for correctness.
+  enum class PanelMode { kAuto, kForcePanel, kForceSegment };
+
   /// Interprets `w` as a (rows, k) row-major 2-D weight; rows * k must equal
   /// w's element count. Scale groups that straddle row boundaries are split
-  /// into per-row segments.
-  PackedGemm(const PackedTensor& w, std::int64_t rows, std::int64_t k);
+  /// into per-row segments. When the panel path is selected (see PanelMode),
+  /// the codes are additionally decoded ONCE here into dense int8 panels so
+  /// steady-state run() calls never touch the bit-packed representation.
+  PackedGemm(const PackedTensor& w, std::int64_t rows, std::int64_t k,
+             PanelMode mode = PanelMode::kAuto);
 
   /// out(rows, n) = requant(Wq * Xq) + bias, with x laid out (k, n) — the
   /// im2col orientation. `bias` (length rows) may be null.
@@ -92,17 +105,20 @@ class PackedGemm {
   /// Largest per-group weight scale: max_scale * act_scale is the coarsest
   /// requantization step of an output (the equivalence tolerance unit).
   float max_weight_scale() const { return max_scale_; }
+  /// True when run() dispatches to the blocked panel kernel.
+  bool panel_active() const { return !panel_.empty(); }
 
  private:
-  struct Segment {
-    float scale;                      ///< weight scale of this group slice
-    std::int64_t begin = 0, end = 0;  ///< entry range [begin, end)
-  };
+  /// Weight scale + entry range [begin, end) of one group slice of a row.
+  using Segment = gemm::QSegment;
+
+  void build_panel(std::int64_t group);
 
   std::vector<std::int32_t> cols_;   ///< per entry: column index in [0, k)
   std::vector<std::int32_t> codes_;  ///< per entry: weight code (never 0)
   std::vector<Segment> segs_;
   std::vector<std::int64_t> row_segs_;  ///< rows_+1 offsets into segs_
+  gemm::QPanelA panel_;  ///< non-empty iff run() takes the panel kernel
   std::int64_t rows_ = 0, k_ = 0;
   int bits_ = 8;
   float max_scale_ = 0.0f;

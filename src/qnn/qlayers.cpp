@@ -5,16 +5,13 @@
 
 #include "parallel/thread_pool.h"
 #include "prof/prof.h"
+#include "tensor/gemm_kernel.h"
 #include "tensor/ops.h"
 #include "tensor/workspace.h"
 
 namespace upaq::qnn {
 
 namespace {
-
-// Same gating constants as qgemm.cpp / tensor/ops.cpp.
-constexpr std::int64_t kMinParallelWork = 1 << 15;
-constexpr std::int64_t kColRowGrain = 4;
 
 // im2col over already-quantized activation codes: the conv input map is
 // quantized once (C*H*W elements) and the column matrix gathers int8 codes,
@@ -29,36 +26,11 @@ void im2col_codes_into(const std::int8_t* in, std::int64_t c, std::int64_t h,
                        std::int8_t* out) {
   const std::int64_t oh = ops::conv_out_size(h, k, stride, pad);
   const std::int64_t ow = ops::conv_out_size(w, k, stride, pad);
-  const std::int64_t rows = c * k * k;
   prof::add(prof::Counter::kIm2colBytes,
-            static_cast<std::uint64_t>(rows * oh * ow));
-  auto fill_rows = [&](std::int64_t r0, std::int64_t r1) {
-    for (std::int64_t row = r0; row < r1; ++row) {
-      const std::int64_t ch = row / (k * k);
-      const int ky = static_cast<int>((row / k) % k);
-      const int kx = static_cast<int>(row % k);
-      std::int8_t* dst = out + row * oh * ow;
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        const std::int64_t iy = oy * stride - pad + ky;
-        if (iy < 0 || iy >= h) {
-          std::fill(dst + oy * ow, dst + (oy + 1) * ow,
-                    static_cast<std::int8_t>(0));
-          continue;
-        }
-        const std::int8_t* src = in + (ch * h + iy) * w;
-        for (std::int64_t ox = 0; ox < ow; ++ox) {
-          const std::int64_t ix = ox * stride - pad + kx;
-          dst[oy * ow + ox] =
-              (ix >= 0 && ix < w) ? src[ix] : static_cast<std::int8_t>(0);
-        }
-      }
-    }
-  };
-  if (rows * oh * ow < kMinParallelWork) {
-    fill_rows(0, rows);
-  } else {
-    parallel::parallel_for(0, rows, kColRowGrain, fill_rows);
-  }
+            static_cast<std::uint64_t>(c * k * k * oh * ow));
+  // The gather itself (pure byte moves, interior rows collapse to memcpy)
+  // lives in the kernel TU for its codegen.
+  gemm::s8_im2col(in, c, h, w, k, stride, pad, oh, ow, out);
 }
 
 }  // namespace
@@ -99,14 +71,23 @@ Tensor PackedConv2d::forward(const Tensor& x) {
       const float* xs = x.data() + b * in_c_ * h * w;
       float* ys = out.data() + b * out_c_ * oh * ow;
       std::int8_t* qcodes = ws.i8(in_c_ * h * w);
-      const float sx = quantize_acts_into(xs, in_c_ * h * w, act_bits_, qcodes);
+      float sx;
+      {
+        prof::Span qspan("qnn.quant_acts");
+        sx = quantize_acts_into(xs, in_c_ * h * w, act_bits_, qcodes);
+      }
       if (kernel_ == 1 && stride_ == 1 && pad_ == 0) {
         // 1x1 conv: the column matrix IS the quantized map; no gather.
+        prof::Span gspan("qnn.qgemm");
         gemm_.run(qcodes, sx, oh * ow, bias, ys);
       } else {
         std::int8_t* cols =
             ws.i8(in_c_ * kernel_ * kernel_ * oh * ow);
-        im2col_codes_into(qcodes, in_c_, h, w, kernel_, stride_, pad_, cols);
+        {
+          prof::Span ispan("qnn.im2col");
+          im2col_codes_into(qcodes, in_c_, h, w, kernel_, stride_, pad_, cols);
+        }
+        prof::Span gspan("qnn.qgemm");
         gemm_.run(cols, sx, oh * ow, bias, ys);
       }
     }

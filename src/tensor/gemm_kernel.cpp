@@ -1,6 +1,8 @@
 #include "tensor/gemm_kernel.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 
 #include "parallel/thread_pool.h"
 #include "prof/prof.h"
@@ -267,6 +269,628 @@ void s8_segment_accumulate(const std::int32_t* cols, const std::int32_t* codes,
     const std::int8_t* brow = qx + static_cast<std::int64_t>(cols[e]) * ldq + j0;
     for (std::int64_t j = 0; j < nb; ++j)
       acc[j] += w * static_cast<std::int32_t>(brow[j]);
+  }
+}
+
+// ------------------------------------------------------- int8 panel kernels
+
+// Requantization is contractually one float multiply then one float add per
+// element (two roundings). This TU compiles with -march=native where the
+// compiler may contract a visible mul+add pair into a single-rounding FMA —
+// and it is free to do so in one code path (say the vector flush) but not
+// another (a scalar tail), which would break the bitwise equivalence between
+// the segment and panel paths. The empty asm pins the product to a register
+// between the two operations, making contraction impossible everywhere, so
+// every integer path requantizes with the exact same two roundings.
+#if defined(__GNUC__) || defined(__clang__)
+#if defined(__x86_64__) || defined(__i386__)
+#define UPAQ_NO_CONTRACT(v) asm("" : "+x"(v))
+#else
+#define UPAQ_NO_CONTRACT(v) asm("" : "+g"(v))
+#endif
+#else
+#define UPAQ_NO_CONTRACT(v) (void)(v)
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define UPAQ_S8_VEC 1
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+namespace {
+typedef std::int8_t v8qi __attribute__((vector_size(8)));
+typedef std::int32_t v8si __attribute__((vector_size(32)));
+typedef float v8sf __attribute__((vector_size(32)));
+static_assert(kQNR == 8, "int8 vector kernels assume kQNR == 8");
+
+// The widening load goes through pmovsx intrinsics where available: GCC 12
+// scalarizes narrow-to-wide __builtin_convertvector into per-lane
+// sign-extends + inserts (~20 instructions for what vpmovsxbd does in one),
+// which single-handedly erased the integer path's advantage. Both forms
+// compute the same exact sign extension — intrinsics are a pure codegen fix.
+#if defined(__AVX2__)
+inline v8si load_i8x8_as_i32(const std::int8_t* p) {
+  return (v8si)_mm256_cvtepi8_epi32(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+}
+#else
+inline v8si load_i8x8_as_i32(const std::int8_t* p) {
+  v8qi q;
+  __builtin_memcpy(&q, p, sizeof(q));
+  return __builtin_convertvector(q, v8si);
+}
+#endif
+}  // namespace
+#endif
+
+void s8_fused_segment(const std::int32_t* cols, const std::int32_t* codes,
+                      std::int64_t len, const std::int8_t* qx, std::int64_t ldq,
+                      std::int64_t j0, std::int64_t nb, float m, float* yb) {
+  // Weight codes can be up to 16 bits here, so the products use int32 math
+  // (the int16 pair trick is reserved for the <= 8-bit panel micro-kernel).
+  const std::int32_t w0 = codes[0];
+  const std::int8_t* b0 = qx + static_cast<std::int64_t>(cols[0]) * ldq + j0;
+  const std::int32_t w1 = len > 1 ? codes[1] : 0;
+  const std::int8_t* b1 =
+      len > 1 ? qx + static_cast<std::int64_t>(cols[1]) * ldq + j0 : b0;
+  const std::int32_t w2 = len > 2 ? codes[2] : 0;
+  const std::int8_t* b2 =
+      len > 2 ? qx + static_cast<std::int64_t>(cols[2]) * ldq + j0 : b0;
+  std::int64_t j = 0;
+#ifdef UPAQ_S8_VEC
+  for (; j + 8 <= nb; j += 8) {
+    v8si s = w0 * load_i8x8_as_i32(b0 + j);
+    if (len > 1) s += w1 * load_i8x8_as_i32(b1 + j);
+    if (len > 2) s += w2 * load_i8x8_as_i32(b2 + j);
+    v8sf t = m * __builtin_convertvector(s, v8sf);
+    UPAQ_NO_CONTRACT(t);
+    v8sf y;
+    __builtin_memcpy(&y, yb + j, sizeof(y));
+    y += t;
+    __builtin_memcpy(yb + j, &y, sizeof(y));
+  }
+#endif
+  for (; j < nb; ++j) {
+    std::int32_t s = w0 * static_cast<std::int32_t>(b0[j]);
+    if (len > 1) s += w1 * static_cast<std::int32_t>(b1[j]);
+    if (len > 2) s += w2 * static_cast<std::int32_t>(b2[j]);
+    float t = m * static_cast<float>(s);
+    UPAQ_NO_CONTRACT(t);
+    yb[j] += t;
+  }
+}
+
+void s8_requant_add(const std::int32_t* acc, std::int64_t nb, float m,
+                    float* yb) {
+  std::int64_t j = 0;
+#ifdef UPAQ_S8_VEC
+  for (; j + 8 <= nb; j += 8) {
+    v8si s;
+    __builtin_memcpy(&s, acc + j, sizeof(s));
+    v8sf t = m * __builtin_convertvector(s, v8sf);
+    UPAQ_NO_CONTRACT(t);
+    v8sf y;
+    __builtin_memcpy(&y, yb + j, sizeof(y));
+    y += t;
+    __builtin_memcpy(yb + j, &y, sizeof(y));
+  }
+#endif
+  for (; j < nb; ++j) {
+    float t = m * static_cast<float>(acc[j]);
+    UPAQ_NO_CONTRACT(t);
+    yb[j] += t;
+  }
+}
+
+void s8_gemm_segments(const std::int32_t* cols, const std::int32_t* codes,
+                      const QSegment* segs, const std::int64_t* row_segs,
+                      std::int64_t rows, std::int64_t k, const std::int8_t* qx,
+                      float sx, std::int64_t n, const float* bias, float* y) {
+  // Column block of the generic (len >= 4) path: the int32 accumulator
+  // covers kColBlock outputs (2 KiB, L1-resident) instead of the whole
+  // feature map; the y block likewise stays L1-hot across a row's segments.
+  // Blocking is bitwise-free: int32 segment sums are exact and the
+  // per-element requantization order (segment order) does not depend on the
+  // column decomposition.
+  constexpr std::int64_t kColBlock = 512;
+  constexpr std::int64_t kRowGrain = 8;
+  auto row_block = [&](std::int64_t r0, std::int64_t r1) {
+    workspace::Scope ws;
+    std::int32_t* iacc = ws.i32(std::min(n, kColBlock));
+    for (std::int64_t r = r0; r < r1; ++r) {
+      float* yrow = y + r * n;
+      std::fill(yrow, yrow + n, bias != nullptr ? bias[r] : 0.0f);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kColBlock) {
+        const std::int64_t nb = std::min(kColBlock, n - j0);
+        for (std::int64_t si = row_segs[r]; si < row_segs[r + 1]; ++si) {
+          const QSegment& seg = segs[si];
+          const std::int64_t len = seg.end - seg.begin;
+          const float m = seg.scale * sx;
+          const std::int32_t* wc = codes + seg.begin;
+          const std::int32_t* cc = cols + seg.begin;
+          float* yb = yrow + j0;
+          // UPAQ patterns keep 2 (HCK) or 3 (LCK) weights per kernel, so
+          // almost every segment is tiny: the fused kernels fold the integer
+          // sum and the requantization into one pass over the columns.
+          if (len <= 3) {
+            s8_fused_segment(cc, wc, len, qx, n, j0, nb, m, yb);
+          } else {
+            std::fill(iacc, iacc + nb, 0);
+            s8_segment_accumulate(cc, wc, len, qx, n, j0, nb, iacc);
+            s8_requant_add(iacc, nb, m, yb);
+          }
+        }
+      }
+    }
+  };
+  if (rows * k * n < kMinParallelWork) {
+    row_block(0, rows);
+  } else {
+    parallel::parallel_for(0, rows, kRowGrain, row_block);
+  }
+}
+
+void q8_pack_a(const std::int8_t* a, std::int64_t m, std::int64_t k,
+               std::int64_t slab, QPanelA& out) {
+  out.m = m;
+  out.k = k;
+  out.slab = slab;
+  const std::int64_t mpad = round_up(m, kQMR);
+  // Slabs are padded to an even k depth for the pair-interleaved layout
+  // (the phantom position holds code 0, an exact integer no-op).
+  std::int64_t kpad = 0;
+  for (std::int64_t pc = 0; pc < k; pc += slab)
+    kpad += round_up(std::min(slab, k - pc), 2);
+  // +4 trailing bytes: the 16-byte pair loads of the micro-kernel read past
+  // the final 2*kQMR-byte pair; the tail lanes land in unused permute slots.
+  out.data.assign(static_cast<std::size_t>(mpad * kpad + 4), 0);
+  std::int8_t* dst = out.data.data();
+  for (std::int64_t pc = 0; pc < k; pc += slab) {
+    const std::int64_t kc = std::min(slab, k - pc);
+    const std::int64_t kcp = round_up(kc, 2);
+    for (std::int64_t ip = 0; ip < mpad / kQMR; ++ip) {
+      std::int8_t* panel = dst + ip * kQMR * kcp;
+      for (std::int64_t j = 0; j < kc; ++j)
+        for (std::int64_t r = 0; r < kQMR; ++r) {
+          const std::int64_t row = ip * kQMR + r;
+          panel[(j >> 1) * 2 * kQMR + 2 * r + (j & 1)] =
+              row < m ? a[row * k + pc + j] : 0;
+        }
+    }
+    dst += mpad * kcp;
+  }
+}
+
+namespace {
+
+/// Packs a kc x nw int8 B slab (columns [jc, jc+nw), k-rows [pc, pc+kc))
+/// into kQNR-column panels, zero-padded to the panel width. Adjacent k-rows
+/// are pair-interleaved ([b(p,j), b(p+1,j)] contiguous per column) so the
+/// micro-kernel's int16 multiply-add lanes line up with one plain load; an
+/// odd kc gets a zero-filled phantom row (exact integer no-op).
+void q8_pack_b_slab(std::int8_t* dst, const std::int8_t* b, std::int64_t n,
+                    std::int64_t pc, std::int64_t kc, std::int64_t jc,
+                    std::int64_t nw) {
+  const std::int64_t jpanels = (nw + kQNR - 1) / kQNR;
+  const std::int64_t kcp = round_up(kc, 2);
+  for (std::int64_t jp = 0; jp < jpanels; ++jp) {
+    std::int8_t* panel = dst + jp * kcp * kQNR;
+    const std::int64_t jv = std::min(kQNR, nw - jp * kQNR);
+    const std::int8_t* src0 = b + pc * n + jc + jp * kQNR;
+#if defined(UPAQ_S8_VEC) && defined(__AVX2__)
+    if (jv == kQNR) {
+      // Full-width panel: interleave two 8-byte k-rows with one unpack
+      // instead of 16 strided byte stores.
+      for (std::int64_t p = 0; p + 1 < kc; p += 2) {
+        const __m128i lo = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(src0 + p * n));
+        const __m128i hi = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(src0 + (p + 1) * n));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(panel + (p >> 1) * 16),
+                         _mm_unpacklo_epi8(lo, hi));
+      }
+      if (kc & 1) {  // odd tail k-row paired with a zero phantom row
+        const __m128i lo = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(src0 + (kc - 1) * n));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(panel + (kc >> 1) * 16),
+                         _mm_unpacklo_epi8(lo, _mm_setzero_si128()));
+      }
+      continue;
+    }
+#endif
+    for (std::int64_t p = 0; p < kc; ++p) {
+      const std::int8_t* src = src0 + p * n;
+      std::int8_t* row = panel + (p >> 1) * 2 * kQNR + (p & 1);
+      for (std::int64_t jr = 0; jr < jv; ++jr) row[2 * jr] = src[jr];
+      for (std::int64_t jr = jv; jr < kQNR; ++jr) row[2 * jr] = 0;
+    }
+    if (kc & 1) {
+      std::int8_t* row = panel + (kc >> 1) * 2 * kQNR + 1;
+      for (std::int64_t jr = 0; jr < kQNR; ++jr) row[2 * jr] = 0;
+    }
+  }
+}
+
+#if defined(UPAQ_S8_VEC) && defined(__AVX2__)
+
+/// kQMR x kQNR int8 micro-tile over one (ip, jp) pair of a slab, with the
+/// panel's requantization schedule interleaved: integer products accumulate
+/// in registers via vpmaddwd (int16 x int16 multiply with exact pairwise
+/// int32 horizontal add — both operands are sign-extended int8, so every
+/// product and pair sum is exact), and at each flush event the closing row's
+/// accumulator is requantized into y with the same one-multiply-one-add
+/// sequence as s8_requant_add. Events are (col, row) ascending, so per
+/// output element the float operations replay the segment engine's order
+/// exactly. Pairing is fixed to even panel positions (the pack layout);
+/// segment boundaries at odd positions zero the partner lane instead of
+/// re-aligning, so no product ever crosses a requant boundary.
+void q8_micro_tile(const std::int8_t* __restrict__ ap,
+                   const std::int8_t* __restrict__ bp, std::int64_t kc,
+                   std::int64_t pc, const QFlush* ev, const QFlush* ev_end,
+                   float sx, float* y, std::int64_t n, std::int64_t jcol,
+                   std::int64_t jv, std::int64_t row_base, std::int64_t m) {
+  v8si t0{}, t1{}, t2{}, t3{}, t4{}, t5{};
+  static_assert(kQMR == 6, "accumulator count assumes kQMR == 6");
+  const auto flush = [&](int r, float scale) {
+    v8si acc{};
+    switch (r) {
+      case 0: acc = t0; t0 = v8si{}; break;
+      case 1: acc = t1; t1 = v8si{}; break;
+      case 2: acc = t2; t2 = v8si{}; break;
+      case 3: acc = t3; t3 = v8si{}; break;
+      case 4: acc = t4; t4 = v8si{}; break;
+      default: acc = t5; t5 = v8si{}; break;
+    }
+    const float m_ = scale * sx;
+    float* yb = y + (row_base + r) * n + jcol;
+    if (jv == kQNR) {
+      v8sf t = m_ * __builtin_convertvector(acc, v8sf);
+      UPAQ_NO_CONTRACT(t);
+      v8sf yv;
+      __builtin_memcpy(&yv, yb, sizeof(yv));
+      yv += t;
+      __builtin_memcpy(yb, &yv, sizeof(yv));
+    } else {
+      for (std::int64_t j = 0; j < jv; ++j) {
+        float t = m_ * static_cast<float>(acc[j]);
+        UPAQ_NO_CONTRACT(t);
+        yb[j] += t;
+      }
+    }
+  };
+  // One panel position p with its stored-pair partner lane zeroed: products
+  // from the partner position contribute exactly 0, so half-pair steps at
+  // segment boundaries stay on the vpmaddwd path.
+  const auto step1 = [&](std::int64_t p) {
+    const std::int64_t q = p >> 1;
+    const __m256i bpair = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp + q * 2 * kQNR)));
+    const std::int8_t* a = ap + q * 2 * kQMR + (p & 1);
+    const int odd = static_cast<int>(p & 1);
+    const auto lane = [&](int r) {
+      const std::int32_t v = a[2 * r];
+      return _mm256_set1_epi32(odd ? (v << 16) : (v & 0xFFFF));
+    };
+    t0 += (v8si)_mm256_madd_epi16(lane(0), bpair);
+    t1 += (v8si)_mm256_madd_epi16(lane(1), bpair);
+    t2 += (v8si)_mm256_madd_epi16(lane(2), bpair);
+    t3 += (v8si)_mm256_madd_epi16(lane(3), bpair);
+    t4 += (v8si)_mm256_madd_epi16(lane(4), bpair);
+    t5 += (v8si)_mm256_madd_epi16(lane(5), bpair);
+  };
+  std::int64_t c = 0;  // slab-local column
+  while (true) {
+    const std::int64_t stop =
+        ev != ev_end ? std::min<std::int64_t>(ev->col - pc, kc) : kc;
+    std::int64_t p = c;
+    if (p < stop && (p & 1)) {  // odd head: partner belongs to the previous run
+      step1(p);
+      ++p;
+    }
+    for (; p + 1 < stop; p += 2) {
+      const std::int64_t q = p >> 1;
+      const __m256i bpair = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(bp + q * 2 * kQNR)));
+      // 6 interleaved (a[p], a[p+1]) int8 pairs -> int16 pairs in permute
+      // slots 0..5 (the 16-byte load's tail lands in the unused slots 6..7).
+      const __m256i a_all = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(ap + q * 2 * kQMR)));
+      t0 += (v8si)_mm256_madd_epi16(
+          _mm256_permutevar8x32_epi32(a_all, _mm256_set1_epi32(0)), bpair);
+      t1 += (v8si)_mm256_madd_epi16(
+          _mm256_permutevar8x32_epi32(a_all, _mm256_set1_epi32(1)), bpair);
+      t2 += (v8si)_mm256_madd_epi16(
+          _mm256_permutevar8x32_epi32(a_all, _mm256_set1_epi32(2)), bpair);
+      t3 += (v8si)_mm256_madd_epi16(
+          _mm256_permutevar8x32_epi32(a_all, _mm256_set1_epi32(3)), bpair);
+      t4 += (v8si)_mm256_madd_epi16(
+          _mm256_permutevar8x32_epi32(a_all, _mm256_set1_epi32(4)), bpair);
+      t5 += (v8si)_mm256_madd_epi16(
+          _mm256_permutevar8x32_epi32(a_all, _mm256_set1_epi32(5)), bpair);
+    }
+    if (p < stop) {  // odd tail: partner belongs to the next run
+      step1(p);
+    }
+    c = stop;
+    // Uniform-group matrices emit one event per row at the same column in
+    // row order (the event build sorts by (col, row)); requantize all six
+    // accumulators in one straight-line pass instead of six dispatched
+    // switches. The per-row float sequence is identical to flush().
+    if (jv == kQNR && ev_end - ev >= kQMR && ev[0].col - pc == c &&
+        ev[kQMR - 1].col == ev[0].col && ev[0].row == 0 &&
+        ev[kQMR - 1].row == kQMR - 1) {
+      const auto one = [&](v8si& t, int r) {
+        const float m_ = ev[r].scale * sx;
+        float* yb = y + (row_base + r) * n + jcol;
+        v8sf tv = m_ * __builtin_convertvector(t, v8sf);
+        UPAQ_NO_CONTRACT(tv);
+        v8sf yv;
+        __builtin_memcpy(&yv, yb, sizeof(yv));
+        yv += tv;
+        __builtin_memcpy(yb, &yv, sizeof(yv));
+        t = v8si{};
+      };
+      one(t0, 0);
+      one(t1, 1);
+      one(t2, 2);
+      one(t3, 3);
+      one(t4, 4);
+      one(t5, 5);
+      ev += kQMR;
+    }
+    while (ev != ev_end && ev->col - pc == c) {
+      flush(static_cast<int>(ev->row), ev->scale);
+      ++ev;
+    }
+    if (c >= kc && (ev == ev_end || ev->col - pc > kc)) break;
+  }
+  (void)m;
+}
+
+#else  // !(UPAQ_S8_VEC && __AVX2__)
+
+/// Portable scalar fallback with identical per-element arithmetic.
+void q8_micro_tile(const std::int8_t* ap, const std::int8_t* bp,
+                   std::int64_t kc, std::int64_t pc, const QFlush* ev,
+                   const QFlush* ev_end, float sx, float* y, std::int64_t n,
+                   std::int64_t jcol, std::int64_t jv, std::int64_t row_base,
+                   std::int64_t m) {
+  std::int32_t acc[kQMR][kQNR] = {};
+  const auto flush = [&](int r, float scale) {
+    const float m_ = scale * sx;
+    float* yb = y + (row_base + r) * n + jcol;
+    for (std::int64_t j = 0; j < jv; ++j) {
+      float t = m_ * static_cast<float>(acc[r][j]);
+      UPAQ_NO_CONTRACT(t);
+      yb[j] += t;
+    }
+    for (std::int64_t j = 0; j < kQNR; ++j) acc[r][j] = 0;
+  };
+  std::int64_t c = 0;
+  while (true) {
+    const std::int64_t stop =
+        ev != ev_end ? std::min<std::int64_t>(ev->col - pc, kc) : kc;
+    for (std::int64_t p = c; p < stop; ++p) {
+      // Pair-interleaved panel layout: position p of pair q = p/2 sits at
+      // byte 2*r + (p & 1) (A) / 2*j + (p & 1) (B) within the pair.
+      const std::int8_t* arow = ap + (p >> 1) * 2 * kQMR + (p & 1);
+      const std::int8_t* brow = bp + (p >> 1) * 2 * kQNR + (p & 1);
+      for (int r = 0; r < kQMR; ++r) {
+        const std::int32_t w = arow[2 * r];
+        for (std::int64_t j = 0; j < kQNR; ++j)
+          acc[r][j] += w * static_cast<std::int32_t>(brow[2 * j]);
+      }
+    }
+    c = stop;
+    while (ev != ev_end && ev->col - pc == c) {
+      flush(static_cast<int>(ev->row), ev->scale);
+      ++ev;
+    }
+    if (c >= kc && (ev == ev_end || ev->col - pc > kc)) break;
+  }
+  (void)m;
+}
+
+#endif  // UPAQ_S8_VEC && __AVX2__
+
+}  // namespace
+
+void q8_gemm_panel(const QPanelA& w, const std::int8_t* qx, float sx,
+                   std::int64_t n, float* y) {
+  const std::int64_t m = w.m, k = w.k, slab = w.slab;
+  const std::int64_t mpad = round_up(m, kQMR);
+  const std::int64_t row_panels = mpad / kQMR;
+  const std::int64_t stripes = (n + kQNC - 1) / kQNC;
+  const std::int64_t slab_pad = round_up(slab, 2);
+  auto stripe_body = [&](std::int64_t s0, std::int64_t s1) {
+    workspace::Scope ws;
+    std::int8_t* bp = ws.i8(slab_pad * kQNC);
+    for (std::int64_t s = s0; s < s1; ++s) {
+      const std::int64_t jc = s * kQNC;
+      const std::int64_t nw = std::min(kQNC, n - jc);
+      const std::int64_t jpanels = (nw + kQNR - 1) / kQNR;
+      for (std::int64_t pc = 0; pc < k; pc += slab) {
+        const std::int64_t kc = std::min(slab, k - pc);
+        const std::int64_t kcp = round_up(kc, 2);
+        q8_pack_b_slab(bp, qx, n, pc, kc, jc, nw);
+        // All slabs before this one are full (kc == slab), so their padded
+        // depth is slab_pad — mirrors q8_pack_a's running offset.
+        const std::int8_t* aslab =
+            w.data.data() + mpad * (pc / slab) * slab_pad;
+        for (std::int64_t jp = 0; jp < jpanels; ++jp) {
+          const std::int64_t jv = std::min(kQNR, nw - jp * kQNR);
+          for (std::int64_t ip = 0; ip < row_panels; ++ip) {
+            const auto& evs = w.events[static_cast<std::size_t>(ip)];
+            // Events with col in (pc, pc + kc] fire inside this slab; slab
+            // cuts are group boundaries, so no event range straddles slabs.
+            const QFlush* lo = std::lower_bound(
+                evs.data(), evs.data() + evs.size(), pc + 1,
+                [](const QFlush& e, std::int64_t col) { return e.col < col; });
+            const QFlush* hi = std::lower_bound(
+                lo, evs.data() + evs.size(), pc + kc + 1,
+                [](const QFlush& e, std::int64_t col) { return e.col < col; });
+            q8_micro_tile(aslab + ip * kQMR * kcp, bp + jp * kcp * kQNR, kc,
+                          pc, lo, hi, sx, y, n, jc + jp * kQNR, jv, ip * kQMR,
+                          m);
+          }
+        }
+      }
+    }
+  };
+  if (m * k * n < kMinParallelWork) {
+    stripe_body(0, stripes);
+  } else {
+    parallel::parallel_for(0, stripes, 1, stripe_body);
+  }
+}
+
+namespace {
+
+/// Exact abs-max of a range. Max is associative, commutative, and rounds
+/// nothing, so the vector-lane decomposition returns the same value as a
+/// scalar sweep for any finite input.
+float abs_max_range(const float* src, std::int64_t i0, std::int64_t i1) {
+  float a = 0.0f;
+#if defined(UPAQ_S8_VEC) && defined(__AVX2__)
+  // GCC will not vectorize float max reductions without -ffast-math, so
+  // spell out the lanes (the reduction is exact either way).
+  const __m256 absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+  __m256 acc = _mm256_setzero_ps();
+  std::int64_t i = i0;
+  for (; i + 8 <= i1; i += 8)
+    acc = _mm256_max_ps(acc, _mm256_and_ps(absmask, _mm256_loadu_ps(src + i)));
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  for (float l : lanes) a = std::max(a, l);
+  for (; i < i1; ++i) a = std::max(a, std::fabs(src[i]));
+#else
+  for (std::int64_t i = i0; i < i1; ++i) a = std::max(a, std::fabs(src[i]));
+#endif
+  return a;
+}
+
+}  // namespace
+
+float s8_quantize(const float* src, std::int64_t n, int bits,
+                  std::int8_t* dst) {
+  // Abs-max with chunked partials: max is exact and order-independent, so
+  // combining per-chunk maxima gives the same alpha at any thread count.
+  float alpha = 0.0f;
+  if (n < kMinParallelWork) {
+    alpha = abs_max_range(src, 0, n);
+  } else {
+    const std::int64_t chunks = (n + kMinParallelWork - 1) / kMinParallelWork;
+    std::vector<float> partial(static_cast<std::size_t>(chunks), 0.0f);
+    parallel::parallel_for(0, n, kMinParallelWork,
+                           [&](std::int64_t i0, std::int64_t i1) {
+                             partial[static_cast<std::size_t>(
+                                 i0 / kMinParallelWork)] =
+                                 abs_max_range(src, i0, i1);
+                           });
+    for (float a : partial) alpha = std::max(alpha, a);
+  }
+  if (alpha == 0.0f) {
+    // Caller scratch (workspace arena) is not pre-zeroed, so fill explicitly.
+    std::fill(dst, dst + n, static_cast<std::int8_t>(0));
+    return 1.0f;
+  }
+
+  const double max_value = std::pow(2.0, bits - 1) - 1.0;
+  const float scale = static_cast<float>(alpha / max_value);
+  // One multiply + clamp + round-half-away per element, all in float so the
+  // loop stays in SIMD registers. Clamping first bounds the value, so the
+  // truncating cast is exact. Each element is touched exactly once — the
+  // codes cannot depend on vector width or thread count.
+  const float inv = 1.0f / scale;
+  const float maxv = static_cast<float>(max_value);
+  auto convert = [&](std::int64_t i0, std::int64_t i1) {
+    std::int64_t i = i0;
+#if defined(UPAQ_S8_VEC) && defined(__AVX2__)
+    // Same per-element sequence as the scalar tail below — multiply, clamp,
+    // add copysign(0.5), truncate — just eight lanes at a time (GCC keeps
+    // this loop scalar on its own because of the int8 narrowing store). The
+    // clamp bounds every lane inside int8 range, so the saturating packs
+    // never saturate and the narrowing is exact.
+    const __m256 vinv = _mm256_set1_ps(inv);
+    const __m256 vmax = _mm256_set1_ps(maxv);
+    const __m256 vmin = _mm256_set1_ps(-maxv);
+    const __m256 half = _mm256_set1_ps(0.5f);
+    const __m256 signmask = _mm256_castsi256_ps(_mm256_set1_epi32(
+        static_cast<std::int32_t>(0x80000000)));
+    for (; i + 8 <= i1; i += 8) {
+      __m256 v = _mm256_mul_ps(_mm256_loadu_ps(src + i), vinv);
+      v = _mm256_min_ps(_mm256_max_ps(v, vmin), vmax);
+      const __m256 h = _mm256_or_ps(_mm256_and_ps(v, signmask), half);
+      const __m256i q = _mm256_cvttps_epi32(_mm256_add_ps(v, h));
+      const __m128i w =
+          _mm_packs_epi32(_mm256_castsi256_si128(q),
+                          _mm256_extracti128_si256(q, 1));
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + i),
+                       _mm_packs_epi16(w, w));
+    }
+#endif
+    for (; i < i1; ++i) {
+      float v = src[i] * inv;
+      v = std::min(std::max(v, -maxv), maxv);
+      // Round half away from zero via a truncating cast; copysign keeps the
+      // loop branch-free.
+      dst[i] = static_cast<std::int8_t>(
+          static_cast<std::int32_t>(v + std::copysign(0.5f, v)));
+    }
+  };
+  if (n < kMinParallelWork) {
+    convert(0, n);
+  } else {
+    parallel::parallel_for(0, n, kMinParallelWork, convert);
+  }
+  return scale;
+}
+
+void s8_im2col(const std::int8_t* in, std::int64_t c, std::int64_t h,
+               std::int64_t w, int k, int stride, int pad, std::int64_t oh,
+               std::int64_t ow, std::int8_t* out) {
+  const std::int64_t rows = c * k * k;
+  auto fill_rows = [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t row = r0; row < r1; ++row) {
+      const std::int64_t ch = row / (k * k);
+      const int ky = static_cast<int>((row / k) % k);
+      const int kx = static_cast<int>(row % k);
+      std::int8_t* dst = out + row * oh * ow;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        const std::int64_t iy = oy * stride - pad + ky;
+        std::int8_t* drow = dst + oy * ow;
+        if (iy < 0 || iy >= h) {
+          std::memset(drow, 0, static_cast<std::size_t>(ow));
+          continue;
+        }
+        const std::int8_t* src = in + (ch * h + iy) * w;
+        // In-bounds ox range for ix = ox * stride + off: zero the flanks,
+        // then copy the interior run with no per-element bounds checks
+        // (memcpy at stride 1, a tight strided gather otherwise).
+        const std::int64_t off = kx - pad;
+        const std::int64_t x0 = std::clamp<std::int64_t>(
+            off < 0 ? (-off + stride - 1) / stride : 0, 0, ow);
+        const std::int64_t x1 =
+            std::clamp<std::int64_t>((w - off + stride - 1) / stride, x0, ow);
+        if (x0 > 0) std::memset(drow, 0, static_cast<std::size_t>(x0));
+        if (stride == 1) {
+          if (x1 > x0)
+            std::memcpy(drow + x0, src + x0 + off,
+                        static_cast<std::size_t>(x1 - x0));
+        } else {
+          const std::int8_t* s = src + x0 * stride + off;
+          for (std::int64_t ox = x0; ox < x1; ++ox, s += stride)
+            drow[ox] = *s;
+        }
+        if (x1 < ow)
+          std::memset(drow + x1, 0, static_cast<std::size_t>(ow - x1));
+      }
+    }
+  };
+  if (rows * oh * ow < kMinParallelWork) {
+    fill_rows(0, rows);
+  } else {
+    parallel::parallel_for(0, rows, 4, fill_rows);
   }
 }
 

@@ -85,4 +85,122 @@ void s8_segment_accumulate(const std::int32_t* cols, const std::int32_t* codes,
                            std::int64_t ldq, std::int64_t j0, std::int64_t nb,
                            std::int32_t* acc);
 
+/// Fused short-segment kernel for the qnn segment GEMM (UPAQ patterns keep
+/// 1..3 weights per kernel): for the `len` (1..3) entries {(cols[e],
+/// codes[e])} computes, per column j in [0, nb),
+///   t = m * float(sum_e codes[e] * qx[cols[e] * ldq + j0 + j]);  yb[j] += t
+/// The integer dot is exact; the requantization is exactly one float multiply
+/// followed by one float add per element (spelled as two statements so the
+/// compiler cannot contract them differently between the vector body and the
+/// scalar tail) — so the result is independent of the vector width.
+void s8_fused_segment(const std::int32_t* cols, const std::int32_t* codes,
+                      std::int64_t len, const std::int8_t* qx, std::int64_t ldq,
+                      std::int64_t j0, std::int64_t nb, float m, float* yb);
+
+/// Requantize-and-add flush of an int32 accumulator block: per j in [0, nb),
+///   t = m * float(acc[j]);  yb[j] += t
+/// The same one-multiply-one-add element sequence as s8_fused_segment and the
+/// panel kernel's flush, so every integer path requantizes identically.
+void s8_requant_add(const std::int32_t* acc, std::int64_t nb, float m,
+                    float* yb);
+
+/// One scale segment of a packed weight row: entries [begin, end) of the
+/// qnn entry lists share the weight scale `scale`.
+struct QSegment {
+  float scale = 1.0f;
+  std::int64_t begin = 0, end = 0;
+};
+
+/// The whole segment-path integer GEMM (qnn::PackedGemm's sparse branch):
+/// y(rows, n) = requant(Wq * Xq) + bias over the entry lists, column-blocked
+/// with the fused 1/2/3-entry kernels and the generic int32-accumulate path.
+/// Per output element the operation order is: bias fill, then one
+/// requantizing multiply-add per segment in ascending segment order — the
+/// invariant every other integer path reproduces. Parallel over row blocks
+/// (disjoint outputs, shape-only gating), so thread-count independent.
+void s8_gemm_segments(const std::int32_t* cols, const std::int32_t* codes,
+                      const QSegment* segs, const std::int64_t* row_segs,
+                      std::int64_t rows, std::int64_t k, const std::int8_t* qx,
+                      float sx, std::int64_t n, const float* bias, float* y);
+
+// ---------------------------------------------------------------------------
+// Panel-packed int8 GEMM (the dense-ish branch of the qnn integer path).
+//
+// Weight codes are decoded ONCE (at lowering time) into row-block-major int8
+// panels mirroring PackedA's slab layout, and the per-group requantization
+// metadata is reorganized into per-panel "flush events": ordered (column,
+// row, scale) points at which a row's int32 accumulator is requantized into
+// the float output. Because integer accumulation is exact and associative,
+// any k-blocking of the products is bitwise-free; the float operations per
+// output element (bias fill, then one t = s_g*s_x*sum multiply-add per
+// segment, in ascending column order) are exactly the segment engine's, so
+// the two paths produce bitwise identical outputs (tests/test_qgemm_kernel).
+
+// Register micro-tile of the int8 kernel: kQMR rows x kQNR int32 accumulator
+// lanes. Products widen int8 x int8 -> int16 (two k-steps pair-summed in
+// int16: |w*x| <= 127^2, twice that still fits) and accumulate in int32.
+inline constexpr std::int64_t kQMR = 6;
+inline constexpr std::int64_t kQNR = 8;
+// K slab depth (B pack granularity). The effective slab of a matrix is the
+// largest multiple of its uniform scale-group period <= kQKC, so slab cuts
+// always land on requant boundaries for every row.
+inline constexpr std::int64_t kQKC = 512;
+// Column-stripe width: the grain-1 parallel unit over N. Stripes own
+// disjoint output columns, so 1-vs-N-thread runs are bitwise identical.
+inline constexpr std::int64_t kQNC = 256;
+
+/// One requantization point of a panel row: fire (flush the row's int32
+/// accumulator with `scale`) when the k walk reaches `col`.
+struct QFlush {
+  std::int32_t col = 0;  ///< first column NOT in the segment
+  std::int32_t row = 0;  ///< row within the panel, [0, kQMR)
+  float scale = 1.0f;    ///< weight scale of the closing segment
+};
+
+/// Panel-packed int8 weight matrix with per-panel flush-event lists. Built
+/// once per layer by qnn (which owns the codes and the scale bookkeeping);
+/// consumed by q8_gemm_panel.
+struct QPanelA {
+  std::int64_t m = 0, k = 0;
+  std::int64_t slab = 0;  ///< k-slab depth; every slab cut is a group boundary
+  /// PackedA-style slab/panel layout with adjacent k positions
+  /// pair-interleaved ([a(p,r), a(p+1,r)] contiguous per row), matching the
+  /// micro-kernel's int16 multiply-add lanes; odd slab depths get a
+  /// zero-filled phantom position (an exact integer no-op).
+  std::vector<std::int8_t> data;
+  /// Per row-panel, sorted by column: the requantization schedule.
+  std::vector<std::vector<QFlush>> events;
+  bool empty() const { return m == 0; }
+};
+
+/// Packs a dense row-major int8 code matrix into QPanelA's pair-interleaved
+/// slab/panel layout (rows beyond m zero-filled). `slab` must be positive;
+/// the caller aligns it to the matrix's scale-group period. Does not touch
+/// `events`.
+void q8_pack_a(const std::int8_t* a, std::int64_t m, std::int64_t k,
+               std::int64_t slab, QPanelA& out);
+
+/// y(m, n) += requant(Wq * Xq) over a panel-packed weight: qx is the (k, n)
+/// row-major int8 activation matrix, sx its scale; y must already hold the
+/// bias fill. Parallel grain: one kQNC column stripe per chunk.
+void q8_gemm_panel(const QPanelA& w, const std::int8_t* qx, float sx,
+                   std::int64_t n, float* y);
+
+/// Symmetric activation quantization core (the hot half of
+/// qnn::quantize_acts_into, hosted here for the kernel TU's codegen):
+/// chunked-max abs scan, then per element one multiply, clamp, and
+/// round-half-away-from-zero truncating cast into `dst`. Returns the scale.
+/// Every per-element operation is exact and order-independent (max combines
+/// associatively; the convert touches each element once), so the result is
+/// identical at any vector width or thread count.
+float s8_quantize(const float* src, std::int64_t n, int bits, std::int8_t* dst);
+
+/// int8 im2col gather (the hot half of qnn's im2col, hosted here for the
+/// kernel TU's codegen): pure byte moves — out-of-bounds taps become code 0,
+/// interior runs of stride-1 rows collapse to memcpy. Bitwise trivially
+/// deterministic. `out` must hold (c*k*k, oh*ow) codes.
+void s8_im2col(const std::int8_t* in, std::int64_t c, std::int64_t h,
+               std::int64_t w, int k, int stride, int pad, std::int64_t oh,
+               std::int64_t ow, std::int8_t* out);
+
 }  // namespace upaq::gemm

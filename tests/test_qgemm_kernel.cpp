@@ -1,0 +1,231 @@
+// Tests for the blocked panel-packed integer GEMM (tensor/gemm_kernel.h
+// q8_* entry points, driven through qnn::PackedGemm):
+//   - panel vs segment bitwise equivalence over a grid of shapes (edge
+//     tiles, multi-stripe n > NC, multi-slab k > KC), weight bits 2..8,
+//     group sizes (dividing, non-dividing, odd, per-tensor) and sparsity
+//     levels — both paths forced explicitly via PanelMode;
+//   - the kAuto density-dispatch rule (bits <= 8 and zero fraction at or
+//     below gemm::kSparseZeroFraction takes the panel kernel);
+//   - 1-thread vs 4-thread bitwise determinism of the panel kernel;
+//   - the steady-state zero-allocation contract for panel scratch;
+//   - the qgemm_macs counter (surviving entries x columns, both paths).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+#include "prof/prof.h"
+#include "qnn/packed.h"
+#include "qnn/qgemm.h"
+#include "quant/quantize.h"
+#include "tensor/gemm_kernel.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/workspace.h"
+
+namespace upaq {
+namespace {
+
+using qnn::PackedGemm;
+using PanelMode = qnn::PackedGemm::PanelMode;
+
+struct Case {
+  std::int64_t rows, k, n;
+};
+
+// Edge tiles relative to the MR=6 / NR=8 micro-tile, plus one multi-stripe
+// (n > kQNC = 256) and one multi-slab (k > kQKC = 512) entry. Odd k values
+// exercise the phantom pair position of the interleaved layout.
+const Case kCases[] = {
+    {1, 1, 1},      // degenerate everything
+    {6, 48, 8},     // exactly one full micro-tile grid
+    {7, 33, 13},    // ragged m/k/n on every grain
+    {5, 9, 3},      // m < MR, odd k
+    {23, 64, 72},   // several row panels, ragged last
+    {13, 520, 40},  // k > kQKC: multi-slab when the group divides k
+    {10, 64, 300},  // n > kQNC: multi-stripe
+};
+
+/// Weight matrix with an exact fraction of zeroed entries (deterministic
+/// stripe pattern so the zero count is shape-independent of rng state).
+Tensor make_weight(std::int64_t rows, std::int64_t k, double zero_frac,
+                   Rng& rng) {
+  Tensor w = Tensor::normal({rows, k}, rng);
+  if (zero_frac > 0.0)
+    for (std::int64_t i = 0; i < w.numel(); ++i)
+      if (static_cast<double>(i % 100) < zero_frac * 100.0) w[i] = 0.0f;
+  return w;
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.numel(), b.numel());
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(a[i]),
+              std::bit_cast<std::uint32_t>(b[i]))
+        << what << " diverges at flat index " << i;
+}
+
+/// Runs the same packed weight through both forced paths on identical
+/// activations and asserts bitwise equality of the outputs.
+void check_panel_vs_segment(const Tensor& w, std::int64_t rows, std::int64_t k,
+                            std::int64_t n, int bits, std::int64_t group,
+                            Rng& rng, const char* what) {
+  const qnn::PackedTensor packed =
+      qnn::pack(w, bits, group, quant::StorageFormat::kDense);
+  PackedGemm panel(packed, rows, k, PanelMode::kForcePanel);
+  PackedGemm segment(packed, rows, k, PanelMode::kForceSegment);
+  ASSERT_TRUE(panel.panel_active()) << what;
+  ASSERT_FALSE(segment.panel_active()) << what;
+
+  const Tensor x = Tensor::uniform({k, n}, rng);
+  const qnn::QuantizedActs qa = qnn::quantize_acts(x, 8);
+  std::vector<float> bias(static_cast<std::size_t>(rows));
+  for (auto& b : bias) b = rng.uniform(-1.0f, 1.0f);
+
+  Tensor yp({rows, n}), ys({rows, n});
+  panel.run(qa, bias.data(), yp);
+  segment.run(qa, bias.data(), ys);
+  expect_bitwise_equal(yp, ys, what);
+}
+
+TEST(QgemmKernel, PanelMatchesSegmentBitwise) {
+  Rng rng(4242);
+  for (const auto& c : kCases) {
+    for (int bits = 2; bits <= 8; ++bits) {
+      // Group sizes: per-tensor (0), an odd non-divisor (9), a power of two
+      // that divides k for the multi-slab case (8), and per-row (k). A
+      // group that does not divide k forces the single-slab packing with
+      // mid-stream flush events at drifting columns.
+      for (std::int64_t group : {std::int64_t{0}, std::int64_t{9},
+                                 std::int64_t{8}, c.k}) {
+        for (double zero_frac : {0.0, 0.3}) {
+          const Tensor w = make_weight(c.rows, c.k, zero_frac, rng);
+          char what[128];
+          std::snprintf(what, sizeof(what),
+                        "m=%lld k=%lld n=%lld bits=%d group=%lld zeros=%.1f",
+                        static_cast<long long>(c.rows),
+                        static_cast<long long>(c.k),
+                        static_cast<long long>(c.n), bits,
+                        static_cast<long long>(group), zero_frac);
+          check_panel_vs_segment(w, c.rows, c.k, c.n, bits, group, rng, what);
+        }
+      }
+    }
+  }
+}
+
+TEST(QgemmKernel, ForcedPanelOnHighSparsityMatchesSegment) {
+  // Past the kAuto dispatch threshold the panel path would normally never
+  // run; forcing it must still be bitwise identical (zero codes contribute
+  // exactly nothing to integer accumulators, and all-zero groups emit no
+  // flush event on either path).
+  Rng rng(777);
+  const std::int64_t rows = 19, k = 96, n = 37;
+  const Tensor w = make_weight(rows, k, 0.7, rng);
+  check_panel_vs_segment(w, rows, k, n, 4, 16, rng, "70% sparse forced panel");
+}
+
+TEST(QgemmKernel, AutoDispatchFollowsDensityRule) {
+  Rng rng(31);
+  const std::int64_t rows = 12, k = 64;
+  // Dense, bits <= 8: panel.
+  {
+    const Tensor w = make_weight(rows, k, 0.0, rng);
+    const auto p = qnn::pack(w, 8, 16, quant::StorageFormat::kDense);
+    EXPECT_TRUE(PackedGemm(p, rows, k).panel_active());
+  }
+  // Zero fraction above gemm::kSparseZeroFraction: segment kernels keep it.
+  {
+    const Tensor w = make_weight(rows, k, 0.8, rng);
+    const auto p = qnn::pack(w, 8, 16, quant::StorageFormat::kDense);
+    EXPECT_FALSE(PackedGemm(p, rows, k).panel_active());
+  }
+  // Codes wider than int8: the panel layout cannot hold them.
+  {
+    const Tensor w = make_weight(rows, k, 0.0, rng);
+    const auto p = qnn::pack(w, 16, 16, quant::StorageFormat::kDense);
+    EXPECT_FALSE(PackedGemm(p, rows, k).panel_active());
+  }
+}
+
+TEST(QgemmKernel, ThreadCountInvariantBitwise) {
+  // Multi-stripe n and several row panels so the parallel dispatch actually
+  // splits work; 1-thread and 4-thread runs must be bitwise equal on both
+  // paths (the requantization order is a property of the entry layout).
+  Rng rng(999);
+  const std::int64_t rows = 30, k = 128, n = 520;
+  const Tensor w = make_weight(rows, k, 0.25, rng);
+  const auto packed = qnn::pack(w, 6, 32, quant::StorageFormat::kDense);
+  const Tensor x = Tensor::uniform({k, n}, rng);
+  const qnn::QuantizedActs qa = qnn::quantize_acts(x, 8);
+  std::vector<float> bias(static_cast<std::size_t>(rows), 0.125f);
+
+  for (PanelMode mode : {PanelMode::kForcePanel, PanelMode::kForceSegment}) {
+    PackedGemm g(packed, rows, k, mode);
+    parallel::set_thread_count(1);
+    Tensor y1({rows, n});
+    g.run(qa, bias.data(), y1);
+    parallel::set_thread_count(4);
+    Tensor y4({rows, n});
+    g.run(qa, bias.data(), y4);
+    parallel::set_thread_count(1);
+    expect_bitwise_equal(y1, y4,
+                         mode == PanelMode::kForcePanel
+                             ? "panel thread-count divergence"
+                             : "segment thread-count divergence");
+  }
+}
+
+TEST(QgemmKernel, SteadyStatePanelRunsDoNotGrowArena) {
+  // The panel kernel's B-pack scratch comes from the workspace arena; after
+  // warm-up, repeated run() calls must be allocation-free. Single-threaded
+  // so the main thread's arena observes every allocation.
+  parallel::set_thread_count(1);
+  { workspace::Scope flush; }  // drain earlier tests' cached blocks
+  Rng rng(1212);
+  const std::int64_t rows = 24, k = 300, n = 310;
+  const Tensor w = make_weight(rows, k, 0.0, rng);
+  const auto packed = qnn::pack(w, 8, 0, quant::StorageFormat::kDense);
+  PackedGemm g(packed, rows, k, PanelMode::kForcePanel);
+  const Tensor x = Tensor::uniform({k, n}, rng);
+  const qnn::QuantizedActs qa = qnn::quantize_acts(x, 8);
+  Tensor y({rows, n});
+
+  for (int i = 0; i < 2; ++i) g.run(qa, nullptr, y);  // warm-up
+  const workspace::Stats warm = workspace::stats();
+  for (int i = 0; i < 5; ++i) g.run(qa, nullptr, y);
+  const workspace::Stats steady = workspace::stats();
+  EXPECT_EQ(steady.block_allocs, warm.block_allocs)
+      << "steady-state panel run() grew the workspace arena";
+  EXPECT_GT(steady.reuses, warm.reuses)
+      << "panel run() did not route its pack scratch through the arena";
+}
+
+TEST(QgemmKernel, QgemmMacsCounterCountsEntriesTimesColumns) {
+  // Counters only accumulate while tracing is on. Both paths charge the
+  // same work: surviving entries x output columns.
+  Rng rng(555);
+  const std::int64_t rows = 11, k = 40, n = 23;
+  const Tensor w = make_weight(rows, k, 0.4, rng);
+  const auto packed = qnn::pack(w, 8, 8, quant::StorageFormat::kDense);
+  const Tensor x = Tensor::uniform({k, n}, rng);
+  const qnn::QuantizedActs qa = qnn::quantize_acts(x, 8);
+  Tensor y({rows, n});
+
+  prof::set_enabled(true);
+  for (PanelMode mode : {PanelMode::kForcePanel, PanelMode::kForceSegment}) {
+    PackedGemm g(packed, rows, k, mode);
+    const std::uint64_t before = prof::counter_value(prof::Counter::kQgemmMacs);
+    g.run(qa, nullptr, y);
+    const std::uint64_t delta =
+        prof::counter_value(prof::Counter::kQgemmMacs) - before;
+    EXPECT_EQ(delta, static_cast<std::uint64_t>(g.entry_count()) *
+                         static_cast<std::uint64_t>(n));
+  }
+  prof::set_enabled(false);
+}
+
+}  // namespace
+}  // namespace upaq
