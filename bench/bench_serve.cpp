@@ -1,0 +1,235 @@
+// Open-loop load benchmark of the upaq::serve streaming server.
+//
+// The benchmark first runs a hard equivalence gate — the server, draining a
+// fixed scene set, must produce detections bitwise identical to the serial
+// detect() loop over the same scenes — and exits non-zero on any mismatch,
+// so a load number from a wrong-answer server can never land in the JSON.
+// It then calibrates single-scene capacity (timed serial detects) and
+// replays the *same* scene stream open-loop at several offered loads
+// (fractions of capacity), reporting scenes/sec, p50/p99/p999 total
+// latency, shed rate, and the batch-size histogram per load into
+// bench_serve.json.
+//
+//   ./bench_serve            # full sweep (under-, near-, over-capacity)
+//   ./bench_serve --smoke    # gate + one low-load run (CI / check.sh)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/scene.h"
+#include "detectors/pointpillars.h"
+#include "parallel/thread_pool.h"
+#include "prof/prof.h"
+#include "serve/serve.h"
+#include "serve/stream.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace upaq;
+
+bool same_box(const eval::Box3D& a, const eval::Box3D& b) {
+  auto bits = [](float v) {
+    std::uint32_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+  };
+  return bits(a.x) == bits(b.x) && bits(a.y) == bits(b.y) &&
+         bits(a.z) == bits(b.z) && bits(a.length) == bits(b.length) &&
+         bits(a.width) == bits(b.width) && bits(a.height) == bits(b.height) &&
+         bits(a.yaw) == bits(b.yaw) && bits(a.score) == bits(b.score) &&
+         a.label == b.label;
+}
+
+bool same_dets(const std::vector<eval::Box3D>& a,
+               const std::vector<eval::Box3D>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!same_box(a[i], b[i])) return false;
+  return true;
+}
+
+/// Serial baseline + serve drain over the same scenes; true iff bitwise
+/// identical per scene. This is the bench's admission test and the hard
+/// gate scripts/check.sh runs in CI.
+bool equivalence_gate(detectors::PointPillars& model,
+                      const std::vector<serve::Arrival>& arrivals) {
+  std::vector<std::vector<eval::Box3D>> serial;
+  serial.reserve(arrivals.size());
+  for (const auto& a : arrivals) serial.push_back(model.detect(a.scene));
+
+  serve::ServeConfig cfg;
+  cfg.max_batch = 4;
+  cfg.queue_capacity = static_cast<int>(arrivals.size()) + 1;
+  cfg.deadline_ms = 0.0;  // nothing sheds: every scene must come back
+  serve::Server server(model, cfg);
+  for (const auto& a : arrivals) server.submit(a.scene);
+  server.drain();
+  auto results = server.poll();
+  std::sort(results.begin(), results.end(),
+            [](const serve::Result& x, const serve::Result& y) {
+              return x.id < y.id;
+            });
+  if (results.size() != arrivals.size()) return false;
+  for (std::size_t i = 0; i < results.size(); ++i)
+    if (results[i].shed || !same_dets(results[i].detections, serial[i]))
+      return false;
+  return true;
+}
+
+/// Mean serial detect() latency (ms/scene) after a warm-up sweep; the
+/// capacity estimate the load fractions are anchored to.
+double calibrate_scene_ms(detectors::PointPillars& model,
+                          const std::vector<serve::Arrival>& arrivals,
+                          int timed) {
+  std::size_t sink = 0;
+  for (const auto& a : arrivals) sink += model.detect(a.scene).size();
+  const bool was_enabled = prof::enabled();
+  prof::set_enabled(true);
+  prof::reset();
+  for (int i = 0; i < timed; ++i) {
+    const auto& scene = arrivals[static_cast<std::size_t>(i) %
+                                 arrivals.size()].scene;
+    prof::Span span("bench.detect");
+    sink += model.detect(scene).size();
+  }
+  (void)sink;
+  double mean_ms = 0.0;
+  for (const auto& st : prof::aggregate(prof::snapshot_events()))
+    if (st.name == "bench.detect") mean_ms = st.mean_ms;
+  prof::reset();
+  prof::set_enabled(was_enabled);
+  return mean_ms > 0.0 ? mean_ms : 1.0;
+}
+
+void print_report(const serve::LoadReport& r) {
+  std::printf(
+      "  offered %7.1f Hz -> achieved %7.1f Hz | p50 %7.2f  p99 %7.2f  "
+      "p999 %7.2f ms | shed %5.1f%% (%llu cap, %llu deadline)\n",
+      r.offered_hz, r.achieved_hz, r.p50_ms, r.p99_ms, r.p999_ms,
+      100.0 * r.shed_rate,
+      static_cast<unsigned long long>(r.stats.shed_capacity),
+      static_cast<unsigned long long>(r.stats.shed_deadline));
+  std::printf("    batches:");
+  for (std::size_t k = 1; k < r.stats.batch_hist.size(); ++k)
+    std::printf(" %zux%llu", k,
+                static_cast<unsigned long long>(r.stats.batch_hist[k]));
+  std::printf("\n");
+}
+
+void emit_report_json(FILE* json, const serve::LoadReport& r, bool last) {
+  std::fprintf(json,
+               "    {\"offered_hz\": %.4f, \"achieved_hz\": %.4f, "
+               "\"wall_ms\": %.4f,\n"
+               "     \"p50_ms\": %.4f, \"p90_ms\": %.4f, \"p99_ms\": %.4f, "
+               "\"p999_ms\": %.4f,\n"
+               "     \"submitted\": %llu, \"completed\": %llu, "
+               "\"shed_capacity\": %llu, \"shed_deadline\": %llu, "
+               "\"shed_rate\": %.4f,\n"
+               "     \"batches\": %llu, \"batch_hist\": [",
+               r.offered_hz, r.achieved_hz, r.wall_ms, r.p50_ms, r.p90_ms,
+               r.p99_ms, r.p999_ms,
+               static_cast<unsigned long long>(r.stats.submitted),
+               static_cast<unsigned long long>(r.stats.completed),
+               static_cast<unsigned long long>(r.stats.shed_capacity),
+               static_cast<unsigned long long>(r.stats.shed_deadline),
+               r.shed_rate,
+               static_cast<unsigned long long>(r.stats.batches));
+  for (std::size_t k = 0; k < r.stats.batch_hist.size(); ++k)
+    std::fprintf(json, "%s%llu", k ? ", " : "",
+                 static_cast<unsigned long long>(r.stats.batch_hist[k]));
+  std::fprintf(json, "]}%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int scenes = 48;
+  std::string out_path = "bench_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+      scenes = 16;
+    } else if (arg == "--scenes" && i + 1 < argc) {
+      scenes = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--scenes N] [--out file.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const int threads = parallel::thread_count();
+  auto cfg = detectors::PointPillarsConfig::scaled();
+  Rng rng(4242);
+  detectors::PointPillars model(cfg, rng);
+  model.set_training(false);
+
+  // One schedule per load; the scene content comes from an independent
+  // forked stream, so every load (and the gate) serves identical scenes.
+  serve::StreamConfig scfg;
+  scfg.scenes = scenes;
+  scfg.seed = 77;
+
+  std::printf("bench_serve: %d scenes, %d thread%s\n", scenes, threads,
+              threads == 1 ? "" : "s");
+
+  const auto gate_stream = serve::make_stream(scfg);
+  if (!equivalence_gate(model, gate_stream)) {
+    std::fprintf(stderr,
+                 "FAIL: serve detections differ from the serial loop\n");
+    return 1;
+  }
+  std::printf("equivalence gate: serve == serial over %d scenes (bitwise)\n",
+              scenes);
+
+  const double scene_ms =
+      calibrate_scene_ms(model, gate_stream, smoke ? 4 : 12);
+  const double capacity_hz = 1000.0 / scene_ms;
+  std::printf("calibration: %.2f ms/scene serial -> capacity ~%.1f Hz\n",
+              scene_ms, capacity_hz);
+
+  const std::vector<double> fractions =
+      smoke ? std::vector<double>{0.25}
+            : std::vector<double>{0.4, 0.8, 1.6, 3.2};
+  std::vector<serve::LoadReport> reports;
+  for (const double frac : fractions) {
+    scfg.rate_hz = frac * capacity_hz;
+    const auto arrivals = serve::make_stream(scfg);
+    serve::ServeConfig serve_cfg;
+    serve_cfg.max_batch = 4;
+    serve_cfg.queue_capacity = 16;
+    // Keep tails bounded under overload: anything queued longer than ~10
+    // serial scene times is stale and sheds at batch formation.
+    serve_cfg.deadline_ms = smoke ? 0.0 : 10.0 * scene_ms;
+    std::printf("load %.2fx capacity:\n", frac);
+    reports.push_back(serve::run_open_loop(model, arrivals, serve_cfg));
+    print_report(reports.back());
+  }
+
+  FILE* json = std::fopen(out_path.c_str(), "w");
+  if (!json) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"upaq_threads\": %d,\n  \"scenes\": %d,\n",
+               threads, scenes);
+  std::fprintf(json, "  \"equivalence_gate\": \"pass\",\n");
+  std::fprintf(json, "  \"serial_scene_ms\": %.4f,\n", scene_ms);
+  std::fprintf(json, "  \"capacity_hz\": %.4f,\n", capacity_hz);
+  std::fprintf(json, "  \"loads\": [\n");
+  for (std::size_t i = 0; i < reports.size(); ++i)
+    emit_report_json(json, reports[i], i + 1 == reports.size());
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("Wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -8,6 +8,10 @@
 //   upaq_tool profile [--model pointpillars|smoke] [--scenes K] [--runs R]
 //                     [--trace FILE] [--packed]
 //
+//   upaq_tool serve [--scenes N] [--rate HZ] [--fixed] [--batch B]
+//                   [--capacity Q] [--deadline MS] [--no-pipeline]
+//                   [--seed S] [--trace FILE]
+//
 // The default mode trains (or loads) the chosen detector, compresses it with
 // the requested configuration, optionally fine-tunes, and prints the
 // accuracy / compression / deployment-cost summary. Everything the Table-2
@@ -17,6 +21,11 @@
 // per-layer stats table, the measured-vs-modeled cost report, the prof
 // counters, and per-worker pool utilization. --trace exports a
 // chrome://tracing JSON (open in chrome://tracing or Perfetto).
+//
+// `serve` replays a seeded synthetic scene stream open-loop through the
+// upaq::serve batching/pipelining server and prints throughput, tail
+// latency, the shed split, and the batch-size histogram (the single-load
+// interactive sibling of bench/bench_serve).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +42,8 @@
 #include "parallel/thread_pool.h"
 #include "prof/prof.h"
 #include "prof/report.h"
+#include "serve/serve.h"
+#include "serve/stream.h"
 #include "tensor/workspace.h"
 #include "zoo/zoo.h"
 
@@ -47,8 +58,11 @@ using namespace upaq;
                "          [--connectivity F] [--finetune ITERS]\n"
                "          [--alpha A] [--beta B] [--gamma G] [--cache DIR]\n"
                "       %s profile [--model pointpillars|smoke] [--scenes K]\n"
-               "          [--runs R] [--trace FILE] [--packed]\n",
-               argv0, argv0);
+               "          [--runs R] [--trace FILE] [--packed]\n"
+               "       %s serve [--scenes N] [--rate HZ] [--fixed]\n"
+               "          [--batch B] [--capacity Q] [--deadline MS]\n"
+               "          [--no-pipeline] [--seed S] [--trace FILE]\n",
+               argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -204,6 +218,96 @@ int run_profile(int argc, char** argv) {
   return 0;
 }
 
+/// `upaq_tool serve`: one open-loop load level against the streaming server,
+/// with the serve stage spans and counters on screen (and in --trace).
+int run_serve(int argc, char** argv) {
+  serve::StreamConfig scfg;
+  scfg.rate_hz = 40.0;
+  serve::ServeConfig cfg;
+  std::string trace_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--scenes")
+      scfg.scenes = std::atoi(next());
+    else if (arg == "--rate")
+      scfg.rate_hz = std::atof(next());
+    else if (arg == "--fixed")
+      scfg.poisson = false;
+    else if (arg == "--seed")
+      scfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--batch")
+      cfg.max_batch = std::atoi(next());
+    else if (arg == "--capacity")
+      cfg.queue_capacity = std::atoi(next());
+    else if (arg == "--deadline")
+      cfg.deadline_ms = std::atof(next());
+    else if (arg == "--no-pipeline")
+      cfg.pipeline = false;
+    else if (arg == "--trace")
+      trace_path = next();
+    else
+      usage(argv[0]);
+  }
+  if (scfg.scenes < 1 || scfg.rate_hz <= 0.0 || cfg.max_batch < 1 ||
+      cfg.queue_capacity < 1)
+    usage(argv[0]);
+
+  prof::set_thread_name("main");
+  const int threads = parallel::thread_count();
+  Rng rng(4242);
+  detectors::PointPillars model(detectors::PointPillarsConfig::scaled(), rng);
+  model.set_training(false);
+
+  std::printf("serve: %d scene%s at %.1f Hz (%s arrivals), batch<=%d, "
+              "queue %d, deadline %s, pipeline %s, %d thread%s\n",
+              scfg.scenes, scfg.scenes == 1 ? "" : "s", scfg.rate_hz,
+              scfg.poisson ? "Poisson" : "fixed-rate", cfg.max_batch,
+              cfg.queue_capacity,
+              cfg.deadline_ms > 0.0
+                  ? (std::to_string(cfg.deadline_ms) + " ms").c_str()
+                  : "off",
+              cfg.pipeline ? "on" : "off", threads,
+              threads == 1 ? "" : "s");
+
+  const auto arrivals = serve::make_stream(scfg);
+  // Warm-up: first-detect lazy allocation otherwise lands in the p99 tail.
+  (void)model.detect(arrivals.front().scene);
+  prof::set_enabled(true);
+  prof::reset();
+  const auto rep = serve::run_open_loop(model, arrivals, cfg);
+
+  std::printf("\noffered %.1f Hz -> achieved %.1f Hz over %.1f ms wall\n",
+              rep.offered_hz, rep.achieved_hz, rep.wall_ms);
+  std::printf("latency (queue+pipeline): p50 %.2f  p90 %.2f  p99 %.2f  "
+              "p999 %.2f ms\n",
+              rep.p50_ms, rep.p90_ms, rep.p99_ms, rep.p999_ms);
+  std::printf("shed: %.1f%% (%llu capacity, %llu deadline) of %llu "
+              "submitted\n",
+              100.0 * rep.shed_rate,
+              static_cast<unsigned long long>(rep.stats.shed_capacity),
+              static_cast<unsigned long long>(rep.stats.shed_deadline),
+              static_cast<unsigned long long>(rep.stats.submitted));
+  std::printf("batches:");
+  for (std::size_t k = 1; k < rep.stats.batch_hist.size(); ++k)
+    std::printf(" size %zu x%llu", k,
+                static_cast<unsigned long long>(rep.stats.batch_hist[k]));
+  std::printf("\n\n%s\n",
+              prof::stats_table(prof::aggregate(prof::snapshot_events()), 14)
+                  .c_str());
+
+  if (!trace_path.empty()) {
+    if (prof::write_chrome_trace(trace_path))
+      std::printf("wrote chrome trace to %s\n", trace_path.c_str());
+    else
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+  }
+  return 0;
+}
+
 std::vector<int> parse_bits(const std::string& arg) {
   std::vector<int> bits;
   std::size_t start = 0;
@@ -223,6 +327,8 @@ std::vector<int> parse_bits(const std::string& arg) {
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "profile") == 0)
     return run_profile(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+    return run_serve(argc, argv);
 
   std::string model_name = "pointpillars";
   core::UpaqConfig cfg = core::UpaqConfig::lck();

@@ -61,6 +61,15 @@ if ! awk -v s="$SPEEDUP" -v f="$PACKED_SPEEDUP_FLOOR" 'BEGIN { exit !(s >= f) }'
 fi
 echo "packed_vs_fp32_speedup=${SPEEDUP} (>= ${PACKED_SPEEDUP_FLOOR})"
 
+# Serve smoke: bench_serve --smoke runs the hard equivalence gate first —
+# the streaming server draining a fixed scene stream must produce
+# detections bitwise identical to the serial detect() loop — and then one
+# short low-load open-loop run. A gate mismatch exits non-zero and fails
+# the check; the latency/throughput numbers are informational (shared box).
+echo "==> serve smoke (serve-vs-serial equivalence gate hard-fails)"
+UPAQ_THREADS=4 "$BUILD_DIR"/bench/bench_serve --smoke --out "$BUILD_DIR"/bench_serve_smoke.json \
+  || { echo "serve smoke FAILED (equivalence gate)"; exit 1; }
+
 # The packed-integer path does raw bit twiddling (sign extension, packed
 # buffers) — run its suites under ASan/UBSan so memory and UB bugs in the
 # pack/unpack/GEMM code cannot slip past the plain Release gate. The prof
@@ -69,11 +78,14 @@ echo "packed_vs_fp32_speedup=${SPEEDUP} (>= ${PACKED_SPEEDUP_FLOOR})"
 # test_gemm_kernel joins them: the panel packer and workspace arena do raw
 # pointer arithmetic over reused blocks, exactly where ASan earns its keep;
 # test_qgemm_kernel covers the interleaved int8 panel kernel the same way.
-echo "==> qnn + quant + prof + gemm/workspace suites under UPAQ_SANITIZE=address,undefined"
+echo "==> qnn + quant + prof + serve + gemm/workspace suites under UPAQ_SANITIZE=address,undefined"
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$ASAN_DIR" -S . -DUPAQ_SANITIZE=address,undefined
-cmake --build "$ASAN_DIR" -j "$JOBS" --target test_qnn test_quant test_prof test_gemm_kernel test_qgemm_kernel
+cmake --build "$ASAN_DIR" -j "$JOBS" --target test_qnn test_quant test_prof test_serve test_gemm_kernel test_qgemm_kernel
 UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_qnn|test_quant|test_gemm_kernel|test_qgemm_kernel' --output-on-failure
-UPAQ_TRACE=1 UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_prof' --output-on-failure
+# The serve pipeline overlaps stages across pool lanes and recycles batch
+# slots — ASan watches the slot/workspace lifetimes, and the traced run
+# keeps every span live while the stages overlap.
+UPAQ_TRACE=1 UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_prof|test_serve' --output-on-failure
 
-echo "check.sh: OK (tier1 passed serial, 4-thread, and traced; perf smoke + ratchet + sanitizers green)"
+echo "check.sh: OK (tier1 passed serial, 4-thread, and traced; perf + serve smokes, ratchet, sanitizers green)"

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "parallel/thread_pool.h"
 #include "prof/prof.h"
+#include "tensor/check.h"
 #include "tensor/ops.h"
 
 namespace upaq::detectors {
@@ -176,23 +178,21 @@ PointPillars::Pillars PointPillars::pillarize(const data::Scene& scene) const {
   return out;
 }
 
-void PointPillars::forward(const data::Scene& scene, ForwardState& state) {
-  state.pillars = pillarize(scene);
-  const auto& pil = state.pillars;
+void PointPillars::pfn_pool_scatter(const Pillars& pil,
+                                    const Tensor& point_feats,
+                                    std::int64_t row0,
+                                    std::int64_t* argmax_out,
+                                    float* pseudo_plane) const {
   const auto pillar_count = static_cast<std::int64_t>(pil.coords.size());
   const int maxp = cfg_.max_points_per_pillar;
   const int c = cfg_.pfn_channels;
-
-  // PFN: linear + relu on every (padded) point row.
-  auto* pfn_relu = static_cast<nn::Relu*>(find_layer("pfn.relu"));
-  Tensor point_feats =
-      pfn_relu->forward(pfn_->forward(pil.features));  // (P*maxp, C)
+  const int g = cfg_.grid;
 
   // Masked max over each pillar's valid points; remember winners for
-  // backward. Pillars are independent (disjoint writes into pooled and the
-  // argmax table), so the pillar loop parallelises deterministically.
+  // backward when requested. Pillars are independent (disjoint writes into
+  // pooled and the argmax table), so the pillar loop parallelises
+  // deterministically.
   Tensor pooled({std::max<std::int64_t>(pillar_count, 1), c});
-  state.max_argmax.assign(static_cast<std::size_t>(pillar_count * c), 0);
   {
     prof::Span pool_span("pfn.maxpool");
     parallel::parallel_for(0, pillar_count, 64, [&](std::int64_t p0,
@@ -201,24 +201,24 @@ void PointPillars::forward(const data::Scene& scene, ForwardState& state) {
         const int v = pil.valid_counts[static_cast<std::size_t>(p)];
         for (int ch = 0; ch < c; ++ch) {
           float best = -std::numeric_limits<float>::infinity();
-          std::int64_t best_row = p * maxp;
+          std::int64_t best_row = row0 + p * maxp;
           for (int i = 0; i < v; ++i) {
-            const float val = point_feats.at(p * maxp + i, ch);
+            const float val = point_feats.at(row0 + p * maxp + i, ch);
             if (val > best) {
               best = val;
-              best_row = p * maxp + i;
+              best_row = row0 + p * maxp + i;
             }
           }
           pooled.at(p, ch) = best;
-          state.max_argmax[static_cast<std::size_t>(p * c + ch)] = best_row;
+          if (argmax_out != nullptr) argmax_out[p * c + ch] = best_row;
         }
       }
     });
   }
 
-  // Scatter pillar embeddings to the pseudo-image. Pillar coords are unique
-  // (one bucket per occupied cell), so the writes are disjoint.
-  Tensor pseudo({1, c, cfg_.grid, cfg_.grid});
+  // Scatter pillar embeddings to the scene's pseudo-image plane. Pillar
+  // coords are unique (one bucket per occupied cell), so the writes are
+  // disjoint.
   {
     prof::Span scatter_span("pre.scatter");
     parallel::parallel_for(0, pillar_count, 256, [&](std::int64_t p0,
@@ -226,10 +226,28 @@ void PointPillars::forward(const data::Scene& scene, ForwardState& state) {
       for (std::int64_t p = p0; p < p1; ++p) {
         const auto [row, col] = pil.coords[static_cast<std::size_t>(p)];
         for (int ch = 0; ch < c; ++ch)
-          pseudo.at(0, ch, row, col) = pooled.at(p, ch);
+          pseudo_plane[(static_cast<std::int64_t>(ch) * g + row) * g + col] =
+              pooled.at(p, ch);
       }
     });
   }
+}
+
+void PointPillars::forward(const data::Scene& scene, ForwardState& state) {
+  state.pillars = pillarize(scene);
+  const auto& pil = state.pillars;
+  const auto pillar_count = static_cast<std::int64_t>(pil.coords.size());
+  const int c = cfg_.pfn_channels;
+
+  // PFN: linear + relu on every (padded) point row.
+  auto* pfn_relu = static_cast<nn::Relu*>(find_layer("pfn.relu"));
+  Tensor point_feats =
+      pfn_relu->forward(pfn_->forward(pil.features));  // (P*maxp, C)
+
+  state.max_argmax.assign(static_cast<std::size_t>(pillar_count * c), 0);
+  Tensor pseudo({1, c, cfg_.grid, cfg_.grid});
+  pfn_pool_scatter(pil, point_feats, /*row0=*/0, state.max_argmax.data(),
+                   pseudo.data());
 
   // Backbone + FPN-style concat + head.
   const Tensor b1 = block_seq_[0].forward(pseudo);
@@ -240,6 +258,69 @@ void PointPillars::forward(const data::Scene& scene, ForwardState& state) {
   const Tensor trunk = head_trunk_.forward(cat);
   state.cls_logits = cls_head_->forward(trunk);
   state.reg_out = reg_head_->forward(trunk);
+}
+
+std::vector<PointPillars::HeadOutput> PointPillars::forward_batch(
+    const std::vector<const Pillars*>& batch) {
+  UPAQ_CHECK(!batch.empty(), "forward_batch: empty batch");
+  prof::Span span("detect.batch", std::to_string(batch.size()) + " scenes");
+  set_training(false);
+  const auto b_count = static_cast<std::int64_t>(batch.size());
+  const int c = cfg_.pfn_channels;
+  const int g = cfg_.grid;
+
+  // One batched PFN pass over every scene's padded point rows, concatenated.
+  // Linear and ReLU are row-independent, so each row's embedding is bitwise
+  // the same as in the per-scene pass regardless of what rides along.
+  std::int64_t total_rows = 0;
+  for (const auto* pil : batch) total_rows += pil->features.dim(0);
+  Tensor pseudo({b_count, c, g, g});
+  if (total_rows > 0) {
+    Tensor all_feats({total_rows, kPointFeatures});
+    std::int64_t row0 = 0;
+    for (const auto* pil : batch) {
+      const std::int64_t rows = pil->features.dim(0);
+      std::copy(pil->features.data(),
+                pil->features.data() + rows * kPointFeatures,
+                all_feats.data() + row0 * kPointFeatures);
+      row0 += rows;
+    }
+    auto* pfn_relu = static_cast<nn::Relu*>(find_layer("pfn.relu"));
+    const Tensor point_feats = pfn_relu->forward(pfn_->forward(all_feats));
+    row0 = 0;
+    for (std::int64_t b = 0; b < b_count; ++b) {
+      pfn_pool_scatter(*batch[static_cast<std::size_t>(b)], point_feats, row0,
+                       /*argmax_out=*/nullptr, pseudo.data() + b * c * g * g);
+      row0 += batch[static_cast<std::size_t>(b)]->features.dim(0);
+    }
+  }
+
+  // Backbone + FPN-style concat + head over the batched pseudo-image. Every
+  // layer treats batch items independently (disjoint per-item writes), so
+  // the batch composition cannot perturb any scene's outputs.
+  const Tensor b1 = block_seq_[0].forward(pseudo);
+  const Tensor b2 = block_seq_[1].forward(b1);
+  const Tensor b3 = block_seq_[2].forward(b2);
+  const Tensor cat = nn::concat_channels(
+      {up_seq_[0].forward(b1), up_seq_[1].forward(b2), up_seq_[2].forward(b3)});
+  const Tensor trunk = head_trunk_.forward(cat);
+  const Tensor cls = cls_head_->forward(trunk);
+  const Tensor reg = reg_head_->forward(trunk);
+
+  // Slice the contiguous NCHW batch planes back into per-scene outputs.
+  std::vector<HeadOutput> out(batch.size());
+  const std::int64_t cls_plane = cls.numel() / b_count;
+  const std::int64_t reg_plane = reg.numel() / b_count;
+  for (std::int64_t b = 0; b < b_count; ++b) {
+    HeadOutput& h = out[static_cast<std::size_t>(b)];
+    h.cls_logits = Tensor({1, cls.dim(1), cls.dim(2), cls.dim(3)});
+    std::copy(cls.data() + b * cls_plane, cls.data() + (b + 1) * cls_plane,
+              h.cls_logits.data());
+    h.reg_out = Tensor({1, reg.dim(1), reg.dim(2), reg.dim(3)});
+    std::copy(reg.data() + b * reg_plane, reg.data() + (b + 1) * reg_plane,
+              h.reg_out.data());
+  }
+  return out;
 }
 
 void PointPillars::backward(const ForwardState& state, const Tensor& grad_cls,

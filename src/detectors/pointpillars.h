@@ -75,25 +75,64 @@ class PointPillars final : public Detector3D {
   static std::vector<hw::LayerProfile> cost_profile_for(
       const PointPillarsConfig& cfg);
 
- private:
+  // ----- Staged inference API (the upaq::serve pipeline stages) -----
+  //
+  // detect() == decode(forward_batch({&pillarize(scene)})[0]) bitwise: the
+  // serve layer splits the per-scene loop into pre / detect / post stages so
+  // stages of different scenes can overlap, and batches the middle stage
+  // across scenes. pillarize() and decode() are const and touch no layer
+  // state, so they are safe to run concurrently with a forward_batch() of
+  // *other* scenes; forward_batch() mutates layer caches and must hold the
+  // model exclusively.
+
+  /// Per-scene pre-processing product (stage `pre.pillarize`).
   struct Pillars {
     Tensor features;                 ///< (P * max_pts, 9) padded point features
     std::vector<int> valid_counts;   ///< points actually in each pillar
     std::vector<std::pair<int, int>> coords;  ///< (row, col) per pillar
   };
+
+  /// Head outputs for one scene, sliced out of the batched forward.
+  struct HeadOutput {
+    Tensor cls_logits;  ///< (1, anchors, g/2, g/2)
+    Tensor reg_out;     ///< (1, anchors * 8, g/2, g/2)
+  };
+
+  /// Stage 1: points -> pillars. Pure (reads only the config).
+  Pillars pillarize(const data::Scene& scene) const;
+
+  /// Stage 2: eval-mode PFN + backbone + head over a batch of pillarized
+  /// scenes in one pass. The point rows are concatenated through the PFN and
+  /// the pillar embeddings scattered into a (B, C, G, G) pseudo-image, so
+  /// the whole CNN runs batch-capable layers once per batch. Every layer's
+  /// math is per-sample independent, so each scene's outputs are bitwise
+  /// identical to the single-scene detect() path at any batch size and any
+  /// thread count (pinned by tests/test_serve.cpp).
+  std::vector<HeadOutput> forward_batch(
+      const std::vector<const Pillars*>& batch);
+
+  /// Stage 3: decode + NMS (stage `post.nms`). Pure.
+  std::vector<eval::Box3D> decode(const Tensor& cls_logits,
+                                  const Tensor& reg_out) const;
+
+ private:
   struct ForwardState {
     Pillars pillars;
     std::vector<std::int64_t> max_argmax;  ///< PFN max-pool winners
     Tensor cls_logits, reg_out;            ///< head outputs
   };
 
-  Pillars pillarize(const data::Scene& scene) const;
   /// Runs the network; fills `state` when training (for backward).
   void forward(const data::Scene& scene, ForwardState& state);
   void backward(const ForwardState& state, const Tensor& grad_cls,
                 const Tensor& grad_reg);
-  std::vector<eval::Box3D> decode(const Tensor& cls_logits,
-                                  const Tensor& reg_out) const;
+  /// Shared PFN tail: masked max-pool over one scene's pillars (point rows
+  /// start at `row0` of `point_feats`) followed by the scatter into that
+  /// scene's (C, G, G) pseudo-image plane. `argmax_out`, when non-null,
+  /// receives the per-(pillar, channel) winning row for backward.
+  void pfn_pool_scatter(const Pillars& pil, const Tensor& point_feats,
+                        std::int64_t row0, std::int64_t* argmax_out,
+                        float* pseudo_plane) const;
 
   PointPillarsConfig cfg_;
 

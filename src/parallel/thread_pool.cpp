@@ -235,4 +235,14 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   global_pool().run(chunks, run_chunk);
 }
 
+void invoke(const std::vector<std::function<void()>>& fns) {
+  if (fns.empty()) return;
+  auto run_one = [&](std::int64_t i) { fns[static_cast<std::size_t>(i)](); };
+  if (tl_in_task || thread_count() == 1 || fns.size() == 1) {
+    for (std::size_t i = 0; i < fns.size(); ++i) fns[i]();
+    return;
+  }
+  global_pool().run(static_cast<std::int64_t>(fns.size()), run_one);
+}
+
 }  // namespace upaq::parallel

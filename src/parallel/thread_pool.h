@@ -72,4 +72,16 @@ bool in_parallel_region();
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& body);
 
+/// Runs a small set of *heterogeneous* tasks — each fn exactly once — on the
+/// shared pool, blocking until all complete. This is the stage-overlap
+/// primitive of the serve pipeline: unlike parallel_for's homogeneous index
+/// chunks, each entry is an independent closure (pillarize batch i+1, run
+/// the detector on batch i, decode batch i-1). Tasks must touch disjoint
+/// state. With one thread, or when called from inside a pool task, the
+/// functions run inline in index order — so a pipeline built on invoke() is
+/// bitwise identical at every thread count as long as the tasks themselves
+/// are (the serve suite pins this down). Note that task bodies count as
+/// nested pool regions: parallel_for inside an invoke() task runs inline.
+void invoke(const std::vector<std::function<void()>>& fns);
+
 }  // namespace upaq::parallel

@@ -113,6 +113,9 @@ const char* counter_name(Counter c) {
     case Counter::kWorkspaceBytes: return "workspace_bytes";
     case Counter::kWorkspaceReuses: return "workspace_reuses";
     case Counter::kQgemmMacs: return "qgemm_macs";
+    case Counter::kServeBatches: return "serve_batches";
+    case Counter::kServeScenes: return "serve_scenes";
+    case Counter::kServeShed: return "serve_shed";
     case Counter::kCount: break;
   }
   return "?";
@@ -225,27 +228,34 @@ void reset() {
   for (auto& c : g_counters) c.store(0, std::memory_order_relaxed);
 }
 
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  const double rank = clamped * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
 std::vector<SpanStats> aggregate(const std::vector<Event>& events) {
-  std::map<std::string, std::vector<std::int64_t>> by_name;
-  for (const auto& e : events) by_name[e.name].push_back(e.dur_ns);
+  std::map<std::string, std::vector<double>> by_name;
+  for (const auto& e : events)
+    by_name[e.name].push_back(static_cast<double>(e.dur_ns) * 1e-6);
   std::vector<SpanStats> out;
   for (auto& [name, durs] : by_name) {
     std::sort(durs.begin(), durs.end());
     SpanStats s;
     s.name = name;
     s.count = static_cast<std::int64_t>(durs.size());
-    std::int64_t total = 0;
+    double total = 0;
     for (auto d : durs) total += d;
-    s.total_ms = static_cast<double>(total) * 1e-6;
+    s.total_ms = total;
     s.mean_ms = s.total_ms / static_cast<double>(s.count);
-    const auto at_q = [&](double q) {
-      const auto idx = static_cast<std::size_t>(
-          q * static_cast<double>(durs.size() - 1) + 0.5);
-      return static_cast<double>(durs[std::min(idx, durs.size() - 1)]) * 1e-6;
-    };
-    s.p50_ms = at_q(0.50);
-    s.p90_ms = at_q(0.90);
-    s.p99_ms = at_q(0.99);
+    s.p50_ms = percentile(durs, 0.50);
+    s.p90_ms = percentile(durs, 0.90);
+    s.p99_ms = percentile(durs, 0.99);
     out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(), [](const SpanStats& a, const SpanStats& b) {

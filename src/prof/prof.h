@@ -54,6 +54,9 @@ enum class Counter : int {
   kWorkspaceReuses,   ///< workspace allocations served without the heap
   kQgemmMacs,         ///< integer-GEMM multiply-accumulates (surviving
                       ///< entries x output columns; segment + panel paths)
+  kServeBatches,      ///< serve: cross-scene batches formed
+  kServeScenes,       ///< serve: scenes completed through the pipeline
+  kServeShed,         ///< serve: requests shed (capacity overflow + deadline)
   kCount,
 };
 
@@ -110,6 +113,15 @@ std::vector<std::pair<std::uint64_t, std::string>> thread_names();
 /// Clears all recorded events and zeroes every counter (metadata and thread
 /// names persist). Live spans started before reset() still record on exit.
 void reset();
+
+/// Linearly-interpolated percentile over an ascending-sorted sample:
+/// rank = q * (n - 1), interpolating between the two bracketing samples
+/// (n == 1 returns the sample, n == 0 returns 0). Every percentile the
+/// repo reports — the stats table below, the bench JSON emitters, and the
+/// serve tail-latency report — goes through this one definition, so a
+/// p50 printed by one surface always matches the same data printed by
+/// another. `q` is a fraction in [0, 1].
+double percentile(const std::vector<double>& sorted, double q);
 
 /// Per-span-name aggregate over a set of events.
 struct SpanStats {

@@ -1,0 +1,249 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "parallel/thread_pool.h"
+#include "prof/prof.h"
+#include "tensor/check.h"
+
+namespace upaq::serve {
+
+namespace {
+
+double steady_ms() {
+  using namespace std::chrono;
+  return duration<double, std::milli>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Server::Server(detectors::PointPillars& model, ServeConfig cfg)
+    : model_(model), cfg_(std::move(cfg)) {
+  UPAQ_CHECK(cfg_.max_batch >= 1, "serve: max_batch must be >= 1");
+  UPAQ_CHECK(cfg_.queue_capacity >= 1, "serve: queue_capacity must be >= 1");
+  clock_ = cfg_.clock ? cfg_.clock : Clock(&steady_ms);
+  t0_ = clock_();
+  stats_.batch_hist.assign(static_cast<std::size_t>(cfg_.max_batch) + 1, 0);
+}
+
+double Server::now_ms() const { return clock_() - t0_; }
+
+void Server::shed(Request req, double now, bool deadline) {
+  Result r;
+  r.id = req.id;
+  r.priority = req.priority;
+  r.shed = true;
+  r.arrival_ms = req.arrival_ms;
+  r.done_ms = now;
+  r.queue_ms = now - req.arrival_ms;
+  r.total_ms = r.queue_ms;
+  done_.push_back(std::move(r));
+  if (deadline)
+    ++stats_.shed_deadline;
+  else
+    ++stats_.shed_capacity;
+  prof::add(prof::Counter::kServeShed, 1);
+}
+
+std::uint64_t Server::submit(data::Scene scene, int priority) {
+  const double now = now_ms();
+  ++stats_.submitted;
+  Request r;
+  r.id = next_id_++;
+  r.priority = priority;
+  r.arrival_ms = now;
+  r.scene = std::move(scene);
+  const std::uint64_t id = r.id;
+
+  if (queue_.size() >= static_cast<std::size_t>(cfg_.queue_capacity)) {
+    // Capacity shed: the oldest request of the lowest priority at or below
+    // the incoming one. The queue is FIFO, so the first match is the
+    // oldest. If everything queued outranks the newcomer, the newcomer
+    // itself is the victim.
+    auto victim = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it)
+      if (it->priority <= r.priority &&
+          (victim == queue_.end() || it->priority < victim->priority))
+        victim = it;
+    if (victim == queue_.end()) {
+      shed(std::move(r), now, /*deadline=*/false);
+      return id;
+    }
+    shed(std::move(*victim), now, /*deadline=*/false);
+    queue_.erase(victim);
+  }
+  queue_.push_back(std::move(r));
+  return id;
+}
+
+std::optional<Server::InFlight> Server::form_batch(double now) {
+  if (cfg_.deadline_ms > 0.0) {
+    // Deadline shed: drop-oldest-past-deadline. The queue is arrival
+    // ordered, so one forward pass sheds oldest-first.
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (now - it->arrival_ms > cfg_.deadline_ms) {
+        shed(std::move(*it), now, /*deadline=*/true);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (queue_.empty()) return std::nullopt;
+
+  InFlight b;
+  b.start_ms = now;
+  while (static_cast<int>(b.reqs.size()) < cfg_.max_batch &&
+         !queue_.empty()) {
+    // Highest priority first; the strict '>' keeps the scan at the oldest
+    // request within the winning priority (FIFO within priority).
+    auto best = queue_.begin();
+    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it)
+      if (it->priority > best->priority) best = it;
+    b.reqs.push_back(std::move(*best));
+    queue_.erase(best);
+  }
+  ++stats_.batches;
+  ++stats_.batch_hist[b.reqs.size()];
+  prof::add(prof::Counter::kServeBatches, 1);
+  return b;
+}
+
+void Server::run_pre(InFlight& b) const {
+  prof::Span span("serve.pre", std::to_string(b.reqs.size()) + " scenes");
+  b.pillars.reserve(b.reqs.size());
+  for (const Request& req : b.reqs)
+    b.pillars.push_back(model_.pillarize(req.scene));
+}
+
+void Server::run_mid(InFlight& b) {
+  prof::Span span("serve.detect", std::to_string(b.reqs.size()) + " scenes");
+  std::vector<const detectors::PointPillars::Pillars*> ptrs;
+  ptrs.reserve(b.pillars.size());
+  for (const auto& p : b.pillars) ptrs.push_back(&p);
+  b.heads = model_.forward_batch(ptrs);
+}
+
+void Server::run_post(InFlight& b) const {
+  prof::Span span("serve.post", std::to_string(b.reqs.size()) + " scenes");
+  b.dets.reserve(b.heads.size());
+  for (const auto& h : b.heads)
+    b.dets.push_back(model_.decode(h.cls_logits, h.reg_out));
+}
+
+void Server::retire(InFlight& b, double now) {
+  const int batch_size = static_cast<int>(b.reqs.size());
+  for (std::size_t i = 0; i < b.reqs.size(); ++i) {
+    Result r;
+    r.id = b.reqs[i].id;
+    r.priority = b.reqs[i].priority;
+    r.detections = std::move(b.dets[i]);
+    r.batch = batch_size;
+    r.arrival_ms = b.reqs[i].arrival_ms;
+    r.start_ms = b.start_ms;
+    r.done_ms = now;
+    r.queue_ms = b.start_ms - r.arrival_ms;
+    r.pipeline_ms = now - b.start_ms;
+    r.total_ms = now - r.arrival_ms;
+    done_.push_back(std::move(r));
+    ++stats_.completed;
+    prof::add(prof::Counter::kServeScenes, 1);
+  }
+}
+
+bool Server::step() {
+  const double now = now_ms();
+  if (!pre_) pre_ = form_batch(now);
+  if (!pre_ && !mid_ && !post_) return false;
+
+  // The three stage slots hold disjoint batches and the stage bodies touch
+  // disjoint model state (pillarize/decode are const-pure; forward_batch
+  // owns the layer caches), so they may run concurrently. invoke() inlines
+  // in index order at one thread, and each stage is internally
+  // deterministic, so the slot contents after this call are identical at
+  // every thread count — pipelining changes wall-clock, never results.
+  std::vector<std::function<void()>> stages;
+  if (pre_) stages.push_back([this] { run_pre(*pre_); });
+  if (mid_) stages.push_back([this] { run_mid(*mid_); });
+  if (post_) stages.push_back([this] { run_post(*post_); });
+  {
+    prof::Span span("serve.step");
+    if (cfg_.pipeline) {
+      parallel::invoke(stages);
+    } else {
+      for (const auto& fn : stages) fn();
+    }
+  }
+
+  if (post_) {
+    retire(*post_, now_ms());
+    post_.reset();
+  }
+  post_ = std::move(mid_);
+  mid_ = std::move(pre_);
+  pre_.reset();
+  return true;
+}
+
+void Server::drain() {
+  while (step()) {
+  }
+}
+
+bool Server::idle() const {
+  return queue_.empty() && !pre_ && !mid_ && !post_;
+}
+
+std::vector<Result> Server::poll() {
+  std::vector<Result> out;
+  out.swap(done_);
+  return out;
+}
+
+LoadReport run_open_loop(detectors::PointPillars& model,
+                         const std::vector<Arrival>& arrivals,
+                         const ServeConfig& cfg) {
+  Server server(model, cfg);
+  std::size_t next = 0;
+  while (next < arrivals.size() || !server.idle()) {
+    const double now = server.now_ms();
+    while (next < arrivals.size() && arrivals[next].due_ms <= now)
+      server.submit(arrivals[next++].scene);  // open loop: copy, never delay
+    if (!server.step() && next < arrivals.size()) std::this_thread::yield();
+  }
+
+  LoadReport rep;
+  rep.wall_ms = server.now_ms();
+  rep.stats = server.stats();
+  rep.results = server.poll();
+  std::sort(rep.results.begin(), rep.results.end(),
+            [](const Result& a, const Result& b) { return a.id < b.id; });
+
+  if (!arrivals.empty() && arrivals.back().due_ms > 0.0)
+    rep.offered_hz = static_cast<double>(arrivals.size()) /
+                     (arrivals.back().due_ms / 1000.0);
+  if (rep.wall_ms > 0.0)
+    rep.achieved_hz =
+        static_cast<double>(rep.stats.completed) / (rep.wall_ms / 1000.0);
+  if (rep.stats.submitted > 0)
+    rep.shed_rate = static_cast<double>(rep.stats.shed_capacity +
+                                        rep.stats.shed_deadline) /
+                    static_cast<double>(rep.stats.submitted);
+
+  std::vector<double> lat;
+  lat.reserve(rep.results.size());
+  for (const Result& r : rep.results)
+    if (!r.shed) lat.push_back(r.total_ms);
+  std::sort(lat.begin(), lat.end());
+  rep.p50_ms = prof::percentile(lat, 0.50);
+  rep.p90_ms = prof::percentile(lat, 0.90);
+  rep.p99_ms = prof::percentile(lat, 0.99);
+  rep.p999_ms = prof::percentile(lat, 0.999);
+  return rep;
+}
+
+}  // namespace upaq::serve

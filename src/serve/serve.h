@@ -1,0 +1,166 @@
+// upaq::serve — streaming inference server over the PointPillars detector.
+//
+// The server turns the per-scene detect() loop into a request pipeline:
+//
+//   submit() -> bounded priority queue -> [pre.pillarize | detect | post.nms]
+//
+// Scenes are pulled from the queue in priority order (FIFO within a
+// priority) into cross-scene batches of up to `max_batch`, and the three
+// pipeline stages — pillarize the newest batch, run the batched forward on
+// the previous one, decode the one before that — are overlapped on the
+// shared upaq::parallel pool via parallel::invoke(). The stages touch
+// disjoint state (pillarize/decode are const and pure; forward_batch holds
+// the model exclusively), and every stage is internally deterministic, so
+// the served detections are bitwise identical to the serial detect() loop
+// at any thread count, any batch size, and with the pipeline on or off
+// (tests/test_serve.cpp pins all of this down).
+//
+// Overload policy: a submit() past `queue_capacity` sheds the oldest
+// request of the lowest priority present (the incoming request itself when
+// nothing queued is lower); at batch formation, requests older than
+// `deadline_ms` are shed oldest-first. Shed requests still produce a
+// Result (with `shed = true` and no detections) so run-to-drain
+// accounting is exact: submitted == completed + shed, always.
+//
+// Time comes from an injectable Clock so the test suite drives a virtual
+// clock (deterministic deadline shedding); the benchmarks use the default
+// steady clock. Detections never depend on the clock except through
+// shedding — timing feeds queueing decisions, never arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "detectors/pointpillars.h"
+#include "serve/stream.h"
+
+namespace upaq::serve {
+
+/// Monotonic time source in milliseconds. Only differences are used, so
+/// any origin works; null means the process steady clock.
+using Clock = std::function<double()>;
+
+struct ServeConfig {
+  int max_batch = 4;        ///< scenes per cross-scene batch
+  int queue_capacity = 64;  ///< bounded queue depth; overflow sheds
+  double deadline_ms = 0.0; ///< shed requests queued longer than this (0 = off)
+  bool pipeline = true;     ///< overlap stages via parallel::invoke
+  Clock clock;              ///< injectable time source (tests); null = real
+};
+
+/// Outcome of one submitted scene, shed or served.
+struct Result {
+  std::uint64_t id = 0;
+  int priority = 0;
+  bool shed = false;
+  std::vector<eval::Box3D> detections;  ///< empty when shed
+  int batch = 0;            ///< size of the batch this scene rode in (0: shed)
+  double arrival_ms = 0.0;  ///< submit time
+  double start_ms = 0.0;    ///< batch formation time (0 when shed)
+  double done_ms = 0.0;     ///< decode completion (or shed) time
+  double queue_ms = 0.0;    ///< time spent queued
+  double pipeline_ms = 0.0; ///< time from batch formation to decode done
+  double total_ms = 0.0;    ///< arrival -> done
+};
+
+struct ServeStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;      ///< served (excludes shed)
+  std::uint64_t shed_capacity = 0;  ///< dropped at submit (queue full)
+  std::uint64_t shed_deadline = 0;  ///< dropped at batch formation (too old)
+  std::uint64_t batches = 0;
+  std::vector<std::uint64_t> batch_hist;  ///< [k] = batches of size k
+};
+
+class Server {
+ public:
+  /// The server batches through the detector's staged API and therefore
+  /// must be the model's only user while requests are in flight.
+  explicit Server(detectors::PointPillars& model, ServeConfig cfg = {});
+
+  /// Enqueues a scene; returns its request id. May shed (the queue is
+  /// bounded) — the shed victim surfaces through poll() like any result.
+  std::uint64_t submit(data::Scene scene, int priority = 0);
+
+  /// Advances the pipeline one step: forms at most one new batch from the
+  /// queue, runs the three stage slots (overlapped when cfg.pipeline), and
+  /// retires the oldest slot's results. Returns false when there was
+  /// nothing to do.
+  bool step();
+
+  /// Runs step() until the queue and every pipeline slot are empty. Every
+  /// non-shed submitted scene has exactly one result afterwards.
+  void drain();
+
+  bool idle() const;
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Results completed since the last poll(), in completion order
+  /// (shed results appear at their shed time).
+  std::vector<Result> poll();
+
+  const ServeStats& stats() const { return stats_; }
+  const ServeConfig& config() const { return cfg_; }
+
+  /// Milliseconds since server construction, per the configured clock.
+  double now_ms() const;
+
+ private:
+  struct Request {
+    std::uint64_t id = 0;
+    int priority = 0;
+    double arrival_ms = 0.0;
+    data::Scene scene;
+  };
+  /// One cross-scene batch moving through the stage slots.
+  struct InFlight {
+    std::vector<Request> reqs;
+    double start_ms = 0.0;
+    std::vector<detectors::PointPillars::Pillars> pillars;   // after pre
+    std::vector<detectors::PointPillars::HeadOutput> heads;  // after detect
+    std::vector<std::vector<eval::Box3D>> dets;              // after post
+  };
+
+  void shed(Request req, double now, bool deadline);
+  std::optional<InFlight> form_batch(double now);
+  void run_pre(InFlight& b) const;
+  void run_mid(InFlight& b);
+  void run_post(InFlight& b) const;
+  void retire(InFlight& b, double now);
+
+  detectors::PointPillars& model_;
+  ServeConfig cfg_;
+  Clock clock_;
+  double t0_ = 0.0;
+  std::uint64_t next_id_ = 1;
+
+  std::deque<Request> queue_;  ///< FIFO by arrival; priority read at pull
+  std::optional<InFlight> pre_, mid_, post_;
+  std::vector<Result> done_;
+  ServeStats stats_;
+};
+
+/// One load level of the open-loop benchmark driver: submits each arrival
+/// at (or as soon as possible after) its due time against a real clock,
+/// stepping the server in between, then drains.
+struct LoadReport {
+  double offered_hz = 0.0;   ///< from the arrival schedule
+  double achieved_hz = 0.0;  ///< completed scenes per wall-clock second
+  double wall_ms = 0.0;
+  double p50_ms = 0.0, p90_ms = 0.0, p99_ms = 0.0, p999_ms = 0.0;
+  double shed_rate = 0.0;    ///< shed / submitted
+  ServeStats stats;
+  std::vector<Result> results;  ///< all results, sorted by request id
+};
+
+/// Runs the full schedule open-loop (arrivals are never delayed by a slow
+/// server — late scenes queue up and shed per the config). Requires an
+/// advancing clock; with the default real clock this is the bench path.
+LoadReport run_open_loop(detectors::PointPillars& model,
+                         const std::vector<Arrival>& arrivals,
+                         const ServeConfig& cfg);
+
+}  // namespace upaq::serve

@@ -1,0 +1,36 @@
+#include "serve/stream.h"
+
+#include <cmath>
+
+#include "tensor/rng.h"
+
+namespace upaq::serve {
+
+std::vector<Arrival> make_stream(const StreamConfig& cfg) {
+  Rng root(cfg.seed);
+  Rng scene_rng = root.fork();
+  Rng arrival_rng = root.fork();
+  data::SceneGenerator gen(cfg.scene);
+
+  std::vector<Arrival> out;
+  out.reserve(static_cast<std::size_t>(std::max(0, cfg.scenes)));
+  const double rate = cfg.rate_hz > 0.0 ? cfg.rate_hz : 1.0;
+  double t_ms = 0.0;
+  for (int i = 0; i < cfg.scenes; ++i) {
+    // Arrival gap first, scene second: the scene stream is consumed in a
+    // fixed order regardless of how many arrival draws the process needs.
+    if (cfg.poisson) {
+      const double u = static_cast<double>(arrival_rng.uniform());
+      t_ms += -std::log(1.0 - u) / rate * 1000.0;
+    } else {
+      t_ms += 1000.0 / rate;
+    }
+    Arrival a;
+    a.due_ms = t_ms;
+    a.scene = gen.sample(scene_rng);
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace upaq::serve

@@ -1,0 +1,38 @@
+// Synthetic scene streams for the serving layer.
+//
+// A stream is a pre-materialized arrival schedule: scenes drawn from the
+// repo's SceneGenerator plus a due-time per scene from a seeded arrival
+// process (Poisson or fixed-rate). Scene content and arrival timing come
+// from independent forked Rng streams, so sweeping the offered load never
+// perturbs the scenes themselves — every load level of a benchmark serves
+// the *same* scene sequence, and the serve-vs-serial equivalence gate can
+// compare detections across paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/scene.h"
+
+namespace upaq::serve {
+
+struct StreamConfig {
+  int scenes = 32;
+  double rate_hz = 50.0;        ///< offered load (mean arrival rate)
+  bool poisson = true;          ///< exponential inter-arrivals; false = fixed
+  std::uint64_t seed = 0x5eedULL;
+  data::SceneConfig scene;      ///< scene content distribution
+};
+
+/// One scheduled request: the scene and its arrival offset (milliseconds
+/// from stream start).
+struct Arrival {
+  data::Scene scene;
+  double due_ms = 0.0;
+};
+
+/// Materializes the full schedule, sorted by due time. Deterministic in
+/// `cfg` (same seed + same rate -> bitwise-identical stream).
+std::vector<Arrival> make_stream(const StreamConfig& cfg);
+
+}  // namespace upaq::serve

@@ -20,6 +20,7 @@
 #include "parallel/thread_pool.h"
 #include "prof/prof.h"
 #include "prof/report.h"
+#include "serve/serve.h"
 
 namespace upaq {
 namespace {
@@ -312,6 +313,51 @@ TEST_F(ProfTest, ChromeTraceIsBalancedAndOrderedPerThread) {
   EXPECT_GT(last_ts.size(), 1u);  // main + at least one pool worker
 }
 
+/// The single shared percentile definition, pinned at the edge cases every
+/// consumer (stats table, bench JSON, serve tail report) relies on.
+TEST_F(ProfTest, PercentileInterpolatesAndHandlesTinySamples) {
+  EXPECT_EQ(prof::percentile({}, 0.5), 0.0);
+
+  EXPECT_EQ(prof::percentile({5.0}, 0.0), 5.0);
+  EXPECT_EQ(prof::percentile({5.0}, 0.5), 5.0);
+  EXPECT_EQ(prof::percentile({5.0}, 0.99), 5.0);
+
+  const std::vector<double> two = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(prof::percentile(two, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(prof::percentile(two, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(prof::percentile(two, 0.9), 19.0);
+  EXPECT_DOUBLE_EQ(prof::percentile(two, 0.99), 19.9);
+  EXPECT_DOUBLE_EQ(prof::percentile(two, 1.0), 20.0);
+
+  const std::vector<double> four = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(prof::percentile(four, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(prof::percentile(four, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(prof::percentile(four, 1.0), 4.0);
+
+  // Out-of-range quantiles clamp instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(prof::percentile(four, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(prof::percentile(four, 1.5), 4.0);
+}
+
+/// aggregate() must report exactly what prof::percentile says over the same
+/// durations — no second, subtly different percentile in the stats path.
+TEST_F(ProfTest, AggregatePercentilesMatchSharedDefinitionExactly) {
+  std::vector<prof::Event> events;
+  std::vector<double> durs_ms;
+  for (int i = 1; i <= 100; ++i) {
+    events.push_back({"op", "", 0, i * 1000, i * 1000000, 1});
+    durs_ms.push_back(static_cast<double>(i));
+  }
+  const auto stats = prof::aggregate(events);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats[0].p50_ms, prof::percentile(durs_ms, 0.50));
+  EXPECT_DOUBLE_EQ(stats[0].p90_ms, prof::percentile(durs_ms, 0.90));
+  EXPECT_DOUBLE_EQ(stats[0].p99_ms, prof::percentile(durs_ms, 0.99));
+  EXPECT_DOUBLE_EQ(stats[0].p50_ms, 50.5);
+  EXPECT_DOUBLE_EQ(stats[0].p90_ms, 90.1);
+  EXPECT_DOUBLE_EQ(stats[0].p99_ms, 99.01);
+}
+
 TEST_F(ProfTest, AggregateComputesCountsAndPercentiles) {
   std::vector<prof::Event> events;
   for (int i = 1; i <= 100; ++i)
@@ -359,6 +405,96 @@ TEST_F(ProfTest, CostReportMatchesProfiledLayersByName) {
   EXPECT_GT(cmp.median_drift, 0.0);
   const std::string table = prof::cost_report_table(cmp);
   EXPECT_NE(table.find("drift"), std::string::npos);
+}
+
+/// Serving a drained stream emits the per-stage serve spans, each stage
+/// span containing its inner pipeline spans, and moves the serve counters.
+TEST_F(ProfTest, ServeStageSpansNestAndCountersMove) {
+  Rng rng(4242);
+  detectors::PointPillars model(detectors::PointPillarsConfig::scaled(), rng);
+  model.set_training(false);
+  Rng srng(99);
+  data::SceneGenerator gen;
+
+  serve::ServeConfig cfg;
+  cfg.max_batch = 2;
+  cfg.queue_capacity = 8;
+  serve::Server server(model, cfg);
+  for (int i = 0; i < 3; ++i) server.submit(gen.sample(srng));
+  server.drain();
+
+  const auto events = prof::snapshot_events();
+  std::set<std::string> names;
+  for (const auto& e : events) names.insert(e.name);
+  for (const char* stage : {"serve.step", "serve.pre", "serve.detect",
+                            "serve.post", "detect.batch", "pre.pillarize",
+                            "pfn.maxpool", "pre.scatter", "post.nms"})
+    EXPECT_TRUE(names.count(stage)) << "missing serve span: " << stage;
+
+  // Every stage span lies inside some serve.step span (serial fixture: the
+  // pipeline inlines, so containment is exact), and the inner pipeline
+  // spans lie inside their stage.
+  auto contained = [&](const prof::Event& inner, const char* outer_name) {
+    for (const auto& o : events)
+      if (o.name == outer_name && inner.start_ns >= o.start_ns &&
+          inner.start_ns + inner.dur_ns <= o.start_ns + o.dur_ns)
+        return true;
+    return false;
+  };
+  int stage_spans = 0;
+  for (const auto& e : events) {
+    if (e.name == "serve.pre" || e.name == "serve.detect" ||
+        e.name == "serve.post") {
+      ++stage_spans;
+      EXPECT_TRUE(contained(e, "serve.step")) << e.name << " outside step";
+    }
+    if (e.name == "pre.pillarize")
+      EXPECT_TRUE(contained(e, "serve.pre")) << "pillarize outside pre";
+    if (e.name == "detect.batch")
+      EXPECT_TRUE(contained(e, "serve.detect")) << "forward outside detect";
+    if (e.name == "post.nms")
+      EXPECT_TRUE(contained(e, "serve.post")) << "nms outside post";
+  }
+  // 2 batches x 3 stages each.
+  EXPECT_EQ(stage_spans, 6);
+
+  EXPECT_EQ(prof::counter_value(prof::Counter::kServeBatches), 2u);
+  EXPECT_EQ(prof::counter_value(prof::Counter::kServeScenes), 3u);
+  EXPECT_EQ(prof::counter_value(prof::Counter::kServeShed), 0u);
+}
+
+/// Forced overload: the shed counter is exact — one tick per shed request,
+/// split across both shed causes, zero for served ones.
+TEST_F(ProfTest, ServeShedCounterIsExactUnderForcedOverload) {
+  Rng rng(4242);
+  detectors::PointPillars model(detectors::PointPillarsConfig::scaled(), rng);
+  model.set_training(false);
+  Rng srng(99);
+  data::SceneGenerator gen;
+  const auto scene = gen.sample(srng);
+  double vt = 0.0;
+
+  serve::ServeConfig cfg;
+  cfg.max_batch = 2;
+  cfg.queue_capacity = 2;
+  cfg.deadline_ms = 10.0;
+  cfg.clock = [&vt] { return vt; };
+  serve::Server server(model, cfg);
+
+  // Burst of 5 into a 2-deep queue: exactly 3 capacity sheds.
+  for (int i = 0; i < 5; ++i) server.submit(scene);
+  EXPECT_EQ(prof::counter_value(prof::Counter::kServeShed), 3u);
+
+  // Age the survivors past the deadline: exactly 2 deadline sheds.
+  vt = 25.0;
+  server.drain();
+  EXPECT_EQ(prof::counter_value(prof::Counter::kServeShed), 5u);
+  EXPECT_EQ(server.stats().shed_capacity, 3u);
+  EXPECT_EQ(server.stats().shed_deadline, 2u);
+  EXPECT_EQ(server.stats().completed, 0u);
+  EXPECT_EQ(prof::counter_value(prof::Counter::kServeScenes), 0u);
+  EXPECT_EQ(server.stats().submitted, 5u);
+  EXPECT_EQ(server.poll().size(), 5u);
 }
 
 }  // namespace
