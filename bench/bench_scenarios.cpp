@@ -1,0 +1,134 @@
+// Scenario-diversity robustness matrix over the zoo variants.
+//
+// Runs every PointPillars deployment variant — fp32, UPAQ-compressed weights
+// on the float path (LCK), and the packed-integer LCK / HCK paths — across
+// each scenario family (baseline, jam, occlusion, dropout_noise, night) and
+// writes the per-family x per-variant matrix (mAP, per-class AP,
+// critical-object recall, p50/p99 detect latency) to bench_scenarios.json.
+//
+// The critical-object recall gate runs built in: a compressed variant whose
+// recall in any family drops more than the margin below fp32 exits non-zero,
+// which is what scripts/check.sh treats as a hard failure — compression must
+// not silently crater on pedestrians, cyclists, or near-range objects even
+// where aggregate (car-dominated) mAP holds.
+//
+//   ./bench_scenarios              # full matrix (20 scenes per family)
+//   ./bench_scenarios --smoke      # 6 scenes per family (CI / check.sh)
+//   --scenes N                     # override scenes per family
+//   --out FILE                     # JSON path (default bench_scenarios.json)
+//   --margin X                     # recall gate margin (default 0.15)
+//   --no-gate                      # report violations but exit 0
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/qmodel.h"
+#include "parallel/thread_pool.h"
+#include "zoo/experiment.h"
+#include "zoo/scenarios.h"
+#include "zoo/zoo.h"
+
+namespace {
+
+using namespace upaq;
+
+void print_report(const zoo::VariantReport& rep) {
+  std::printf("  %-16s %-14s %7s %7s %7s %7s %8s %8s %8s\n", rep.variant.c_str(),
+              "family", "mAP", "car", "ped", "cyc", "recall", "p50ms", "p99ms");
+  for (const auto& fm : rep.families) {
+    std::printf("  %-16s %-14s %7.2f %7.3f %7.3f %7.3f %5d/%-3d %8.2f %8.2f\n",
+                "", fm.family.c_str(), fm.map_percent,
+                fm.ap_for(eval::kClassCar), fm.ap_for(eval::kClassPedestrian),
+                fm.ap_for(eval::kClassCyclist), fm.critical.recalled,
+                fm.critical.critical, fm.p50_ms, fm.p99_ms);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace upaq;
+  bool smoke = false, gate = true;
+  int scenes = 0;
+  std::string out_path = "bench_scenarios.json";
+  zoo::RecallGateConfig gate_cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--no-gate") == 0) {
+      gate = false;
+    } else if (std::strcmp(argv[i], "--scenes") == 0 && i + 1 < argc) {
+      scenes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--margin") == 0 && i + 1 < argc) {
+      gate_cfg.margin = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown arg: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  zoo::ScenarioSuiteConfig cfg;
+  cfg.scenes_per_family = scenes > 0 ? scenes : (smoke ? 6 : 20);
+
+  std::printf("Scenario robustness suite (%d scenes/family, %d threads)\n",
+              cfg.scenes_per_family, parallel::thread_count());
+
+  zoo::Zoo z;
+  zoo::ExperimentRunner runner(z);
+
+  std::vector<zoo::VariantReport> reports;
+
+  // fp32 reference: the uncompressed pretrained zoo model.
+  auto fp32 = z.pointpillars();
+  reports.push_back(zoo::run_scenario_suite(*fp32, "fp32", cfg));
+  print_report(reports.back());
+
+  // UPAQ outcomes (cached in the zoo dir after the first Table-2 run).
+  auto lck = runner.run(zoo::Framework::kUpaqLck, zoo::ModelKind::kPointPillars);
+  auto hck = runner.run(zoo::Framework::kUpaqHck, zoo::ModelKind::kPointPillars);
+
+  // Compressed weights on the float path first: QuantizedModel attaches
+  // packed engines to the inner model, so the fp32-path suite must finish
+  // before lowering the same instance.
+  reports.push_back(zoo::run_scenario_suite(*lck.model, "upaq_lck_fp32", cfg));
+  print_report(reports.back());
+  {
+    core::QuantizedModel packed(*lck.model, lck.plan);
+    reports.push_back(zoo::run_scenario_suite(packed, "upaq_lck_packed", cfg));
+    print_report(reports.back());
+  }
+  {
+    core::QuantizedModel packed(*hck.model, hck.plan);
+    reports.push_back(zoo::run_scenario_suite(packed, "upaq_hck_packed", cfg));
+    print_report(reports.back());
+  }
+
+  std::ofstream os(out_path);
+  os << zoo::scenario_suite_json(reports, cfg);
+  os.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Critical-object recall gate: every compressed variant vs fp32.
+  std::vector<zoo::GateViolation> violations;
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    auto v = zoo::check_recall_gate(reports[0], reports[i], gate_cfg);
+    violations.insert(violations.end(), v.begin(), v.end());
+  }
+  if (violations.empty()) {
+    std::printf("recall gate: OK (no variant drops critical recall > %.2f "
+                "below fp32)\n", gate_cfg.margin);
+    return 0;
+  }
+  for (const auto& v : violations) {
+    std::fprintf(stderr,
+                 "recall gate VIOLATION: %s/%s critical recall %.3f < fp32 "
+                 "%.3f - margin %.2f\n",
+                 v.variant.c_str(), v.family.c_str(), v.variant_recall,
+                 v.base_recall, gate_cfg.margin);
+  }
+  return gate ? 1 : 0;
+}

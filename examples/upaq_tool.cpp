@@ -12,6 +12,10 @@
 //                   [--capacity Q] [--deadline MS] [--no-pipeline]
 //                   [--seed S] [--trace FILE]
 //
+//   upaq_tool scenarios [--scenes N] [--seed S] [--families a,b,...]
+//                       [--margin X] [--out FILE] [--fp32-only]
+//                       [--cache DIR]
+//
 // The default mode trains (or loads) the chosen detector, compresses it with
 // the requested configuration, optionally fine-tunes, and prints the
 // accuracy / compression / deployment-cost summary. Everything the Table-2
@@ -26,6 +30,11 @@
 // upaq::serve batching/pipelining server and prints throughput, tail
 // latency, the shed split, and the batch-size histogram (the single-load
 // interactive sibling of bench/bench_serve).
+//
+// `scenarios` runs the scenario-diversity robustness suite (per-family mAP,
+// per-class AP, critical-object recall, detect latency) on the zoo variants
+// and applies the critical-recall compression gate — the interactive sibling
+// of bench/bench_scenarios, with family selection and gate margin exposed.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +54,8 @@
 #include "serve/serve.h"
 #include "serve/stream.h"
 #include "tensor/workspace.h"
+#include "zoo/experiment.h"
+#include "zoo/scenarios.h"
 #include "zoo/zoo.h"
 
 namespace {
@@ -61,8 +72,11 @@ using namespace upaq;
                "          [--runs R] [--trace FILE] [--packed]\n"
                "       %s serve [--scenes N] [--rate HZ] [--fixed]\n"
                "          [--batch B] [--capacity Q] [--deadline MS]\n"
-               "          [--no-pipeline] [--seed S] [--trace FILE]\n",
-               argv0, argv0, argv0);
+               "          [--no-pipeline] [--seed S] [--trace FILE]\n"
+               "       %s scenarios [--scenes N] [--seed S]\n"
+               "          [--families a,b,...] [--margin X] [--out FILE]\n"
+               "          [--fp32-only] [--cache DIR]\n",
+               argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -308,6 +322,122 @@ int run_serve(int argc, char** argv) {
   return 0;
 }
 
+/// `upaq_tool scenarios`: the robustness matrix, interactively. Runs fp32 and
+/// (unless --fp32-only) the cached UPAQ LCK/HCK packed variants over the
+/// selected scenario families and applies the critical-recall gate.
+int run_scenarios(int argc, char** argv) {
+  zoo::ScenarioSuiteConfig scfg;
+  scfg.scenes_per_family = 10;
+  zoo::RecallGateConfig gate_cfg;
+  zoo::ZooConfig zcfg;
+  std::string out_path;
+  bool fp32_only = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--scenes") {
+      scfg.scenes_per_family = std::atoi(next());
+    } else if (arg == "--seed") {
+      scfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--families") {
+      const std::string list = next();
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const auto comma = list.find(',', start);
+        const std::string tok = list.substr(
+            start, comma == std::string::npos ? list.npos : comma - start);
+        data::ScenarioFamily family;
+        if (!data::scenario_from_name(tok, family)) {
+          std::fprintf(stderr, "unknown scenario family: %s\n", tok.c_str());
+          return 2;
+        }
+        scfg.families.push_back(family);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--margin") {
+      gate_cfg.margin = std::atof(next());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--fp32-only") {
+      fp32_only = true;
+    } else if (arg == "--cache") {
+      zcfg.cache_dir = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (scfg.scenes_per_family < 1) usage(argv[0]);
+
+  zoo::Zoo z(zcfg);
+  std::vector<zoo::VariantReport> reports;
+  auto print_report = [](const zoo::VariantReport& rep) {
+    std::printf("%-16s %-14s %7s %7s %7s %7s %9s %8s %8s\n",
+                rep.variant.c_str(), "family", "mAP", "car", "ped", "cyc",
+                "recall", "p50ms", "p99ms");
+    for (const auto& fm : rep.families)
+      std::printf("%-16s %-14s %7.2f %7.3f %7.3f %7.3f %5d/%-3d %8.2f %8.2f\n",
+                  "", fm.family.c_str(), fm.map_percent,
+                  fm.ap_for(eval::kClassCar), fm.ap_for(eval::kClassPedestrian),
+                  fm.ap_for(eval::kClassCyclist), fm.critical.recalled,
+                  fm.critical.critical, fm.p50_ms, fm.p99_ms);
+  };
+
+  auto fp32 = z.pointpillars();
+  reports.push_back(zoo::run_scenario_suite(*fp32, "fp32", scfg));
+  print_report(reports.back());
+
+  if (!fp32_only) {
+    zoo::ExperimentRunner runner(z);
+    auto lck =
+        runner.run(zoo::Framework::kUpaqLck, zoo::ModelKind::kPointPillars);
+    auto hck =
+        runner.run(zoo::Framework::kUpaqHck, zoo::ModelKind::kPointPillars);
+    {
+      core::QuantizedModel packed(*lck.model, lck.plan);
+      reports.push_back(zoo::run_scenario_suite(packed, "upaq_lck_packed",
+                                                scfg));
+      print_report(reports.back());
+    }
+    {
+      core::QuantizedModel packed(*hck.model, hck.plan);
+      reports.push_back(zoo::run_scenario_suite(packed, "upaq_hck_packed",
+                                                scfg));
+      print_report(reports.back());
+    }
+  }
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed to open %s\n", out_path.c_str());
+      return 1;
+    }
+    const std::string json = zoo::scenario_suite_json(reports, scfg);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  std::vector<zoo::GateViolation> violations;
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    auto v = zoo::check_recall_gate(reports[0], reports[i], gate_cfg);
+    violations.insert(violations.end(), v.begin(), v.end());
+  }
+  for (const auto& v : violations)
+    std::fprintf(stderr,
+                 "recall gate VIOLATION: %s/%s critical recall %.3f < fp32 "
+                 "%.3f - margin %.2f\n",
+                 v.variant.c_str(), v.family.c_str(), v.variant_recall,
+                 v.base_recall, gate_cfg.margin);
+  if (violations.empty() && reports.size() > 1)
+    std::printf("recall gate: OK (margin %.2f)\n", gate_cfg.margin);
+  return violations.empty() ? 0 : 1;
+}
+
 std::vector<int> parse_bits(const std::string& arg) {
   std::vector<int> bits;
   std::size_t start = 0;
@@ -329,6 +459,8 @@ int main(int argc, char** argv) {
     return run_profile(argc, argv);
   if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
     return run_serve(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "scenarios") == 0)
+    return run_scenarios(argc, argv);
 
   std::string model_name = "pointpillars";
   core::UpaqConfig cfg = core::UpaqConfig::lck();

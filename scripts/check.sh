@@ -70,6 +70,15 @@ echo "==> serve smoke (serve-vs-serial equivalence gate hard-fails)"
 UPAQ_THREADS=4 "$BUILD_DIR"/bench/bench_serve --smoke --out "$BUILD_DIR"/bench_serve_smoke.json \
   || { echo "serve smoke FAILED (equivalence gate)"; exit 1; }
 
+# Scenario smoke: the robustness matrix over every zoo variant (fp32,
+# LCK fp32, LCK/HCK packed) across the five scenario families, with the
+# critical-object recall gate live — compression dropping pedestrian /
+# cyclist / near-range recall more than the margin below fp32 exits
+# non-zero and fails the check. mAP and latency numbers are informational.
+echo "==> scenario smoke (critical-object recall gate hard-fails)"
+UPAQ_THREADS=4 "$BUILD_DIR"/bench/bench_scenarios --smoke --out "$BUILD_DIR"/bench_scenarios_smoke.json \
+  || { echo "scenario smoke FAILED (critical recall gate)"; exit 1; }
+
 # The packed-integer path does raw bit twiddling (sign extension, packed
 # buffers) — run its suites under ASan/UBSan so memory and UB bugs in the
 # pack/unpack/GEMM code cannot slip past the plain Release gate. The prof
@@ -78,14 +87,16 @@ UPAQ_THREADS=4 "$BUILD_DIR"/bench/bench_serve --smoke --out "$BUILD_DIR"/bench_s
 # test_gemm_kernel joins them: the panel packer and workspace arena do raw
 # pointer arithmetic over reused blocks, exactly where ASan earns its keep;
 # test_qgemm_kernel covers the interleaved int8 panel kernel the same way.
-echo "==> qnn + quant + prof + serve + gemm/workspace suites under UPAQ_SANITIZE=address,undefined"
+# test_scenarios rides along too: the corruption passes (occlusion shadow
+# walk, dropout filter) and the suite's report assembly are fresh code.
+echo "==> qnn + quant + prof + serve + scenarios + gemm/workspace suites under UPAQ_SANITIZE=address,undefined"
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$ASAN_DIR" -S . -DUPAQ_SANITIZE=address,undefined
-cmake --build "$ASAN_DIR" -j "$JOBS" --target test_qnn test_quant test_prof test_serve test_gemm_kernel test_qgemm_kernel
-UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_qnn|test_quant|test_gemm_kernel|test_qgemm_kernel' --output-on-failure
+cmake --build "$ASAN_DIR" -j "$JOBS" --target test_qnn test_quant test_prof test_serve test_scenarios test_gemm_kernel test_qgemm_kernel
+UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_qnn|test_quant|test_gemm_kernel|test_qgemm_kernel|test_scenarios' --output-on-failure
 # The serve pipeline overlaps stages across pool lanes and recycles batch
 # slots — ASan watches the slot/workspace lifetimes, and the traced run
 # keeps every span live while the stages overlap.
 UPAQ_TRACE=1 UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_prof|test_serve' --output-on-failure
 
-echo "check.sh: OK (tier1 passed serial, 4-thread, and traced; perf + serve smokes, ratchet, sanitizers green)"
+echo "check.sh: OK (tier1 passed serial, 4-thread, and traced; perf + serve + scenario smokes, ratchet, recall gate, sanitizers green)"

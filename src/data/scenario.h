@@ -1,0 +1,52 @@
+// Scenario families: named SceneConfig presets for the robustness suite.
+//
+// Each family stresses one failure axis of a compressed detector while
+// keeping the multi-class world (cars + pedestrians + cyclists) present, so
+// per-class AP and critical-object recall are non-vacuous in every family:
+//
+//   baseline      - the multi-class world under clean conditions
+//   jam           - dense traffic at near-contact spacing (8..14 cars)
+//   occlusion     - angular shadows remove most returns behind foreground
+//   dropout_noise - beam dropout + range-proportional jitter
+//   night         - low-ambient, low-contrast, noisy camera render (SMOKE)
+//
+// Scene generation per family is seed-deterministic and thread-independent
+// (the generator never touches the thread pool), which the tier-1 suite
+// asserts bitwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/scene.h"
+
+namespace upaq::data {
+
+enum class ScenarioFamily {
+  kBaseline = 0,
+  kJam,
+  kOcclusion,
+  kDropoutNoise,
+  kNight,
+};
+
+/// All families, in fixed report order.
+const std::vector<ScenarioFamily>& all_scenario_families();
+
+/// Stable name used in JSON reports and on the CLI.
+std::string scenario_name(ScenarioFamily family);
+
+/// Parses a scenario name; returns false (leaving `out` untouched) on an
+/// unknown name.
+bool scenario_from_name(const std::string& name, ScenarioFamily& out);
+
+/// The family's SceneConfig preset.
+SceneConfig scenario_config(ScenarioFamily family);
+
+/// Draws `count` scenes of the family. The family index is folded into the
+/// seed so different families at the same suite seed get independent draws.
+std::vector<Scene> make_scenario_scenes(ScenarioFamily family, int count,
+                                        std::uint64_t seed);
+
+}  // namespace upaq::data

@@ -9,78 +9,155 @@ namespace upaq::data {
 
 namespace {
 
+constexpr float kPi = 3.14159265358979f;
+
 /// Coarse overlap check in BEV using circumscribed circles — placement only
-/// needs "not on top of each other", not exact separation.
-bool too_close(const eval::Box3D& a, const eval::Box3D& b) {
+/// needs "not on top of each other", not exact separation. `spacing` scales
+/// the margin: 1.0 is the clean road, < 1 packs jam scenes to near-contact.
+bool too_close(const eval::Box3D& a, const eval::Box3D& b, float spacing) {
   const float dx = a.x - b.x, dy = a.y - b.y;
   const float ra = 0.5f * std::hypot(a.length, a.width);
   const float rb = 0.5f * std::hypot(b.length, b.width);
-  return std::hypot(dx, dy) < (ra + rb) * 1.1f;
+  return std::hypot(dx, dy) < (ra + rb) * 1.1f * spacing;
+}
+
+/// Rejection-samples `target` boxes drawn by `draw_box` into the scene,
+/// keeping the pairwise spacing invariant against everything placed so far.
+template <typename DrawBox>
+void place_objects(Scene& scene, Rng& rng, int target, float spacing,
+                   DrawBox&& draw_box) {
+  int attempts = 0;
+  const int placed_before = static_cast<int>(scene.objects.size());
+  while (static_cast<int>(scene.objects.size()) - placed_before < target &&
+         attempts < 200) {
+    ++attempts;
+    eval::Box3D box = draw_box(rng);
+    bool ok = true;
+    for (const auto& other : scene.objects)
+      if (too_close(box, other, spacing)) {
+        ok = false;
+        break;
+      }
+    if (ok) scene.objects.push_back(box);
+  }
 }
 
 }  // namespace
 
 void SceneGenerator::place_cars(Scene& scene, Rng& rng) const {
   const int target = rng.uniform_int(cfg_.min_cars, cfg_.max_cars);
-  int attempts = 0;
-  while (static_cast<int>(scene.objects.size()) < target && attempts < 200) {
-    ++attempts;
+  place_objects(scene, rng, target, cfg_.spacing_factor, [&](Rng& r) {
     eval::Box3D car;
-    car.length = std::max(3.0f, rng.normal(cfg_.car_length_mean, cfg_.car_length_sd));
-    car.width = std::max(1.4f, rng.normal(cfg_.car_width_mean, cfg_.car_width_sd));
-    car.height = std::max(1.2f, rng.normal(cfg_.car_height_mean, cfg_.car_height_sd));
-    car.x = rng.uniform(cfg_.x_min + 3.0f, cfg_.x_max - 3.0f);
-    car.y = rng.uniform(cfg_.y_min + 2.0f, cfg_.y_max - 2.0f);
+    car.length = std::max(3.0f, r.normal(cfg_.car_length_mean, cfg_.car_length_sd));
+    car.width = std::max(1.4f, r.normal(cfg_.car_width_mean, cfg_.car_width_sd));
+    car.height = std::max(1.2f, r.normal(cfg_.car_height_mean, cfg_.car_height_sd));
+    car.x = r.uniform(cfg_.x_min + 3.0f, cfg_.x_max - 3.0f);
+    car.y = r.uniform(cfg_.y_min + 2.0f, cfg_.y_max - 2.0f);
     car.z = car.height * 0.5f;
-    car.yaw = rng.uniform(-3.14159265f, 3.14159265f);
-    car.label = 0;
-    bool ok = true;
-    for (const auto& other : scene.objects)
-      if (too_close(car, other)) {
-        ok = false;
-        break;
-      }
-    if (ok) scene.objects.push_back(car);
-  }
+    car.yaw = r.uniform(-3.14159265f, 3.14159265f);
+    car.label = eval::kClassCar;
+    return car;
+  });
+}
+
+void SceneGenerator::place_pedestrians(Scene& scene, Rng& rng) const {
+  const int target = rng.uniform_int(cfg_.min_pedestrians, cfg_.max_pedestrians);
+  place_objects(scene, rng, target, cfg_.spacing_factor, [&](Rng& r) {
+    eval::Box3D ped;
+    // Square BEV footprint: a standing person has no meaningful heading
+    // extent, so length == width (one draw keeps the distributions sane).
+    const float extent =
+        std::max(0.35f, r.normal(cfg_.ped_extent_mean, cfg_.ped_extent_sd));
+    ped.length = extent;
+    ped.width = extent;
+    ped.height = std::max(1.2f, r.normal(cfg_.ped_height_mean, cfg_.ped_height_sd));
+    ped.x = r.uniform(cfg_.x_min + 1.0f, cfg_.x_max - 1.0f);
+    ped.y = r.uniform(cfg_.y_min + 1.0f, cfg_.y_max - 1.0f);
+    ped.z = ped.height * 0.5f;
+    ped.yaw = r.uniform(-3.14159265f, 3.14159265f);
+    ped.label = eval::kClassPedestrian;
+    return ped;
+  });
+}
+
+void SceneGenerator::place_cyclists(Scene& scene, Rng& rng) const {
+  const int target = rng.uniform_int(cfg_.min_cyclists, cfg_.max_cyclists);
+  place_objects(scene, rng, target, cfg_.spacing_factor, [&](Rng& r) {
+    eval::Box3D cyc;
+    cyc.length = std::max(1.2f, r.normal(cfg_.cyclist_length_mean,
+                                         cfg_.cyclist_length_sd));
+    cyc.width = std::max(0.4f, r.normal(cfg_.cyclist_width_mean,
+                                        cfg_.cyclist_width_sd));
+    cyc.height = std::max(1.2f, r.normal(cfg_.cyclist_height_mean,
+                                         cfg_.cyclist_height_sd));
+    cyc.x = r.uniform(cfg_.x_min + 1.5f, cfg_.x_max - 1.5f);
+    cyc.y = r.uniform(cfg_.y_min + 1.0f, cfg_.y_max - 1.0f);
+    cyc.z = cyc.height * 0.5f;
+    cyc.yaw = r.uniform(-3.14159265f, 3.14159265f);
+    cyc.label = eval::kClassCyclist;
+    return cyc;
+  });
 }
 
 void SceneGenerator::simulate_lidar(Scene& scene, Rng& rng) const {
-  // Car returns: sample the two faces oriented toward the sensor plus the
-  // roof; density decays with distance like a real spinning LiDAR.
-  for (const auto& car : scene.objects) {
-    const float dist = std::max(2.0f, std::hypot(car.x, car.y));
-    const int budget = std::max(
-        6, static_cast<int>(cfg_.points_at_10m * 10.0f / dist));
-    const float c = std::cos(car.yaw), s = std::sin(car.yaw);
-    // Direction from car to sensor, expressed in the car's local frame.
-    const float to_sensor_x = -(c * car.x + s * car.y);
-    const float to_sensor_y = -(-s * car.x + c * car.y);
+  // Object returns: sample the faces oriented toward the sensor plus the
+  // roof; density decays with distance like a real spinning LiDAR, scaled by
+  // visible surface area for the small classes, floored at
+  // min_object_points so distant objects never become point-less ghosts.
+  for (const auto& obj : scene.objects) {
+    const float dist = std::max(2.0f, std::hypot(obj.x, obj.y));
+    int budget;
+    if (obj.label == eval::kClassCar) {
+      budget = std::max(cfg_.min_object_points,
+                        static_cast<int>(cfg_.points_at_10m * 10.0f / dist));
+    } else {
+      // points_at_10m is calibrated on the mean car's visible surface.
+      const float area_scale =
+          ((obj.length + obj.width) * obj.height) /
+          ((cfg_.car_length_mean + cfg_.car_width_mean) * cfg_.car_height_mean);
+      budget = std::max(
+          cfg_.min_object_points,
+          static_cast<int>(cfg_.points_at_10m * 10.0f / dist * area_scale));
+    }
+    const float c = std::cos(obj.yaw), s = std::sin(obj.yaw);
+    // Direction from object to sensor, expressed in the object's local frame.
+    const float to_sensor_x = -(c * obj.x + s * obj.y);
+    const float to_sensor_y = -(-s * obj.x + c * obj.y);
     for (int i = 0; i < budget; ++i) {
-      // Pick a face biased toward the visible sides. Local frame: +-l/2 on
-      // x (front/back), +-w/2 on y (sides), top at +h/2.
       float lx, ly, lz;
-      const int face = rng.uniform_int(0, 9);
-      if (face < 4) {
-        // Length-side face toward the sensor.
-        lx = rng.uniform(-car.length * 0.5f, car.length * 0.5f);
-        ly = (to_sensor_y >= 0 ? 1.0f : -1.0f) * car.width * 0.5f;
-        lz = rng.uniform(0.0f, car.height);
-      } else if (face < 8) {
-        // Front/back face toward the sensor.
-        lx = (to_sensor_x >= 0 ? 1.0f : -1.0f) * car.length * 0.5f;
-        ly = rng.uniform(-car.width * 0.5f, car.width * 0.5f);
-        lz = rng.uniform(0.0f, car.height);
+      if (obj.label == eval::kClassCar) {
+        // Pick a face biased toward the visible sides. Local frame: +-l/2 on
+        // x (front/back), +-w/2 on y (sides), top at +h/2.
+        const int face = rng.uniform_int(0, 9);
+        if (face < 4) {
+          // Length-side face toward the sensor.
+          lx = rng.uniform(-obj.length * 0.5f, obj.length * 0.5f);
+          ly = (to_sensor_y >= 0 ? 1.0f : -1.0f) * obj.width * 0.5f;
+          lz = rng.uniform(0.0f, obj.height);
+        } else if (face < 8) {
+          // Front/back face toward the sensor.
+          lx = (to_sensor_x >= 0 ? 1.0f : -1.0f) * obj.length * 0.5f;
+          ly = rng.uniform(-obj.width * 0.5f, obj.width * 0.5f);
+          lz = rng.uniform(0.0f, obj.height);
+        } else {
+          // Roof.
+          lx = rng.uniform(-obj.length * 0.5f, obj.length * 0.5f);
+          ly = rng.uniform(-obj.width * 0.5f, obj.width * 0.5f);
+          lz = obj.height;
+        }
       } else {
-        // Roof.
-        lx = rng.uniform(-car.length * 0.5f, car.length * 0.5f);
-        ly = rng.uniform(-car.width * 0.5f, car.width * 0.5f);
-        lz = car.height;
+        // Pedestrians/cyclists have no flat car-like faces; a loose volume
+        // shell is a good-enough return model for boxes this small.
+        lx = rng.uniform(-obj.length * 0.5f, obj.length * 0.5f);
+        ly = rng.uniform(-obj.width * 0.5f, obj.width * 0.5f);
+        lz = rng.uniform(0.0f, obj.height);
       }
       LidarPoint p;
-      p.x = car.x + c * lx - s * ly + rng.normal(0.0f, cfg_.point_noise_sd);
-      p.y = car.y + s * lx + c * ly + rng.normal(0.0f, cfg_.point_noise_sd);
+      p.x = obj.x + c * lx - s * ly + rng.normal(0.0f, cfg_.point_noise_sd);
+      p.y = obj.y + s * lx + c * ly + rng.normal(0.0f, cfg_.point_noise_sd);
       p.z = lz + rng.normal(0.0f, cfg_.point_noise_sd);
-      p.intensity = rng.uniform(0.3f, 0.9f);
+      p.intensity = obj.label == eval::kClassCar ? rng.uniform(0.3f, 0.9f)
+                                                 : rng.uniform(0.2f, 0.7f);
       scene.points.push_back(p);
     }
   }
@@ -112,10 +189,82 @@ void SceneGenerator::simulate_lidar(Scene& scene, Rng& rng) const {
   }
 }
 
+void SceneGenerator::apply_range_noise(Scene& scene, Rng& rng) const {
+  // Range-proportional jitter on every point (three draws each, so the draw
+  // count is a pure function of the clean scene).
+  for (auto& p : scene.points) {
+    const float r = std::hypot(p.x, p.y);
+    const float sd = std::max(
+        1e-6f, cfg_.point_noise_sd * cfg_.range_noise_scale * (r / 10.0f));
+    p.x += rng.normal(0.0f, sd);
+    p.y += rng.normal(0.0f, sd);
+    p.z += rng.normal(0.0f, sd);
+  }
+}
+
+void SceneGenerator::apply_occlusion(Scene& scene, Rng& rng) const {
+  // Every object casts an angular shadow: points at strictly greater range
+  // inside its azimuth cone survive only with probability occlusion_keep.
+  // far_range includes the occluder's own radius plus a noise margin, so the
+  // occluder's returns — and anything in front of it — are never removed.
+  struct Shadow {
+    float az, half_angle, far_range;
+  };
+  std::vector<Shadow> shadows;
+  shadows.reserve(scene.objects.size());
+  for (const auto& obj : scene.objects) {
+    const float dist = std::hypot(obj.x, obj.y);
+    const float r = 0.5f * std::hypot(obj.length, obj.width);
+    if (dist <= r + 0.5f) continue;  // sensor effectively inside the box
+    Shadow sh;
+    sh.az = std::atan2(obj.y, obj.x);
+    sh.half_angle = std::asin(std::min(0.999f, r / dist));
+    sh.far_range = dist + r + 0.3f;
+    shadows.push_back(sh);
+  }
+  if (shadows.empty()) return;
+  std::vector<LidarPoint> kept;
+  kept.reserve(scene.points.size());
+  for (const auto& p : scene.points) {
+    const float pr = std::hypot(p.x, p.y);
+    bool shadowed = false;
+    for (const auto& sh : shadows) {
+      if (pr <= sh.far_range) continue;
+      float d = std::atan2(p.y, p.x) - sh.az;
+      while (d > kPi) d -= 2.0f * kPi;
+      while (d < -kPi) d += 2.0f * kPi;
+      if (std::fabs(d) < sh.half_angle) {
+        shadowed = true;
+        break;
+      }
+    }
+    // One Bernoulli draw per shadowed point: the draw count depends only on
+    // the clean geometry, keeping the stream deterministic.
+    if (!shadowed || rng.bernoulli(cfg_.occlusion_keep)) kept.push_back(p);
+  }
+  scene.points = std::move(kept);
+}
+
+void SceneGenerator::apply_dropout(Scene& scene, Rng& rng) const {
+  std::vector<LidarPoint> kept;
+  kept.reserve(scene.points.size());
+  for (const auto& p : scene.points)
+    if (!rng.bernoulli(cfg_.dropout_fraction)) kept.push_back(p);
+  scene.points = std::move(kept);
+}
+
 Scene SceneGenerator::sample(Rng& rng) const {
   Scene scene;
   place_cars(scene, rng);
+  // Disabled features must not consume Rng draws: the default config has to
+  // reproduce the pre-scenario generator bit-for-bit (zoo-cache invariant).
+  if (cfg_.max_pedestrians > 0) place_pedestrians(scene, rng);
+  if (cfg_.max_cyclists > 0) place_cyclists(scene, rng);
   simulate_lidar(scene, rng);
+  if (cfg_.range_noise_scale > 0.0f) apply_range_noise(scene, rng);
+  if (cfg_.occlusion) apply_occlusion(scene, rng);
+  if (cfg_.dropout_fraction > 0.0f) apply_dropout(scene, rng);
+  scene.render = cfg_.render;
   return scene;
 }
 
@@ -155,18 +304,18 @@ Tensor render_camera(const Scene& scene, const Camera& cam, Rng& rng) {
       img.at(2, v, u) = b;
     }
   }
-  // Draw cars far-to-near so nearer cars occlude farther ones.
+  // Draw objects far-to-near so nearer objects occlude farther ones.
   std::vector<const eval::Box3D*> order;
-  for (const auto& car : scene.objects) order.push_back(&car);
+  for (const auto& obj : scene.objects) order.push_back(&obj);
   std::sort(order.begin(), order.end(),
             [](const eval::Box3D* a, const eval::Box3D* b) { return a->x > b->x; });
-  for (const auto* car : order) {
+  for (const auto* obj : order) {
     // Project all 8 corners; fill the projected axis-aligned hull.
-    const auto corners = eval::bev_corners(*car);
+    const auto corners = eval::bev_corners(*obj);
     float umin = 1e9f, umax = -1e9f, vmin = 1e9f, vmax = -1e9f;
     bool visible = false;
     for (const auto& cpt : corners) {
-      for (float zz : {car->z - car->height * 0.5f, car->z + car->height * 0.5f}) {
+      for (float zz : {obj->z - obj->height * 0.5f, obj->z + obj->height * 0.5f}) {
         float u, v;
         if (cam.project(static_cast<float>(cpt.x), static_cast<float>(cpt.y), zz,
                         u, v)) {
@@ -182,7 +331,7 @@ Tensor render_camera(const Scene& scene, const Camera& cam, Rng& rng) {
     // Albedo jitter makes brightness an imperfect depth cue (monocular depth
     // must come from size/position, like real SMOKE).
     const float albedo = rng.uniform(0.35f, 0.95f);
-    const float shade = albedo * std::min(1.0f, 14.0f / car->x);
+    const float shade = albedo * std::min(1.0f, 14.0f / obj->x);
     const float hue = rng.uniform(-0.12f, 0.12f);
     const int u0 = std::max(0, static_cast<int>(std::floor(umin)));
     const int u1 = std::min(cam.width - 1, static_cast<int>(std::ceil(umax)));
@@ -199,9 +348,17 @@ Tensor render_camera(const Scene& scene, const Camera& cam, Rng& rng) {
       }
     }
   }
-  // Sensor noise.
+  // Night / low-contrast conditions: rescale the lit image around the
+  // ambient mid-grey. Gated so the default render stays bit-identical.
+  const RenderConditions& rc = scene.render;
+  if (rc.ambient != 1.0f || rc.contrast != 1.0f) {
+    const float mid = 0.5f * rc.ambient;
+    for (auto& p : img.flat())
+      p = std::clamp(mid + (p * rc.ambient - mid) * rc.contrast, 0.0f, 1.0f);
+  }
+  // Sensor noise (low light is noisier).
   for (auto& p : img.flat()) {
-    p = std::clamp(p + rng.normal(0.0f, 0.02f), 0.0f, 1.0f);
+    p = std::clamp(p + rng.normal(0.0f, rc.noise_sd), 0.0f, 1.0f);
   }
   return img;
 }

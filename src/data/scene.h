@@ -1,13 +1,24 @@
 // Synthetic KITTI-like scenes: the dataset substitute.
 //
-// Each scene is a ground plane with 1..N car-sized boxes at random poses
-// inside the detection range, observed by (a) a simulated LiDAR that samples
-// the box faces visible from the sensor plus ground clutter and distractor
-// objects, and (b) a pinhole camera rendering shaded box silhouettes with
-// perspective scaling. Ground truth is the exact 9-DoF box list, so the
-// KITTI-style AP evaluation runs unchanged. All sampling is driven by an
-// injected Rng; a fixed dataset seed gives identical 80:10:10 splits on
-// every run.
+// Each scene is a ground plane with randomly posed boxes inside the
+// detection range — cars plus optional pedestrians and cyclists (small,
+// safety-critical classes with their own size distributions) — observed by
+// (a) a simulated LiDAR that samples the box faces visible from the sensor
+// plus ground clutter and distractor objects, and (b) a pinhole camera
+// rendering shaded box silhouettes with perspective scaling. Ground truth is
+// the exact 9-DoF box list, so the KITTI-style AP evaluation runs unchanged.
+//
+// On top of the clean world, SceneConfig exposes composable corruption
+// knobs for the scenario suite: near-contact traffic-jam spacing, angular
+// shadow occlusion, LiDAR dropout, range-dependent noise, and night /
+// low-contrast render conditions for the camera path. Every knob is inert at
+// its default value in the strongest sense: a disabled feature draws nothing
+// from the Rng, so the default config produces scenes bitwise identical to
+// the pre-scenario generator — the committed zoo cache and every historical
+// mAP number stay valid.
+//
+// All sampling is driven by an injected Rng; a fixed dataset seed gives
+// identical 80:10:10 splits on every run.
 #pragma once
 
 #include <cstdint>
@@ -24,9 +35,18 @@ struct LidarPoint {
   float intensity = 0.0f;
 };
 
+/// Camera-path conditions carried on the scene (night / fog rendering).
+/// Defaults reproduce the historical render bit-for-bit.
+struct RenderConditions {
+  float ambient = 1.0f;   ///< global illumination multiplier (night < 1)
+  float contrast = 1.0f;  ///< contrast around the ambient mid-grey
+  float noise_sd = 0.02f; ///< sensor noise sigma (low light is noisier)
+};
+
 struct Scene {
-  std::vector<eval::Box3D> objects;  ///< ground truth (label 0 = car)
+  std::vector<eval::Box3D> objects;  ///< ground truth (labels: eval::kClass*)
   std::vector<LidarPoint> points;    ///< simulated LiDAR return
+  RenderConditions render;           ///< camera conditions for this scene
 };
 
 struct SceneConfig {
@@ -38,25 +58,70 @@ struct SceneConfig {
   float car_length_mean = 4.2f, car_length_sd = 0.35f;
   float car_width_mean = 1.8f, car_width_sd = 0.12f;
   float car_height_mean = 1.55f, car_height_sd = 0.1f;
-  // LiDAR point budget for a car at 10 m; decays with 1/r.
+  // LiDAR point budget for a car at 10 m; decays with 1/r. Smaller classes
+  // scale by visible surface area relative to the mean car.
   float points_at_10m = 220.0f;
   float point_noise_sd = 0.035f;  ///< metres, per-coordinate
   int ground_clutter_points = 260;
   int distractor_clusters = 3;  ///< bush/pole-like clusters (hard negatives)
+
+  // --- Multi-class world (inert at 0: no Rng draws, no objects) ---------
+  int min_pedestrians = 0, max_pedestrians = 0;
+  int min_cyclists = 0, max_cyclists = 0;
+  // Pedestrian size distribution (KITTI ped means; BEV footprint is square).
+  float ped_extent_mean = 0.6f, ped_extent_sd = 0.08f;
+  float ped_height_mean = 1.7f, ped_height_sd = 0.12f;
+  // Cyclist size distribution.
+  float cyclist_length_mean = 1.76f, cyclist_length_sd = 0.15f;
+  float cyclist_width_mean = 0.6f, cyclist_width_sd = 0.06f;
+  float cyclist_height_mean = 1.73f, cyclist_height_sd = 0.1f;
+
+  // --- Corruption / stress knobs (all inert at defaults) ----------------
+  /// Multiplier on the placement separation margin. 1.0 keeps the clean
+  /// road; jam scenes use < 1 to pack objects toward near-contact.
+  float spacing_factor = 1.0f;
+  /// Angular shadow occlusion: points strictly behind a foreground object
+  /// (greater range, inside its azimuth shadow cone) survive only with
+  /// probability `occlusion_keep`. Points at or in front of the occluder's
+  /// far edge are never touched.
+  bool occlusion = false;
+  float occlusion_keep = 0.1f;
+  /// Uniform random LiDAR dropout: each point is removed independently with
+  /// this probability (beam misfires, wet-road absorption).
+  float dropout_fraction = 0.0f;
+  /// Range-dependent Gaussian jitter: extra per-coordinate noise with sigma
+  /// `point_noise_sd * range_noise_scale * (range / 10 m)`. 0 disables.
+  float range_noise_scale = 0.0f;
+
+  /// Floor on per-object LiDAR returns. The 1/r budget and the surface-area
+  /// scaling both shrink the count; without a floor a distant pedestrian
+  /// rounds to 0 points and becomes an unlearnable ghost in the ground
+  /// truth (regression-tested in tests/test_data.cpp).
+  int min_object_points = 6;
+
+  /// Camera render conditions, copied onto every generated scene.
+  RenderConditions render;
 };
 
 class SceneGenerator {
  public:
   explicit SceneGenerator(SceneConfig cfg = {}) : cfg_(cfg) {}
 
-  /// Draws one scene: non-overlapping car placement, LiDAR simulation.
+  /// Draws one scene: non-overlapping object placement, LiDAR simulation,
+  /// then the enabled corruption passes (range noise, occlusion, dropout —
+  /// in that order, each a pure filter/perturbation of the clean scene).
   Scene sample(Rng& rng) const;
 
   const SceneConfig& config() const { return cfg_; }
 
  private:
   void place_cars(Scene& scene, Rng& rng) const;
+  void place_pedestrians(Scene& scene, Rng& rng) const;
+  void place_cyclists(Scene& scene, Rng& rng) const;
   void simulate_lidar(Scene& scene, Rng& rng) const;
+  void apply_range_noise(Scene& scene, Rng& rng) const;
+  void apply_occlusion(Scene& scene, Rng& rng) const;
+  void apply_dropout(Scene& scene, Rng& rng) const;
   SceneConfig cfg_;
 };
 
@@ -76,9 +141,10 @@ struct Camera {
 };
 
 /// Renders the scene into a (3, H, W) image in [0,1]: sky/road background,
-/// shaded perspective car silhouettes (intensity falls with distance, with
-/// per-car albedo jitter so apparent brightness is an imperfect depth cue),
-/// plus sensor noise.
+/// shaded perspective box silhouettes (intensity falls with distance, with
+/// per-object albedo jitter so apparent brightness is an imperfect depth
+/// cue), plus sensor noise. Honors the scene's RenderConditions: ambient /
+/// contrast rescale the lit image (night), noise_sd sets the sensor noise.
 Tensor render_camera(const Scene& scene, const Camera& cam, Rng& rng);
 
 /// A reproducible dataset with the paper's 80:10:10 split.

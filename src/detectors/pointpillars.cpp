@@ -15,7 +15,6 @@ namespace upaq::detectors {
 namespace {
 constexpr int kPointFeatures = 9;  // x,y,z,i, offsets-from-mean, offsets-from-centre
 constexpr int kRegChannels = 8;    // dx,dy,dz, log l,w,h, sin,cos
-constexpr int kAnchors = 2;        // yaw 0 and pi/2
 constexpr float kPi = 3.14159265358979f;
 
 /// Wraps an angle to [-pi/2, pi/2) modulo pi (BEV boxes are pi-symmetric).
@@ -27,6 +26,20 @@ float wrap_half_pi(float a) {
 }  // namespace
 
 PointPillarsConfig PointPillarsConfig::scaled() { return PointPillarsConfig{}; }
+
+PointPillarsConfig PointPillarsConfig::multiclass() {
+  PointPillarsConfig cfg;
+  // Anchor means match the scenario world's class size distributions
+  // (eval::kClassCar / kClassPedestrian / kClassCyclist order).
+  cfg.class_anchors = {{4.2f, 1.8f, 1.55f},   // car
+                       {0.6f, 0.6f, 1.7f},    // pedestrian
+                       {1.76f, 0.6f, 1.73f}}; // cyclist
+  // Small classes produce weaker logits from few points; keep more
+  // candidates and let NMS sort it out.
+  cfg.score_threshold = 0.2f;
+  cfg.max_detections = 60;
+  return cfg;
+}
 
 PointPillarsConfig PointPillarsConfig::full() {
   PointPillarsConfig cfg;
@@ -109,9 +122,10 @@ PointPillars::PointPillars(PointPillarsConfig cfg, Rng& rng) : cfg_(std::move(cf
   node = graph_.add_node("head.bn0", head_bn, {node});
   node = graph_.add_node("head.relu0", head_relu, {node});
 
-  cls_head_ = add<nn::Conv2d>(cfg_.head_channels, kAnchors, 1, 1, 0, true, rng,
+  const int anchors = cfg_.anchor_count();
+  cls_head_ = add<nn::Conv2d>(cfg_.head_channels, anchors, 1, 1, 0, true, rng,
                               "head.cls");
-  reg_head_ = add<nn::Conv2d>(cfg_.head_channels, kAnchors * kRegChannels, 1, 1, 0,
+  reg_head_ = add<nn::Conv2d>(cfg_.head_channels, anchors * kRegChannels, 1, 1, 0,
                               true, rng, "head.reg");
   graph_.add_node("head.cls", cls_head_, {node});
   graph_.add_node("head.reg", reg_head_, {node});
@@ -362,8 +376,12 @@ std::vector<eval::Box3D> PointPillars::decode(const Tensor& cls_logits,
   const int g2 = head_grid_;
   const float cell = cfg_.pillar_size() * 2.0f;
   std::vector<eval::Box3D> cands;
-  for (int a = 0; a < kAnchors; ++a) {
-    const float anchor_yaw = a == 0 ? 0.0f : kPi / 2;
+  // Anchor layout: [class0-yaw0, class0-yaw90, class1-yaw0, ...]. The
+  // single-class default reduces to the historical two-anchor car head.
+  for (int a = 0; a < cfg_.anchor_count(); ++a) {
+    const int cls = a / 2;
+    const auto anc = cfg_.anchor(cls);
+    const float anchor_yaw = a % 2 == 0 ? 0.0f : kPi / 2;
     for (int r = 0; r < g2; ++r) {
       for (int col = 0; col < g2; ++col) {
         const float score = ops::sigmoid(cls_logits.at(0, a, r, col));
@@ -376,13 +394,13 @@ std::vector<eval::Box3D> PointPillars::decode(const Tensor& cls_logits,
         const float ccy = cfg_.y_min + (static_cast<float>(r) + 0.5f) * cell;
         box.x = ccx + reg_at(0) * cell;
         box.y = ccy + reg_at(1) * cell;
-        box.z = cfg_.anchor_height * 0.5f + reg_at(2);
-        box.length = cfg_.anchor_length * std::exp(std::clamp(reg_at(3), -2.0f, 2.0f));
-        box.width = cfg_.anchor_width * std::exp(std::clamp(reg_at(4), -2.0f, 2.0f));
-        box.height = cfg_.anchor_height * std::exp(std::clamp(reg_at(5), -2.0f, 2.0f));
+        box.z = anc.height * 0.5f + reg_at(2);
+        box.length = anc.length * std::exp(std::clamp(reg_at(3), -2.0f, 2.0f));
+        box.width = anc.width * std::exp(std::clamp(reg_at(4), -2.0f, 2.0f));
+        box.height = anc.height * std::exp(std::clamp(reg_at(5), -2.0f, 2.0f));
         box.yaw = anchor_yaw + std::atan2(reg_at(6), reg_at(7));
         box.score = score;
-        box.label = 0;
+        box.label = cls;
         cands.push_back(box);
       }
     }
@@ -406,6 +424,7 @@ double PointPillars::compute_loss_and_grad(
   UPAQ_CHECK(!batch.empty(), "empty batch");
   set_training(true);
   const int g2 = head_grid_;
+  const int anchors = cfg_.anchor_count();
   const float cell = cfg_.pillar_size() * 2.0f;
   double total_loss = 0.0;
   const float inv_batch = 1.0f / static_cast<float>(batch.size());
@@ -415,17 +434,22 @@ double PointPillars::compute_loss_and_grad(
     forward(*scene, state);
 
     // Build targets: -1 ignore, 0 negative, 1 positive, per (anchor, cell).
-    std::vector<int> cls_target(static_cast<std::size_t>(kAnchors * g2 * g2), 0);
-    Tensor reg_target({kAnchors * kRegChannels, g2, g2});
-    std::vector<bool> has_reg(static_cast<std::size_t>(kAnchors * g2 * g2), false);
+    std::vector<int> cls_target(static_cast<std::size_t>(anchors * g2 * g2), 0);
+    Tensor reg_target({anchors * kRegChannels, g2, g2});
+    std::vector<bool> has_reg(static_cast<std::size_t>(anchors * g2 * g2), false);
     int num_pos = 0;
     for (const auto& gtb : scene->objects) {
       const int col = static_cast<int>((gtb.x - cfg_.x_min) / cell);
       const int row = static_cast<int>((gtb.y - cfg_.y_min) / cell);
       if (col < 0 || col >= g2 || row < 0 || row >= g2) continue;
+      // Anchor = class pair + yaw bin. Out-of-range labels clamp to the
+      // last class so a single-class model trained on multi-class scenes
+      // still learns them as its one class.
+      const int cls = std::clamp(gtb.label, 0, cfg_.num_classes() - 1);
+      const auto anc = cfg_.anchor(cls);
       const float wrapped = wrap_half_pi(gtb.yaw);
-      const int a = std::fabs(wrapped) > kPi / 4 ? 1 : 0;
-      const float anchor_yaw = a == 0 ? 0.0f : kPi / 2;
+      const int a = cls * 2 + (std::fabs(wrapped) > kPi / 4 ? 1 : 0);
+      const float anchor_yaw = a % 2 == 0 ? 0.0f : kPi / 2;
       const float delta = wrap_half_pi(gtb.yaw - anchor_yaw);
       const std::size_t idx =
           static_cast<std::size_t>((a * g2 + row) * g2 + col);
@@ -438,13 +462,13 @@ double PointPillars::compute_loss_and_grad(
       reg_target.at(a * kRegChannels + 0, row, col) = (gtb.x - ccx) / cell;
       reg_target.at(a * kRegChannels + 1, row, col) = (gtb.y - ccy) / cell;
       reg_target.at(a * kRegChannels + 2, row, col) =
-          gtb.z - cfg_.anchor_height * 0.5f;
+          gtb.z - anc.height * 0.5f;
       reg_target.at(a * kRegChannels + 3, row, col) =
-          std::log(gtb.length / cfg_.anchor_length);
+          std::log(gtb.length / anc.length);
       reg_target.at(a * kRegChannels + 4, row, col) =
-          std::log(gtb.width / cfg_.anchor_width);
+          std::log(gtb.width / anc.width);
       reg_target.at(a * kRegChannels + 5, row, col) =
-          std::log(gtb.height / cfg_.anchor_height);
+          std::log(gtb.height / anc.height);
       reg_target.at(a * kRegChannels + 6, row, col) = std::sin(delta);
       reg_target.at(a * kRegChannels + 7, row, col) = std::cos(delta);
       // Ignore the 8-neighbourhood of the positive for the same anchor so
@@ -465,7 +489,7 @@ double PointPillars::compute_loss_and_grad(
     // Classification focal loss + gradients.
     Tensor grad_cls(state.cls_logits.shape());
     double cls_loss = 0.0;
-    for (int a = 0; a < kAnchors; ++a) {
+    for (int a = 0; a < anchors; ++a) {
       for (int r = 0; r < g2; ++r) {
         for (int col = 0; col < g2; ++col) {
           const std::size_t idx =
@@ -484,7 +508,7 @@ double PointPillars::compute_loss_and_grad(
     // Regression smooth-L1 on positive cells.
     Tensor grad_reg(state.reg_out.shape());
     double reg_loss = 0.0;
-    for (int a = 0; a < kAnchors; ++a) {
+    for (int a = 0; a < anchors; ++a) {
       for (int r = 0; r < g2; ++r) {
         for (int col = 0; col < g2; ++col) {
           const std::size_t idx =
@@ -596,15 +620,16 @@ std::vector<hw::LayerProfile> PointPillars::cost_profile_for(
   conv_profile("head.conv0", 3 * cfg.up_channels, cfg.head_channels, 3,
                head_size, head_size);
   bn_profile("head.bn0", cfg.head_channels, head_size, head_size);
-  conv_profile("head.cls", cfg.head_channels, kAnchors, 1, head_size, head_size);
-  conv_profile("head.reg", cfg.head_channels, kAnchors * kRegChannels, 1,
+  const std::int64_t anchors = cfg.anchor_count();
+  conv_profile("head.cls", cfg.head_channels, anchors, 1, head_size, head_size);
+  conv_profile("head.reg", cfg.head_channels, anchors * kRegChannels, 1,
                head_size, head_size);
   {
     // Post-processing: box decode + NMS on the host.
     hw::LayerProfile p;
     p.name = "post.nms";
-    p.serial_ops = head_size * head_size * kAnchors * 4;
-    p.in_elems = head_size * head_size * kAnchors * (1 + kRegChannels);
+    p.serial_ops = head_size * head_size * anchors * 4;
+    p.in_elems = head_size * head_size * anchors * (1 + kRegChannels);
     p.out_elems = 1024;
     out.push_back(p);
   }

@@ -35,8 +35,28 @@ struct PointPillarsConfig {
   int up_channels = 24;   ///< per-branch channels after the 1x1 lateral conv
   int head_channels = 48; ///< head trunk width
 
-  // Anchors (car class).
+  // Anchors (car class). When `class_anchors` is empty the head is the
+  // historical single-class car head built from these three fields.
   float anchor_length = 4.2f, anchor_width = 1.8f, anchor_height = 1.55f;
+
+  /// Per-class anchor sizes, indexed by eval class id. Each class gets two
+  /// rotated anchors (0 and 90 degrees). Empty = single car class — the
+  /// default keeps head shapes identical to the pre-multi-class model so
+  /// the committed zoo cache still loads.
+  struct ClassAnchor {
+    float length = 4.2f, width = 1.8f, height = 1.55f;
+  };
+  std::vector<ClassAnchor> class_anchors;
+
+  int num_classes() const {
+    return class_anchors.empty() ? 1 : static_cast<int>(class_anchors.size());
+  }
+  /// Two rotated anchors per class.
+  int anchor_count() const { return num_classes() * 2; }
+  ClassAnchor anchor(int cls) const {
+    if (class_anchors.empty()) return {anchor_length, anchor_width, anchor_height};
+    return class_anchors[static_cast<std::size_t>(cls)];
+  }
 
   // Decoding.
   float score_threshold = 0.25f;
@@ -56,6 +76,9 @@ struct PointPillarsConfig {
   static PointPillarsConfig scaled();
   /// Paper-scale deployment spec: ~4.8 M parameters, 448x448 pillar grid.
   static PointPillarsConfig full();
+  /// scaled() plus car/pedestrian/cyclist anchor classes (the scenario
+  /// suite's multi-class head: 6 anchors, per-class decode labels).
+  static PointPillarsConfig multiclass();
 };
 
 class PointPillars final : public Detector3D {

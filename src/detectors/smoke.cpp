@@ -34,6 +34,16 @@ std::uint64_t scene_seed(const data::Scene& scene) {
 
 SmokeConfig SmokeConfig::scaled() { return SmokeConfig{}; }
 
+SmokeConfig SmokeConfig::multiclass() {
+  SmokeConfig cfg;
+  // eval::kClassCar / kClassPedestrian / kClassCyclist order.
+  cfg.class_dims = {{4.2f, 1.8f, 1.55f},   // car
+                    {0.6f, 0.6f, 1.7f},    // pedestrian
+                    {1.76f, 0.6f, 1.73f}}; // cyclist
+  cfg.score_threshold = 0.25f;
+  return cfg;
+}
+
 SmokeConfig SmokeConfig::full() {
   SmokeConfig cfg;
   // KITTI-like input and a DLA-34-class backbone budget (~19.5 M params).
@@ -142,7 +152,8 @@ Smoke::Smoke(SmokeConfig cfg, Rng& rng) : cfg_(std::move(cfg)) {
   auto* hm_conv = add<nn::Conv2d>(cfg_.up_channels, cfg_.head_channels, 3, 1, 1,
                                   false, rng, "hm.conv");
   auto* hm_relu = add<nn::Relu>("hm.relu");
-  hm_out_ = add<nn::Conv2d>(cfg_.head_channels, 1, 1, 1, 0, true, rng, "hm.out");
+  hm_out_ = add<nn::Conv2d>(cfg_.head_channels, cfg_.num_classes(), 1, 1, 0,
+                            true, rng, "hm.out");
   hm_trunk_.then(hm_conv).then(hm_relu);
   int hm_node = graph_.add_node("hm.conv", hm_conv, {node});
   hm_node = graph_.add_node("hm.relu", hm_relu, {hm_node});
@@ -201,31 +212,33 @@ void Smoke::backward(const Tensor& grad_hm, const Tensor& grad_reg) {
 std::vector<eval::Box3D> Smoke::decode(const Tensor& hm_logits,
                                        const Tensor& reg_out) const {
   prof::Span span("post.decode");
-  // Sigmoid heatmap + 3x3 local-maximum peak extraction.
+  // Sigmoid heatmap + 3x3 local-maximum peak extraction, per class channel.
   struct Peak {
     float score;
-    int r, c;
+    int cls, r, c;
   };
   std::vector<Peak> peaks;
   const int hh = head_h_, hw = head_w_;
-  for (int r = 0; r < hh; ++r) {
-    for (int c = 0; c < hw; ++c) {
-      const float v = hm_logits.at(0, 0, r, c);
-      bool is_max = true;
-      for (int dr = -1; dr <= 1 && is_max; ++dr) {
-        for (int dc = -1; dc <= 1; ++dc) {
-          const int nr = r + dr, nc = c + dc;
-          if (nr < 0 || nr >= hh || nc < 0 || nc >= hw || (dr == 0 && dc == 0))
-            continue;
-          if (hm_logits.at(0, 0, nr, nc) > v) {
-            is_max = false;
-            break;
+  for (int k = 0; k < cfg_.num_classes(); ++k) {
+    for (int r = 0; r < hh; ++r) {
+      for (int c = 0; c < hw; ++c) {
+        const float v = hm_logits.at(0, k, r, c);
+        bool is_max = true;
+        for (int dr = -1; dr <= 1 && is_max; ++dr) {
+          for (int dc = -1; dc <= 1; ++dc) {
+            const int nr = r + dr, nc = c + dc;
+            if (nr < 0 || nr >= hh || nc < 0 || nc >= hw || (dr == 0 && dc == 0))
+              continue;
+            if (hm_logits.at(0, k, nr, nc) > v) {
+              is_max = false;
+              break;
+            }
           }
         }
+        if (!is_max) continue;
+        const float score = ops::sigmoid(v);
+        if (score >= cfg_.score_threshold) peaks.push_back({score, k, r, c});
       }
-      if (!is_max) continue;
-      const float score = ops::sigmoid(v);
-      if (score >= cfg_.score_threshold) peaks.push_back({score, r, c});
     }
   }
   std::sort(peaks.begin(), peaks.end(),
@@ -236,6 +249,7 @@ std::vector<eval::Box3D> Smoke::decode(const Tensor& hm_logits,
   std::vector<eval::Box3D> cands;
   for (const auto& peak : peaks) {
     const auto reg_at = [&](int ch) { return reg_out.at(0, ch, peak.r, peak.c); };
+    const auto dims = cfg_.dims(peak.cls);
     // Keypoint with sub-cell offset, at stride 4.
     const float u = (static_cast<float>(peak.c) + 0.5f + reg_at(0)) * 4.0f;
     const float v = (static_cast<float>(peak.r) + 0.5f + reg_at(1)) * 4.0f;
@@ -244,12 +258,12 @@ std::vector<eval::Box3D> Smoke::decode(const Tensor& hm_logits,
         cfg_.depth_min, cfg_.depth_max);
     eval::Box3D box;
     cfg_.camera.unproject(u, v, depth, box.x, box.y, box.z);
-    box.length = cfg_.dim_length * std::exp(std::clamp(reg_at(3), -1.5f, 1.5f));
-    box.width = cfg_.dim_width * std::exp(std::clamp(reg_at(4), -1.5f, 1.5f));
-    box.height = cfg_.dim_height * std::exp(std::clamp(reg_at(5), -1.5f, 1.5f));
+    box.length = dims.length * std::exp(std::clamp(reg_at(3), -1.5f, 1.5f));
+    box.width = dims.width * std::exp(std::clamp(reg_at(4), -1.5f, 1.5f));
+    box.height = dims.height * std::exp(std::clamp(reg_at(5), -1.5f, 1.5f));
     box.yaw = std::atan2(reg_at(6), reg_at(7));
     box.score = peak.score;
-    box.label = 0;
+    box.label = peak.cls;
     cands.push_back(box);
   }
   return eval::nms_bev(std::move(cands), cfg_.nms_iou);
@@ -274,8 +288,10 @@ double Smoke::compute_loss_and_grad(
     ForwardState state;
     forward(render_augmented(*scene), state);
 
-    // Heatmap target: Gaussian splats at projected box centres.
-    Tensor hm_target({head_h_, head_w_});
+    // Heatmap target: Gaussian splats at projected box centres, one channel
+    // per class (the single-class default collapses to the historical map).
+    const int num_cls = cfg_.num_classes();
+    Tensor hm_target({num_cls, head_h_, head_w_});
     struct CentreTarget {
       int r, c;
       float reg[kRegChannels];
@@ -287,6 +303,8 @@ double Smoke::compute_loss_and_grad(
       if (u < 0 || u >= static_cast<float>(cfg_.camera.width) || v < 0 ||
           v >= static_cast<float>(cfg_.camera.height))
         continue;
+      const int cls = std::clamp(gtb.label, 0, num_cls - 1);
+      const auto dims = cfg_.dims(cls);
       const float fc = u / 4.0f, fr = v / 4.0f;
       const int c = std::min(head_w_ - 1, static_cast<int>(fc));
       const int r = std::min(head_h_ - 1, static_cast<int>(fr));
@@ -299,19 +317,19 @@ double Smoke::compute_loss_and_grad(
           if (nr < 0 || nr >= head_h_ || nc < 0 || nc >= head_w_) continue;
           const float g = std::exp(-(static_cast<float>(dr * dr + dc * dc)) /
                                    (2.0f * sigma * sigma));
-          hm_target.at(nr, nc) = std::max(hm_target.at(nr, nc), g);
+          hm_target.at(cls, nr, nc) = std::max(hm_target.at(cls, nr, nc), g);
         }
       }
-      hm_target.at(r, c) = 1.0f;
+      hm_target.at(cls, r, c) = 1.0f;
       CentreTarget ct;
       ct.r = r;
       ct.c = c;
       ct.reg[0] = fc - (static_cast<float>(c) + 0.5f);
       ct.reg[1] = fr - (static_cast<float>(r) + 0.5f);
       ct.reg[2] = std::log(std::max(gtb.x, cfg_.depth_min) / cfg_.depth_ref);
-      ct.reg[3] = std::log(gtb.length / cfg_.dim_length);
-      ct.reg[4] = std::log(gtb.width / cfg_.dim_width);
-      ct.reg[5] = std::log(gtb.height / cfg_.dim_height);
+      ct.reg[3] = std::log(gtb.length / dims.length);
+      ct.reg[4] = std::log(gtb.width / dims.width);
+      ct.reg[5] = std::log(gtb.height / dims.height);
       const float wrapped = wrap_half_pi(gtb.yaw);
       ct.reg[6] = std::sin(wrapped);
       ct.reg[7] = std::cos(wrapped);
@@ -322,13 +340,15 @@ double Smoke::compute_loss_and_grad(
     // CenterNet focal loss over the full heatmap.
     Tensor grad_hm(state.heatmap_logits.shape());
     double hm_loss = 0.0;
-    for (int r = 0; r < head_h_; ++r) {
-      for (int c = 0; c < head_w_; ++c) {
-        float grad = 0.0f;
-        hm_loss += train::heatmap_focal(state.heatmap_logits.at(0, 0, r, c),
-                                        hm_target.at(r, c), cfg_.hm_alpha,
-                                        cfg_.hm_beta, grad);
-        grad_hm.at(0, 0, r, c) = grad * norm * inv_batch;
+    for (int k = 0; k < num_cls; ++k) {
+      for (int r = 0; r < head_h_; ++r) {
+        for (int c = 0; c < head_w_; ++c) {
+          float grad = 0.0f;
+          hm_loss += train::heatmap_focal(state.heatmap_logits.at(0, k, r, c),
+                                          hm_target.at(k, r, c), cfg_.hm_alpha,
+                                          cfg_.hm_beta, grad);
+          grad_hm.at(0, k, r, c) = grad * norm * inv_batch;
+        }
       }
     }
     hm_loss *= norm;
@@ -413,7 +433,7 @@ std::vector<hw::LayerProfile> Smoke::cost_profile_for(const SmokeConfig& cfg) {
   conv_profile("neck.conv", in_c, cfg.up_channels, 3, hh, hwd);
   bn_profile("neck.bn", cfg.up_channels, hh, hwd);
   conv_profile("hm.conv", cfg.up_channels, cfg.head_channels, 3, hh, hwd);
-  conv_profile("hm.out", cfg.head_channels, 1, 1, hh, hwd);
+  conv_profile("hm.out", cfg.head_channels, cfg.num_classes(), 1, hh, hwd);
   conv_profile("reg.conv", cfg.up_channels, cfg.head_channels, 3, hh, hwd);
   conv_profile("reg.out", cfg.head_channels, kRegChannels, 1, hh, hwd);
   {

@@ -34,6 +34,23 @@ struct SmokeConfig {
   // Mean car dims for the dimension regression.
   float dim_length = 4.2f, dim_width = 1.8f, dim_height = 1.55f;
 
+  /// Per-class dimension priors, indexed by eval class id; each class gets
+  /// its own heatmap channel (CenterNet-style). Empty = single car class
+  /// built from the dim_* fields above — the default keeps head shapes
+  /// identical to the pre-multi-class model so the zoo cache still loads.
+  struct ClassDims {
+    float length = 4.2f, width = 1.8f, height = 1.55f;
+  };
+  std::vector<ClassDims> class_dims;
+
+  int num_classes() const {
+    return class_dims.empty() ? 1 : static_cast<int>(class_dims.size());
+  }
+  ClassDims dims(int cls) const {
+    if (class_dims.empty()) return {dim_length, dim_width, dim_height};
+    return class_dims[static_cast<std::size_t>(cls)];
+  }
+
   // Decoding.
   float score_threshold = 0.3f;
   int top_k = 24;
@@ -50,6 +67,8 @@ struct SmokeConfig {
   static SmokeConfig scaled();
   /// Paper-scale deployment spec (~19.5 M parameters).
   static SmokeConfig full();
+  /// scaled() plus car/pedestrian/cyclist heatmap channels and dim priors.
+  static SmokeConfig multiclass();
 };
 
 class Smoke final : public Detector3D {
@@ -93,8 +112,8 @@ class Smoke final : public Detector3D {
   };
 
   struct ForwardState {
-    Tensor heatmap_logits;  ///< (1, 1, H/4, W/4)
-    Tensor reg_out;         ///< (1, 8, H/4, W/4)
+    Tensor heatmap_logits;  ///< (1, num_classes, H/4, W/4)
+    Tensor reg_out;         ///< (1, 8, H/4, W/4) — shared across classes
   };
 
   void forward(const Tensor& image, ForwardState& state);

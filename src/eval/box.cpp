@@ -8,6 +8,15 @@
 
 namespace upaq::eval {
 
+std::string class_name(int label) {
+  switch (label) {
+    case kClassCar: return "car";
+    case kClassPedestrian: return "pedestrian";
+    case kClassCyclist: return "cyclist";
+    default: return "class" + std::to_string(label);
+  }
+}
+
 std::string Box3D::to_string() const {
   std::ostringstream os;
   os << "Box3D{xyz=(" << x << "," << y << "," << z << ") lwh=(" << length

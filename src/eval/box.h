@@ -13,6 +13,18 @@
 
 namespace upaq::eval {
 
+/// Canonical class ids of the synthetic world. Car stays 0 so every
+/// pre-multi-class artefact (zoo caches, cached experiment rows) keeps its
+/// meaning; pedestrian and cyclist are the small safety-critical classes the
+/// scenario suite tracks separately.
+inline constexpr int kClassCar = 0;
+inline constexpr int kClassPedestrian = 1;
+inline constexpr int kClassCyclist = 2;
+inline constexpr int kKnownClasses = 3;
+
+/// Human-readable class name: "car", "pedestrian", "cyclist", else "classN".
+std::string class_name(int label);
+
 struct Box3D {
   float x = 0.0f, y = 0.0f, z = 0.0f;  ///< centre, metres
   float length = 0.0f;                 ///< extent along heading

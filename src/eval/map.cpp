@@ -1,6 +1,7 @@
 #include "eval/map.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "tensor/check.h"
@@ -29,7 +30,12 @@ ApResult average_precision(const std::vector<FrameDetections>& frames,
 
   ApResult res;
   res.ground_truth_count = gt_count;
-  if (gt_count == 0) return res;
+  if (gt_count == 0) {
+    // No targets: AP is zero, but the detections are still false positives
+    // (a variant hallucinating a class must not look clean in the report).
+    res.false_positives = static_cast<int>(dets.size());
+    return res;
+  }
 
   // Greedy matching: each ground truth can absorb one detection.
   std::vector<std::set<std::size_t>> matched(frames.size());
@@ -90,6 +96,69 @@ double map_percent(const std::vector<FrameDetections>& frames,
   for (int label : labels)
     acc += average_precision(frames, label, iou_threshold).ap;
   return 100.0 * acc / static_cast<double>(labels.size());
+}
+
+std::vector<ClassAp> per_class_ap(const std::vector<FrameDetections>& frames,
+                                  double iou_threshold) {
+  // Labels from ground truth AND detections: a class that only ever appears
+  // as a (spurious) detection still gets a row, with AP 0 and its FP count.
+  std::set<int> labels;
+  for (const auto& f : frames) {
+    for (const auto& g : f.ground_truth) labels.insert(g.label);
+    for (const auto& d : f.detections) labels.insert(d.label);
+  }
+  std::vector<ClassAp> out;
+  out.reserve(labels.size());
+  for (int label : labels)  // std::set iterates ascending
+    out.push_back({label, average_precision(frames, label, iou_threshold)});
+  return out;
+}
+
+bool is_critical(const Box3D& gt, const CriticalRecallConfig& cfg) {
+  if (gt.label == kClassPedestrian || gt.label == kClassCyclist) return true;
+  return std::hypot(static_cast<double>(gt.x), static_cast<double>(gt.y)) <=
+         cfg.near_range_m;
+}
+
+CriticalRecall critical_object_recall(
+    const std::vector<FrameDetections>& frames,
+    const CriticalRecallConfig& cfg) {
+  CriticalRecall out;
+  for (const auto& frame : frames) {
+    std::vector<const Box3D*> crit;
+    for (const auto& g : frame.ground_truth)
+      if (is_critical(g, cfg)) crit.push_back(&g);
+    out.critical += static_cast<int>(crit.size());
+    if (crit.empty()) continue;
+
+    // Detections by descending score; each absorbs at most one critical GT.
+    std::vector<const Box3D*> dets;
+    for (const auto& d : frame.detections) dets.push_back(&d);
+    std::stable_sort(dets.begin(), dets.end(),
+                     [](const Box3D* a, const Box3D* b) {
+                       return a->score > b->score;
+                     });
+    std::vector<bool> taken(crit.size(), false);
+    for (const Box3D* d : dets) {
+      int best = -1;
+      double best_dist = cfg.match_distance_m;
+      for (std::size_t g = 0; g < crit.size(); ++g) {
+        if (taken[g]) continue;
+        const double dist =
+            std::hypot(static_cast<double>(d->x - crit[g]->x),
+                       static_cast<double>(d->y - crit[g]->y));
+        if (dist <= best_dist) {
+          best_dist = dist;
+          best = static_cast<int>(g);
+        }
+      }
+      if (best >= 0) {
+        taken[static_cast<std::size_t>(best)] = true;
+        ++out.recalled;
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace upaq::eval

@@ -43,4 +43,45 @@ ApResult average_precision(const std::vector<FrameDetections>& frames,
 double map_percent(const std::vector<FrameDetections>& frames,
                    double iou_threshold);
 
+/// AP per class label present in the ground truth, ascending label order.
+struct ClassAp {
+  int label = 0;
+  ApResult result;
+};
+std::vector<ClassAp> per_class_ap(const std::vector<FrameDetections>& frames,
+                                  double iou_threshold);
+
+/// Critical-object recall: the scenario suite's safety metric.
+///
+/// An object is *critical* when it is a pedestrian or cyclist (small,
+/// vulnerable) or when it sits within `near_range_m` of the ego sensor
+/// (imminent-collision range, any class). Matching is class-agnostic and by
+/// BEV centre distance, not IoU: for safety the question is "did the
+/// detector fire on this object at all", not "did it get the class and
+/// extent right" — a pedestrian flagged as a car still triggers braking.
+struct CriticalRecallConfig {
+  double near_range_m = 10.0;    ///< any-class critical radius around ego
+  double match_distance_m = 1.5; ///< max BEV centre distance for a match
+};
+
+struct CriticalRecall {
+  int critical = 0;  ///< critical ground-truth objects across all frames
+  int recalled = 0;  ///< of those, matched by some detection
+  /// Recall in [0,1]; defined as 1.0 when no critical objects exist (an
+  /// empty scene cannot be failed, which keeps the regression gate
+  /// monotone in detector quality).
+  double recall() const {
+    return critical == 0 ? 1.0 : static_cast<double>(recalled) / critical;
+  }
+};
+
+/// True when `gt` counts as critical under `cfg`.
+bool is_critical(const Box3D& gt, const CriticalRecallConfig& cfg);
+
+/// Greedy one-to-one matching of detections (descending score) to critical
+/// ground truth by nearest BEV centre within `match_distance_m`.
+CriticalRecall critical_object_recall(
+    const std::vector<FrameDetections>& frames,
+    const CriticalRecallConfig& cfg = {});
+
 }  // namespace upaq::eval

@@ -10,7 +10,15 @@ std::vector<Arrival> make_stream(const StreamConfig& cfg) {
   Rng root(cfg.seed);
   Rng scene_rng = root.fork();
   Rng arrival_rng = root.fork();
-  data::SceneGenerator gen(cfg.scene);
+  // One generator per mixture entry, all consuming the shared scene Rng in
+  // arrival order; an empty mixture degenerates to the single-config stream.
+  std::vector<data::SceneGenerator> gens;
+  if (cfg.mixture.empty()) {
+    gens.emplace_back(cfg.scene);
+  } else {
+    gens.reserve(cfg.mixture.size());
+    for (const auto& sc : cfg.mixture) gens.emplace_back(sc);
+  }
 
   std::vector<Arrival> out;
   out.reserve(static_cast<std::size_t>(std::max(0, cfg.scenes)));
@@ -27,7 +35,7 @@ std::vector<Arrival> make_stream(const StreamConfig& cfg) {
     }
     Arrival a;
     a.due_ms = t_ms;
-    a.scene = gen.sample(scene_rng);
+    a.scene = gens[static_cast<std::size_t>(i) % gens.size()].sample(scene_rng);
     out.push_back(std::move(a));
   }
   return out;

@@ -22,6 +22,12 @@ struct StreamConfig {
   bool poisson = true;          ///< exponential inter-arrivals; false = fixed
   std::uint64_t seed = 0x5eedULL;
   data::SceneConfig scene;      ///< scene content distribution
+  /// Optional scenario mixture: when non-empty, arrival i draws its scene
+  /// from mixture[i % mixture.size()] (round-robin over families) and
+  /// `scene` is ignored. All mixture entries consume the one shared scene
+  /// Rng in arrival order, so the stream stays bitwise-deterministic in
+  /// (seed, mixture).
+  std::vector<data::SceneConfig> mixture;
 };
 
 /// One scheduled request: the scene and its arrival offset (milliseconds

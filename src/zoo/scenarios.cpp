@@ -1,0 +1,136 @@
+#include "zoo/scenarios.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "prof/prof.h"
+#include "tensor/check.h"
+
+namespace upaq::zoo {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+double FamilyMetrics::ap_for(int label) const {
+  for (const auto& c : class_ap)
+    if (c.label == label) return c.result.ap;
+  return 0.0;
+}
+
+const FamilyMetrics* VariantReport::find(const std::string& family) const {
+  for (const auto& f : families)
+    if (f.family == family) return &f;
+  return nullptr;
+}
+
+VariantReport run_scenario_suite(detectors::Detector3D& det,
+                                 const std::string& variant,
+                                 const ScenarioSuiteConfig& cfg) {
+  VariantReport report;
+  report.variant = variant;
+  bool warmed = false;
+  for (data::ScenarioFamily family : cfg.family_list()) {
+    const auto scenes =
+        data::make_scenario_scenes(family, cfg.scenes_per_family, cfg.seed);
+    // One uncounted inference warms caches (packed panels, workspace arena)
+    // so the first timed scene is not an outlier.
+    if (!warmed) {
+      (void)det.detect(scenes.front());
+      warmed = true;
+    }
+    FamilyMetrics fm;
+    fm.family = data::scenario_name(family);
+    fm.scenes = static_cast<int>(scenes.size());
+    std::vector<eval::FrameDetections> frames;
+    frames.reserve(scenes.size());
+    std::vector<double> lat_ms;
+    lat_ms.reserve(scenes.size());
+    for (const auto& scene : scenes) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto dets = det.detect(scene);
+      const auto t1 = std::chrono::steady_clock::now();
+      lat_ms.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+      eval::FrameDetections frame;
+      frame.detections = std::move(dets);
+      // Mirror evaluate_map: only sensor-observable ground truth counts.
+      for (const auto& gt : scene.objects)
+        if (det.observes(gt)) frame.ground_truth.push_back(gt);
+      fm.objects += static_cast<int>(frame.ground_truth.size());
+      frames.push_back(std::move(frame));
+    }
+    fm.map_percent = eval::map_percent(frames, cfg.iou_threshold);
+    fm.class_ap = eval::per_class_ap(frames, cfg.iou_threshold);
+    fm.critical = eval::critical_object_recall(frames, cfg.critical);
+    std::sort(lat_ms.begin(), lat_ms.end());
+    fm.p50_ms = prof::percentile(lat_ms, 0.50);
+    fm.p99_ms = prof::percentile(lat_ms, 0.99);
+    report.families.push_back(std::move(fm));
+  }
+  return report;
+}
+
+std::vector<GateViolation> check_recall_gate(const VariantReport& base,
+                                             const VariantReport& variant,
+                                             const RecallGateConfig& cfg) {
+  std::vector<GateViolation> out;
+  for (const auto& bf : base.families) {
+    const FamilyMetrics* vf = variant.find(bf.family);
+    if (vf == nullptr) continue;
+    const double base_recall = bf.critical.recall();
+    const double var_recall = vf->critical.recall();
+    if (var_recall < base_recall - cfg.margin) {
+      out.push_back({variant.variant, bf.family, base_recall, var_recall});
+    }
+  }
+  return out;
+}
+
+std::string scenario_suite_json(const std::vector<VariantReport>& reports,
+                                const ScenarioSuiteConfig& cfg) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"scenes_per_family\": " << cfg.scenes_per_family << ",\n";
+  os << "  \"seed\": " << cfg.seed << ",\n";
+  os << "  \"iou_threshold\": " << fmt(cfg.iou_threshold) << ",\n";
+  os << "  \"near_range_m\": " << fmt(cfg.critical.near_range_m) << ",\n";
+  os << "  \"match_distance_m\": " << fmt(cfg.critical.match_distance_m)
+     << ",\n";
+  os << "  \"variants\": [\n";
+  for (std::size_t v = 0; v < reports.size(); ++v) {
+    const auto& rep = reports[v];
+    os << "    {\"variant\": \"" << rep.variant << "\", \"families\": [\n";
+    for (std::size_t f = 0; f < rep.families.size(); ++f) {
+      const auto& fm = rep.families[f];
+      os << "      {\"family\": \"" << fm.family << "\""
+         << ", \"scenes\": " << fm.scenes << ", \"objects\": " << fm.objects
+         << ", \"map_percent\": " << fmt(fm.map_percent)
+         << ", \"class_ap\": {";
+      for (std::size_t c = 0; c < fm.class_ap.size(); ++c) {
+        os << (c == 0 ? "" : ", ") << "\""
+           << eval::class_name(fm.class_ap[c].label)
+           << "\": " << fmt(fm.class_ap[c].result.ap);
+      }
+      os << "}, \"critical_objects\": " << fm.critical.critical
+         << ", \"critical_recalled\": " << fm.critical.recalled
+         << ", \"critical_recall\": " << fmt(fm.critical.recall())
+         << ", \"p50_ms\": " << fmt(fm.p50_ms)
+         << ", \"p99_ms\": " << fmt(fm.p99_ms) << "}"
+         << (f + 1 < rep.families.size() ? "," : "") << "\n";
+    }
+    os << "    ]}" << (v + 1 < reports.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace upaq::zoo

@@ -1,0 +1,90 @@
+// Scenario robustness suite: scores a detector variant across the scenario
+// families and gates compression on critical-object recall.
+//
+// The suite is the product surface over data/scenario.h: for each family it
+// generates a deterministic scene set, runs full detect() inference, and
+// reports aggregate mAP, per-class AP, critical-object recall (pedestrians,
+// cyclists, and anything within 10 m of ego) and p50/p99 detect latency.
+// `check_recall_gate` compares a compressed variant against the fp32 report:
+// compression may not drop a family's critical recall more than a fixed
+// margin below fp32 even where aggregate mAP holds — small safety-critical
+// objects are exactly what aggressive quantization/pruning silently loses
+// first, and aggregate mAP (dominated by cars) does not show it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/scenario.h"
+#include "detectors/detector.h"
+#include "eval/map.h"
+
+namespace upaq::zoo {
+
+struct ScenarioSuiteConfig {
+  int scenes_per_family = 20;
+  std::uint64_t seed = 0x5ce7a10ULL;
+  /// BEV IoU for AP (matches the zoo's PointPillars eval threshold).
+  double iou_threshold = 0.25;
+  eval::CriticalRecallConfig critical;
+  /// Families to run; empty = all_scenario_families().
+  std::vector<data::ScenarioFamily> families;
+
+  const std::vector<data::ScenarioFamily>& family_list() const {
+    return families.empty() ? data::all_scenario_families() : families;
+  }
+};
+
+/// One (variant, family) report cell.
+struct FamilyMetrics {
+  std::string family;
+  int scenes = 0;
+  int objects = 0;            ///< observable ground-truth objects
+  double map_percent = 0.0;
+  std::vector<eval::ClassAp> class_ap;  ///< ascending label order
+  eval::CriticalRecall critical;
+  double p50_ms = 0.0, p99_ms = 0.0;
+
+  /// AP (in [0,1]) of one class; 0 when the class never appears.
+  double ap_for(int label) const;
+};
+
+struct VariantReport {
+  std::string variant;
+  std::vector<FamilyMetrics> families;
+
+  const FamilyMetrics* find(const std::string& family) const;
+};
+
+/// Runs the full suite on one detector variant. Scene generation is
+/// deterministic in cfg (seed + family fold), so every variant scores the
+/// exact same scenes and reports are directly comparable.
+VariantReport run_scenario_suite(detectors::Detector3D& det,
+                                 const std::string& variant,
+                                 const ScenarioSuiteConfig& cfg = {});
+
+/// The compression safety gate.
+struct RecallGateConfig {
+  /// Maximum allowed drop of a family's critical-object recall below the
+  /// fp32 baseline report (absolute, in [0,1]).
+  double margin = 0.15;
+};
+
+struct GateViolation {
+  std::string variant, family;
+  double base_recall = 0.0, variant_recall = 0.0;
+};
+
+/// Families present in both reports are compared; a violation is recorded
+/// where variant recall < base recall - margin.
+std::vector<GateViolation> check_recall_gate(const VariantReport& base,
+                                             const VariantReport& variant,
+                                             const RecallGateConfig& cfg = {});
+
+/// Serializes the per-family x per-variant matrix as JSON (bench output and
+/// schema-completeness tests).
+std::string scenario_suite_json(const std::vector<VariantReport>& reports,
+                                const ScenarioSuiteConfig& cfg);
+
+}  // namespace upaq::zoo

@@ -1,9 +1,13 @@
 // Tests for the synthetic dataset: scene invariants, LiDAR simulation
-// properties, camera projection round-trips, rendering, and split sizes.
+// properties, camera projection round-trips, rendering, split sizes, and the
+// scenario-family corruption contracts (determinism, occlusion geometry,
+// dropout rate, multi-class size distributions).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
+#include "data/scenario.h"
 #include "data/scene.h"
 
 namespace upaq {
@@ -150,6 +154,230 @@ TEST(MakeDataset, DeterministicPerSeed) {
   bool differs = a.train[0].objects.size() != c.train[0].objects.size() ||
                  a.train[0].objects[0].x != c.train[0].objects[0].x;
   EXPECT_TRUE(differs);
+}
+
+bool bits_equal(float a, float b) {
+  std::uint32_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+bool same_point(const data::LidarPoint& a, const data::LidarPoint& b) {
+  return bits_equal(a.x, b.x) && bits_equal(a.y, b.y) && bits_equal(a.z, b.z) &&
+         bits_equal(a.intensity, b.intensity);
+}
+
+bool same_box(const eval::Box3D& a, const eval::Box3D& b) {
+  return bits_equal(a.x, b.x) && bits_equal(a.y, b.y) && bits_equal(a.z, b.z) &&
+         bits_equal(a.length, b.length) && bits_equal(a.width, b.width) &&
+         bits_equal(a.height, b.height) && bits_equal(a.yaw, b.yaw) &&
+         bits_equal(a.score, b.score) && a.label == b.label;
+}
+
+bool same_scene(const data::Scene& a, const data::Scene& b) {
+  if (a.objects.size() != b.objects.size()) return false;
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t i = 0; i < a.objects.size(); ++i)
+    if (!same_box(a.objects[i], b.objects[i])) return false;
+  for (std::size_t i = 0; i < a.points.size(); ++i)
+    if (!same_point(a.points[i], b.points[i])) return false;
+  return bits_equal(a.render.ambient, b.render.ambient) &&
+         bits_equal(a.render.contrast, b.render.contrast) &&
+         bits_equal(a.render.noise_sd, b.render.noise_sd);
+}
+
+TEST(ScenarioFamilies, SameSeedIsBitwiseIdenticalPerFamily) {
+  for (const auto family : data::all_scenario_families()) {
+    const auto a = data::make_scenario_scenes(family, 4, 123);
+    const auto b = data::make_scenario_scenes(family, 4, 123);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+      EXPECT_TRUE(same_scene(a[i], b[i]))
+          << data::scenario_name(family) << " scene " << i
+          << " not bitwise reproducible";
+  }
+}
+
+TEST(ScenarioFamilies, FamiliesDifferAndNamesRoundTrip) {
+  const auto base = data::make_scenario_scenes(data::ScenarioFamily::kBaseline,
+                                               2, 123);
+  const auto jam = data::make_scenario_scenes(data::ScenarioFamily::kJam, 2,
+                                              123);
+  EXPECT_FALSE(same_scene(base[0], jam[0]));
+  for (const auto family : data::all_scenario_families()) {
+    data::ScenarioFamily parsed;
+    ASSERT_TRUE(data::scenario_from_name(data::scenario_name(family), parsed));
+    EXPECT_EQ(parsed, family);
+  }
+  data::ScenarioFamily sink;
+  EXPECT_FALSE(data::scenario_from_name("bogus", sink));
+}
+
+TEST(ScenarioFamilies, NightCarriesRenderConditions) {
+  const auto night = data::make_scenario_scenes(data::ScenarioFamily::kNight,
+                                                1, 9);
+  EXPECT_LT(night[0].render.ambient, 1.0f);
+  EXPECT_LT(night[0].render.contrast, 1.0f);
+  EXPECT_GT(night[0].render.noise_sd, 0.02f);
+  const auto base = data::make_scenario_scenes(data::ScenarioFamily::kBaseline,
+                                               1, 9);
+  EXPECT_EQ(base[0].render.ambient, 1.0f);
+  EXPECT_EQ(base[0].render.contrast, 1.0f);
+}
+
+TEST(SceneGenerator, OcclusionRemovesOnlyShadowedPoints) {
+  data::SceneConfig clean_cfg;
+  clean_cfg.min_cars = 3;
+  clean_cfg.max_cars = 5;
+  data::SceneConfig occ_cfg = clean_cfg;
+  occ_cfg.occlusion = true;
+  occ_cfg.occlusion_keep = 0.0f;  // remove every shadowed point
+  data::SceneGenerator clean_gen(clean_cfg), occ_gen(occ_cfg);
+
+  std::size_t removed_total = 0;
+  for (std::uint64_t seed = 50; seed < 56; ++seed) {
+    // Occlusion is the only knob that differs and it draws after the clean
+    // passes, so the same seed gives the same pre-occlusion scene.
+    Rng ra(seed), rb(seed);
+    const auto clean = clean_gen.sample(ra);
+    const auto occ = occ_gen.sample(rb);
+    ASSERT_EQ(clean.objects.size(), occ.objects.size());
+    ASSERT_LE(occ.points.size(), clean.points.size());
+
+    // The surviving points must be an in-order subset of the clean scene,
+    // and every removed point must lie strictly behind some object's far
+    // edge inside its azimuth shadow cone.
+    std::size_t oi = 0;
+    for (const auto& p : clean.points) {
+      if (oi < occ.points.size() && same_point(p, occ.points[oi])) {
+        ++oi;
+        continue;
+      }
+      ++removed_total;
+      const float pr = std::hypot(p.x, p.y);
+      const float paz = std::atan2(p.y, p.x);
+      bool shadowed = false;
+      for (const auto& obj : clean.objects) {
+        const float r = 0.5f * std::hypot(obj.length, obj.width);
+        const float dist = std::hypot(obj.x, obj.y);
+        if (dist <= r + 0.5f) continue;
+        if (pr <= dist + r + 0.3f) continue;
+        const float az = std::atan2(obj.y, obj.x);
+        float delta = paz - az;
+        while (delta > 3.14159265f) delta -= 2.0f * 3.14159265f;
+        while (delta < -3.14159265f) delta += 2.0f * 3.14159265f;
+        const float half = std::asin(std::min(0.999f, r / dist));
+        if (std::fabs(delta) < half) {
+          shadowed = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(shadowed) << "removed point (" << p.x << "," << p.y
+                            << ") is not behind any occluder";
+    }
+    EXPECT_EQ(oi, occ.points.size())
+        << "occluded scene is not an ordered subset of the clean scene";
+  }
+  EXPECT_GT(removed_total, 0u) << "occlusion pass never removed anything";
+}
+
+TEST(SceneGenerator, DropoutFractionWithinTolerance) {
+  data::SceneConfig clean_cfg;
+  data::SceneConfig drop_cfg = clean_cfg;
+  drop_cfg.dropout_fraction = 0.3f;
+  data::SceneGenerator clean_gen(clean_cfg), drop_gen(drop_cfg);
+  std::size_t clean_total = 0, kept_total = 0;
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    Rng ra(seed), rb(seed);
+    clean_total += clean_gen.sample(ra).points.size();
+    kept_total += drop_gen.sample(rb).points.size();
+  }
+  ASSERT_GT(clean_total, 0u);
+  const double removed =
+      1.0 - static_cast<double>(kept_total) / static_cast<double>(clean_total);
+  EXPECT_GT(removed, 0.2);
+  EXPECT_LT(removed, 0.4);
+}
+
+TEST(SceneGenerator, RangeNoisePerturbsWithoutChangingCounts) {
+  data::SceneConfig clean_cfg;
+  data::SceneConfig noisy_cfg = clean_cfg;
+  noisy_cfg.range_noise_scale = 1.5f;
+  data::SceneGenerator clean_gen(clean_cfg), noisy_gen(noisy_cfg);
+  Rng ra(7), rb(7);
+  const auto clean = clean_gen.sample(ra);
+  const auto noisy = noisy_gen.sample(rb);
+  ASSERT_EQ(clean.points.size(), noisy.points.size());
+  ASSERT_EQ(clean.objects.size(), noisy.objects.size());
+  for (std::size_t i = 0; i < clean.objects.size(); ++i)
+    EXPECT_TRUE(same_box(clean.objects[i], noisy.objects[i]));
+  int moved = 0;
+  for (std::size_t i = 0; i < clean.points.size(); ++i) {
+    const float d = std::hypot(clean.points[i].x - noisy.points[i].x,
+                               clean.points[i].y - noisy.points[i].y);
+    if (d > 0.0f) ++moved;
+    EXPECT_LT(d, 5.0f) << "range noise displaced a point implausibly far";
+  }
+  EXPECT_GT(moved, static_cast<int>(clean.points.size()) / 2);
+}
+
+TEST(SceneGenerator, PedestrianAndCyclistSizesSane) {
+  data::SceneConfig cfg;
+  cfg.min_pedestrians = 2;
+  cfg.max_pedestrians = 3;
+  cfg.min_cyclists = 2;
+  cfg.max_cyclists = 2;
+  data::SceneGenerator gen(cfg);
+  Rng rng(11);
+  int peds = 0, cycs = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto scene = gen.sample(rng);
+    for (const auto& obj : scene.objects) {
+      if (obj.label == eval::kClassPedestrian) {
+        ++peds;
+        EXPECT_EQ(obj.length, obj.width) << "pedestrian footprint not square";
+        EXPECT_GE(obj.length, 0.3f);
+        EXPECT_LE(obj.length, 1.1f);
+        EXPECT_GE(obj.height, 1.2f);
+        EXPECT_LE(obj.height, 2.3f);
+      } else if (obj.label == eval::kClassCyclist) {
+        ++cycs;
+        EXPECT_GE(obj.length, 1.1f);
+        EXPECT_LE(obj.length, 2.6f);
+        EXPECT_GT(obj.length, obj.width) << "cyclist should be elongated";
+        EXPECT_GE(obj.height, 1.2f);
+        EXPECT_LE(obj.height, 2.3f);
+      } else {
+        EXPECT_EQ(obj.label, eval::kClassCar);
+      }
+    }
+  }
+  EXPECT_GE(peds, 8);
+  EXPECT_GE(cycs, 8);
+}
+
+TEST(SceneGenerator, MinObjectPointsFloorHolds) {
+  // A far pedestrian with a starvation-level point budget: the 1/r decay and
+  // the area scaling would round its returns to zero without the floor.
+  data::SceneConfig cfg;
+  cfg.min_cars = 0;
+  cfg.max_cars = 0;
+  cfg.min_pedestrians = 1;
+  cfg.max_pedestrians = 1;
+  cfg.x_min = 40.0f;
+  cfg.x_max = 46.0f;
+  cfg.points_at_10m = 1.0f;
+  cfg.ground_clutter_points = 0;
+  cfg.distractor_clusters = 0;
+  data::SceneGenerator gen(cfg);
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto scene = gen.sample(rng);
+    ASSERT_EQ(scene.objects.size(), 1u);
+    EXPECT_GE(static_cast<int>(scene.points.size()), cfg.min_object_points)
+        << "far small object starved below the min_object_points floor";
+  }
 }
 
 }  // namespace

@@ -269,6 +269,90 @@ TEST(Specs, Table1ExecutionOrderingLiDARModels) {
   EXPECT_LT(focals, vsc);
 }
 
+data::Scene multiclass_scene() {
+  data::SceneConfig sc;
+  sc.min_cars = 1;
+  sc.max_cars = 2;
+  sc.min_pedestrians = 1;
+  sc.max_pedestrians = 2;
+  sc.min_cyclists = 1;
+  sc.max_cyclists = 1;
+  data::SceneGenerator gen(sc);
+  Rng rng(21);
+  return gen.sample(rng);
+}
+
+TEST(PointPillars, MulticlassAnchorsAndLabels) {
+  auto cfg = tiny_pp();
+  cfg.class_anchors = {{4.2f, 1.8f, 1.55f}, {0.6f, 0.6f, 1.7f},
+                       {1.76f, 0.6f, 1.73f}};
+  EXPECT_EQ(cfg.num_classes(), 3);
+  EXPECT_EQ(cfg.anchor_count(), 6);  // two yaw hypotheses per class
+  Rng rng(31);
+  detectors::PointPillars pp(cfg, rng);
+  const auto scene = multiclass_scene();
+  for (const auto& d : pp.detect(scene)) {
+    EXPECT_GE(d.label, 0);
+    EXPECT_LT(d.label, 3);
+  }
+  pp.zero_grad();
+  const double loss = pp.compute_loss_and_grad({&scene});
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0);
+}
+
+TEST(PointPillars, SingleClassDefaultUnchanged) {
+  // Empty class_anchors keeps the historical single-class two-anchor head,
+  // so the committed zoo cache still matches the architecture.
+  detectors::PointPillarsConfig cfg;
+  EXPECT_EQ(cfg.num_classes(), 1);
+  EXPECT_EQ(cfg.anchor_count(), 2);
+}
+
+TEST(PointPillars, MulticlassCostProfileScalesHead) {
+  const auto single = detectors::PointPillars::cost_profile_for(tiny_pp());
+  auto mc_cfg = tiny_pp();
+  mc_cfg.class_anchors = {{4.2f, 1.8f, 1.55f}, {0.6f, 0.6f, 1.7f},
+                          {1.76f, 0.6f, 1.73f}};
+  const auto multi = detectors::PointPillars::cost_profile_for(mc_cfg);
+  auto head_weights = [](const std::vector<hw::LayerProfile>& profile) {
+    std::int64_t acc = 0;
+    for (const auto& l : profile)
+      if (l.name == "head.cls" || l.name == "head.reg") acc += l.weight_count;
+    return acc;
+  };
+  EXPECT_EQ(head_weights(multi), 3 * head_weights(single));
+}
+
+TEST(Smoke, MulticlassHeatmapAndLabels) {
+  auto cfg = tiny_smoke();
+  cfg.class_dims = {{4.2f, 1.8f, 1.55f}, {0.6f, 0.6f, 1.7f},
+                    {1.76f, 0.6f, 1.73f}};
+  EXPECT_EQ(cfg.num_classes(), 3);
+  Rng rng(32);
+  detectors::Smoke smoke(cfg, rng);
+  const auto scene = multiclass_scene();
+  for (const auto& d : smoke.detect(scene)) {
+    EXPECT_GE(d.label, 0);
+    EXPECT_LT(d.label, 3);
+  }
+  smoke.zero_grad();
+  const double loss = smoke.compute_loss_and_grad({&scene});
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0);
+}
+
+TEST(Smoke, OutOfRangeLabelClampsInLoss) {
+  // A single-class SMOKE fed a cyclist-labelled box must clamp the label
+  // into its heatmap rather than index out of bounds.
+  Rng rng(33);
+  detectors::Smoke smoke(tiny_smoke(), rng);
+  data::Scene scene = multiclass_scene();
+  smoke.zero_grad();
+  const double loss = smoke.compute_loss_and_grad({&scene});
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
 TEST(EvaluateMap, UsesObservesFilter) {
   Rng rng(13);
   detectors::Smoke smoke(tiny_smoke(), rng);

@@ -192,5 +192,135 @@ TEST(MapPercent, ThresholdSensitivity) {
   EXPECT_GT(loose, strict);
 }
 
+eval::Box3D make_labeled(float x, float y, int label, float score = 1.0f) {
+  auto b = make_box(x, y, label == eval::kClassCar ? 4.0f : 0.8f,
+                    label == eval::kClassCar ? 2.0f : 0.8f, 0.0f, score);
+  b.label = label;
+  return b;
+}
+
+TEST(ClassName, KnownAndUnknownLabels) {
+  EXPECT_EQ(eval::class_name(eval::kClassCar), "car");
+  EXPECT_EQ(eval::class_name(eval::kClassPedestrian), "pedestrian");
+  EXPECT_EQ(eval::class_name(eval::kClassCyclist), "cyclist");
+  EXPECT_EQ(eval::class_name(7), "class7");
+}
+
+TEST(PerClassAp, SplitsByLabelAscending) {
+  eval::FrameDetections frame;
+  frame.ground_truth = {make_labeled(5, 0, eval::kClassCar),
+                        make_labeled(15, 3, eval::kClassPedestrian),
+                        make_labeled(25, -4, eval::kClassCyclist)};
+  // Perfect car + cyclist detections, pedestrian missed entirely.
+  frame.detections = {make_labeled(5, 0, eval::kClassCar, 0.9f),
+                      make_labeled(25, -4, eval::kClassCyclist, 0.8f)};
+  const auto per_class = eval::per_class_ap({frame}, 0.5);
+  ASSERT_EQ(per_class.size(), 3u);
+  EXPECT_EQ(per_class[0].label, eval::kClassCar);
+  EXPECT_EQ(per_class[1].label, eval::kClassPedestrian);
+  EXPECT_EQ(per_class[2].label, eval::kClassCyclist);
+  EXPECT_NEAR(per_class[0].result.ap, 1.0, 1e-9);
+  EXPECT_EQ(per_class[1].result.ap, 0.0);
+  EXPECT_NEAR(per_class[2].result.ap, 1.0, 1e-9);
+}
+
+TEST(PerClassAp, CrossClassMatchesDoNotCount) {
+  // A pedestrian-labelled detection sitting exactly on a car GT scores the
+  // pedestrian class (as a false positive), never the car class.
+  eval::FrameDetections frame;
+  frame.ground_truth = {make_labeled(5, 0, eval::kClassCar)};
+  frame.detections = {make_labeled(5, 0, eval::kClassPedestrian, 0.9f)};
+  const auto per_class = eval::per_class_ap({frame}, 0.1);
+  ASSERT_EQ(per_class.size(), 2u);
+  EXPECT_EQ(per_class[0].result.ap, 0.0);               // car: missed
+  EXPECT_EQ(per_class[0].result.true_positives, 0);
+  EXPECT_EQ(per_class[1].result.false_positives, 1);    // ped: spurious
+}
+
+TEST(PerClassAp, EmptyFramesGiveEmptyList) {
+  EXPECT_TRUE(eval::per_class_ap({}, 0.5).empty());
+  eval::FrameDetections frame;  // no GT, no detections
+  EXPECT_TRUE(eval::per_class_ap({frame}, 0.5).empty());
+}
+
+TEST(IsCritical, ClassAndRangeRules) {
+  eval::CriticalRecallConfig cfg;
+  EXPECT_TRUE(eval::is_critical(make_labeled(30, 10, eval::kClassPedestrian),
+                                cfg));
+  EXPECT_TRUE(eval::is_critical(make_labeled(30, 10, eval::kClassCyclist),
+                                cfg));
+  EXPECT_FALSE(eval::is_critical(make_labeled(30, 10, eval::kClassCar), cfg));
+  // A car inside the near range is critical regardless of class.
+  EXPECT_TRUE(eval::is_critical(make_labeled(6, 3, eval::kClassCar), cfg));
+  EXPECT_FALSE(
+      eval::is_critical(make_labeled(10.5f, 0, eval::kClassCar), cfg));
+}
+
+TEST(CriticalRecall, MatchesClassAgnosticWithinDistance) {
+  eval::FrameDetections frame;
+  frame.ground_truth = {make_labeled(20, 5, eval::kClassPedestrian),
+                        make_labeled(6, 0, eval::kClassCar),
+                        make_labeled(40, -10, eval::kClassCar)};  // not critical
+  // The pedestrian is found by a mislabelled (car) detection 1 m off — still
+  // recalled: safety cares that *something* was detected there. The near car
+  // has no detection anywhere close.
+  frame.detections = {make_labeled(20, 4, eval::kClassCar, 0.9f)};
+  const auto rec = eval::critical_object_recall({frame});
+  EXPECT_EQ(rec.critical, 2);
+  EXPECT_EQ(rec.recalled, 1);
+  EXPECT_NEAR(rec.recall(), 0.5, 1e-12);
+}
+
+TEST(CriticalRecall, OneDetectionCannotRecallTwoObjects) {
+  eval::FrameDetections frame;
+  // Two pedestrians 1 m apart; a single detection between them.
+  frame.ground_truth = {make_labeled(20, 0, eval::kClassPedestrian),
+                        make_labeled(20, 1, eval::kClassPedestrian)};
+  frame.detections = {make_labeled(20, 0.5f, eval::kClassPedestrian, 0.9f)};
+  const auto rec = eval::critical_object_recall({frame});
+  EXPECT_EQ(rec.critical, 2);
+  EXPECT_EQ(rec.recalled, 1);
+}
+
+TEST(CriticalRecall, DistanceThresholdRespected) {
+  eval::FrameDetections frame;
+  frame.ground_truth = {make_labeled(20, 0, eval::kClassPedestrian)};
+  frame.detections = {make_labeled(20, 2.0f, eval::kClassPedestrian, 0.9f)};
+  eval::CriticalRecallConfig cfg;  // match_distance_m = 1.5
+  EXPECT_EQ(eval::critical_object_recall({frame}, cfg).recalled, 0);
+  cfg.match_distance_m = 2.5;
+  EXPECT_EQ(eval::critical_object_recall({frame}, cfg).recalled, 1);
+}
+
+TEST(CriticalRecall, DegenerateCases) {
+  // No critical objects at all -> vacuous full recall (the gate must not
+  // trip on families that happen to contain only far cars).
+  eval::FrameDetections none;
+  none.ground_truth = {make_labeled(40, 10, eval::kClassCar)};
+  none.detections = {make_labeled(40, 10, eval::kClassCar, 0.9f)};
+  const auto vac = eval::critical_object_recall({none});
+  EXPECT_EQ(vac.critical, 0);
+  EXPECT_EQ(vac.recall(), 1.0);
+  // Empty frame list behaves the same.
+  EXPECT_EQ(eval::critical_object_recall({}).recall(), 1.0);
+  // Critical objects but zero detections -> zero recall.
+  eval::FrameDetections blind;
+  blind.ground_truth = {make_labeled(5, 0, eval::kClassPedestrian)};
+  const auto zero = eval::critical_object_recall({blind});
+  EXPECT_EQ(zero.critical, 1);
+  EXPECT_EQ(zero.recalled, 0);
+  EXPECT_EQ(zero.recall(), 0.0);
+}
+
+TEST(CriticalRecall, AggregatesAcrossFrames) {
+  eval::FrameDetections a, b;
+  a.ground_truth = {make_labeled(5, 0, eval::kClassPedestrian)};
+  a.detections = {make_labeled(5, 0, eval::kClassPedestrian, 0.9f)};
+  b.ground_truth = {make_labeled(8, 2, eval::kClassCyclist)};
+  const auto rec = eval::critical_object_recall({a, b});
+  EXPECT_EQ(rec.critical, 2);
+  EXPECT_EQ(rec.recalled, 1);
+}
+
 }  // namespace
 }  // namespace upaq

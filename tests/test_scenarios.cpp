@@ -1,0 +1,264 @@
+// Scenario robustness suite contract tests.
+//
+// Pins the product surface of the scenario engine: the per-family report
+// schema (every family present, JSON complete), the critical-object recall
+// gate (trips on a drop beyond the margin, stays quiet within it, and —
+// end-to-end — catches an "over-compressed" detector that silently loses
+// small/near objects while keeping cars), thread-count invariance of scene
+// generation, and serve-pipeline compatibility of a mixed-family stream.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+
+#include "data/scenario.h"
+#include "data/scene.h"
+#include "detectors/detector.h"
+#include "detectors/pointpillars.h"
+#include "parallel/thread_pool.h"
+#include "serve/serve.h"
+#include "serve/stream.h"
+#include "tensor/rng.h"
+#include "zoo/scenarios.h"
+
+namespace upaq {
+namespace {
+
+/// Ground-truth oracle: "detects" exactly the objects of the scene. The
+/// degraded flavour models an over-compressed detector — it still finds
+/// every car beyond the near range (aggregate, car-dominated metrics look
+/// healthy) but drops all pedestrians, cyclists, and near-range objects,
+/// which is precisely the failure mode the recall gate exists to catch.
+class OracleDetector : public detectors::Detector3D {
+ public:
+  explicit OracleDetector(bool degraded) : degraded_(degraded) {}
+
+  std::vector<eval::Box3D> detect(const data::Scene& scene) override {
+    std::vector<eval::Box3D> out;
+    for (const auto& gt : scene.objects) {
+      if (degraded_ && eval::is_critical(gt, eval::CriticalRecallConfig{}))
+        continue;
+      auto b = gt;
+      b.score = 0.9f;
+      out.push_back(b);
+    }
+    return out;
+  }
+
+  double compute_loss_and_grad(
+      const std::vector<const data::Scene*>& batch) override {
+    (void)batch;
+    return 0.0;
+  }
+
+  std::vector<hw::LayerProfile> cost_profile() const override { return {}; }
+
+  const char* model_name() const override {
+    return degraded_ ? "oracle-degraded" : "oracle";
+  }
+
+ private:
+  bool degraded_;
+};
+
+zoo::ScenarioSuiteConfig small_suite() {
+  zoo::ScenarioSuiteConfig cfg;
+  cfg.scenes_per_family = 3;
+  return cfg;
+}
+
+TEST(ScenarioSuite, ReportCoversEveryFamilyWithSaneMetrics) {
+  OracleDetector oracle(false);
+  const auto report = zoo::run_scenario_suite(oracle, "oracle", small_suite());
+  EXPECT_EQ(report.variant, "oracle");
+  ASSERT_EQ(report.families.size(), data::all_scenario_families().size());
+  for (const auto family : data::all_scenario_families()) {
+    const auto* fm = report.find(data::scenario_name(family));
+    ASSERT_NE(fm, nullptr) << data::scenario_name(family) << " missing";
+    EXPECT_EQ(fm->scenes, 3);
+    EXPECT_GT(fm->objects, 0);
+    // The oracle detects exactly the ground truth: perfect everywhere.
+    EXPECT_NEAR(fm->map_percent, 100.0, 1e-9);
+    EXPECT_GT(fm->critical.critical, 0)
+        << "family has no critical objects; the gate would be vacuous";
+    EXPECT_EQ(fm->critical.recall(), 1.0);
+    EXPECT_FALSE(fm->class_ap.empty());
+    EXPECT_GE(fm->p99_ms, fm->p50_ms);
+  }
+}
+
+TEST(ScenarioSuite, JsonSchemaComplete) {
+  OracleDetector oracle(false);
+  const auto cfg = small_suite();
+  const auto report = zoo::run_scenario_suite(oracle, "oracle", cfg);
+  const std::string json = zoo::scenario_suite_json({report}, cfg);
+  for (const char* key :
+       {"\"scenes_per_family\"", "\"seed\"", "\"iou_threshold\"",
+        "\"near_range_m\"", "\"match_distance_m\"", "\"variants\"",
+        "\"variant\": \"oracle\"", "\"families\"", "\"objects\"",
+        "\"map_percent\"", "\"class_ap\"", "\"critical_objects\"",
+        "\"critical_recalled\"", "\"critical_recall\"", "\"p50_ms\"",
+        "\"p99_ms\""})
+    EXPECT_NE(json.find(key), std::string::npos) << "missing key " << key;
+  for (const auto family : data::all_scenario_families())
+    EXPECT_NE(json.find("\"family\": \"" + data::scenario_name(family) + "\""),
+              std::string::npos);
+}
+
+zoo::VariantReport flat_report(const std::string& name, int critical,
+                               int recalled) {
+  zoo::VariantReport rep;
+  rep.variant = name;
+  for (const auto family : data::all_scenario_families()) {
+    zoo::FamilyMetrics fm;
+    fm.family = data::scenario_name(family);
+    fm.critical.critical = critical;
+    fm.critical.recalled = recalled;
+    rep.families.push_back(fm);
+  }
+  return rep;
+}
+
+TEST(RecallGate, TripsBeyondMarginOnly) {
+  const auto base = flat_report("fp32", 10, 8);  // recall 0.8
+  zoo::RecallGateConfig cfg;
+  cfg.margin = 0.15;
+  // Within margin: 0.7 >= 0.8 - 0.15.
+  EXPECT_TRUE(zoo::check_recall_gate(base, flat_report("ok", 10, 7), cfg)
+                  .empty());
+  // Beyond margin: 0.6 < 0.65 -> one violation per family.
+  const auto violations =
+      zoo::check_recall_gate(base, flat_report("bad", 10, 6), cfg);
+  ASSERT_EQ(violations.size(), data::all_scenario_families().size());
+  EXPECT_EQ(violations[0].variant, "bad");
+  EXPECT_NEAR(violations[0].base_recall, 0.8, 1e-12);
+  EXPECT_NEAR(violations[0].variant_recall, 0.6, 1e-12);
+}
+
+TEST(RecallGate, VacuousFamiliesNeverTrip) {
+  // Zero critical objects on both sides -> recall 1.0 vs 1.0, no trip.
+  const auto base = flat_report("fp32", 0, 0);
+  EXPECT_TRUE(
+      zoo::check_recall_gate(base, flat_report("variant", 0, 0), {}).empty());
+}
+
+TEST(RecallGate, CatchesOverCompressedDetectorEndToEnd) {
+  // The accuracy-shaped failure the gate exists for: the degraded oracle
+  // keeps far cars (aggregate numbers stay plausible) but silently loses
+  // every safety-critical object. The gate must trip in every family.
+  const auto cfg = small_suite();
+  OracleDetector good(false), bad(true);
+  const auto base = zoo::run_scenario_suite(good, "fp32", cfg);
+  const auto compressed = zoo::run_scenario_suite(bad, "over_compressed", cfg);
+  const auto violations = zoo::check_recall_gate(base, compressed, {});
+  ASSERT_EQ(violations.size(), data::all_scenario_families().size());
+  for (const auto& v : violations) {
+    EXPECT_EQ(v.variant, "over_compressed");
+    EXPECT_EQ(v.variant_recall, 0.0);
+    EXPECT_EQ(v.base_recall, 1.0);
+  }
+}
+
+bool bits_equal(float a, float b) {
+  std::uint32_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+bool same_scene(const data::Scene& a, const data::Scene& b) {
+  if (a.objects.size() != b.objects.size() ||
+      a.points.size() != b.points.size())
+    return false;
+  for (std::size_t i = 0; i < a.objects.size(); ++i) {
+    if (!bits_equal(a.objects[i].x, b.objects[i].x) ||
+        !bits_equal(a.objects[i].yaw, b.objects[i].yaw) ||
+        a.objects[i].label != b.objects[i].label)
+      return false;
+  }
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    if (!bits_equal(a.points[i].x, b.points[i].x) ||
+        !bits_equal(a.points[i].y, b.points[i].y) ||
+        !bits_equal(a.points[i].z, b.points[i].z) ||
+        !bits_equal(a.points[i].intensity, b.points[i].intensity))
+      return false;
+  }
+  return true;
+}
+
+TEST(ScenarioScenes, BitwiseIdenticalAcrossThreadCounts) {
+  // Scene generation never touches the thread pool, so the scenario scene
+  // sets must be bitwise identical at 1 and 4 worker threads.
+  for (const auto family : data::all_scenario_families()) {
+    parallel::set_thread_count(1);
+    const auto serial = data::make_scenario_scenes(family, 3, 77);
+    parallel::set_thread_count(4);
+    const auto threaded = data::make_scenario_scenes(family, 3, 77);
+    parallel::set_thread_count(1);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      EXPECT_TRUE(same_scene(serial[i], threaded[i]))
+          << data::scenario_name(family) << " scene " << i
+          << " differs across thread counts";
+  }
+}
+
+TEST(ScenarioServe, MixedFamilyStreamRetiresEveryRequest) {
+  // A stream cycling through all five scenario families must flow through
+  // the serving pipeline like any other: every submitted request retires
+  // with exactly one result and nothing is shed at ample capacity.
+  serve::StreamConfig scfg;
+  scfg.scenes = 15;  // 3 full passes over the 5 families
+  scfg.rate_hz = 1000.0;
+  for (const auto family : data::all_scenario_families())
+    scfg.mixture.push_back(data::scenario_config(family));
+  const auto arrivals = serve::make_stream(scfg);
+  ASSERT_EQ(arrivals.size(), 15u);
+
+  auto cfg = detectors::PointPillarsConfig::scaled();
+  cfg.grid = 32;
+  cfg.pfn_channels = 8;
+  cfg.blocks = {{1, 8}, {1, 12}, {1, 16}};
+  cfg.up_channels = 8;
+  cfg.head_channels = 16;
+  Rng rng(5);
+  detectors::PointPillars model(cfg, rng);
+  model.set_training(false);
+
+  serve::ServeConfig serve_cfg;
+  serve_cfg.max_batch = 3;
+  serve_cfg.queue_capacity = 64;
+  serve::Server server(model, serve_cfg);
+  std::set<std::uint64_t> ids;
+  for (const auto& a : arrivals) ids.insert(server.submit(a.scene));
+  server.drain();
+  const auto results = server.poll();
+  EXPECT_EQ(results.size(), ids.size());
+  std::set<std::uint64_t> seen;
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.shed);
+    EXPECT_TRUE(ids.count(r.id));
+    EXPECT_TRUE(seen.insert(r.id).second) << "duplicate result id";
+  }
+  EXPECT_EQ(server.stats().submitted, ids.size());
+  EXPECT_EQ(server.stats().completed, ids.size());
+  EXPECT_TRUE(server.idle());
+}
+
+TEST(ScenarioServe, MixtureStreamIsDeterministic) {
+  serve::StreamConfig scfg;
+  scfg.scenes = 10;
+  for (const auto family : data::all_scenario_families())
+    scfg.mixture.push_back(data::scenario_config(family));
+  const auto a = serve::make_stream(scfg);
+  const auto b = serve::make_stream(scfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].due_ms, b[i].due_ms);
+    EXPECT_TRUE(same_scene(a[i].scene, b[i].scene));
+  }
+}
+
+}  // namespace
+}  // namespace upaq
