@@ -13,8 +13,11 @@
 #include <cmath>
 #include <cstdio>
 
+#include "data/scenario.h"
+#include "detectors/pointpillars.h"
 #include "eval/box.h"
 #include "nn/conv.h"
+#include "obs/obs.h"
 #include "prune/pattern.h"
 #include "qnn/qgemm.h"
 #include "qnn/qlayers.h"
@@ -211,6 +214,30 @@ void BM_PackedConv(benchmark::State& state) {
   conv.set_engine(nullptr);
 }
 BENCHMARK(BM_PackedConv);
+
+// Always-on observability overhead: full detect() with the obs layer
+// enabled (Arg 1) vs runtime-disabled (Arg 0). The obs hot path per detect
+// is one histogram record + one counter add + a handful of arena gauge
+// ratchets; the two rows must agree within the noise floor (the acceptance
+// bar is 2% on detect p50). The compile-time kill (-DUPAQ_OBS_DISABLE=ON)
+// removes even the relaxed kill-switch loads.
+void BM_DetectObs(benchmark::State& state) {
+  const bool obs_on = state.range(0) != 0;
+  Rng rng(4242);
+  detectors::PointPillars model(detectors::PointPillarsConfig::scaled(), rng);
+  model.set_training(false);
+  const auto scenes =
+      data::make_scenario_scenes(data::ScenarioFamily::kBaseline, 4, 99);
+  (void)model.detect(scenes.front());  // warm caches/arena outside timing
+  obs::set_enabled(obs_on);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.detect(scenes[i % scenes.size()]));
+    ++i;
+  }
+  obs::set_enabled(true);
+}
+BENCHMARK(BM_DetectObs)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void BM_QuantizePerTensor(benchmark::State& state) {
   Rng rng(2);

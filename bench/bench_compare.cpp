@@ -1,0 +1,135 @@
+// Bench-regression gate: diff current bench JSON against the committed
+// baseline (bench_baseline.json) with per-metric thresholds, exiting
+// non-zero on any regression. Run by scripts/check.sh as a hard stage.
+//
+//   ./bench_compare --baseline bench_baseline.json
+//       --current fig4=bench_fig4.json
+//       --current serve=build/bench_serve_smoke.json
+//
+// Each baseline metric names the file key it lives in; file keys not
+// supplied on the command line are skipped (the gate can run on a subset of
+// bench outputs), but a supplied file missing a metric's path FAILS — a
+// renamed metric must not silently pass.
+//
+//   ./bench_compare --validate-metrics metrics.prom
+//
+// parses a Prometheus text exposition and exits non-zero when malformed
+// (the CI metrics-snapshot smoke).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/regress.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --baseline FILE [--current KEY=FILE ...]\n"
+               "       %s --validate-metrics FILE\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using upaq::obs::json::Value;
+  namespace regress = upaq::obs::regress;
+
+  std::string baseline_path;
+  std::string validate_path;
+  std::vector<std::pair<std::string, std::string>> current_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--current" && i + 1 < argc) {
+      const std::string kv = argv[++i];
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) return usage(argv[0]);
+      current_paths.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (arg == "--validate-metrics" && i + 1 < argc) {
+      validate_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!validate_path.empty()) {
+    std::string text;
+    if (!read_file(validate_path, text)) {
+      std::fprintf(stderr, "FAIL: cannot read %s\n", validate_path.c_str());
+      return 1;
+    }
+    std::string err;
+    if (!upaq::obs::validate_prometheus(text, &err)) {
+      std::fprintf(stderr, "FAIL: %s: %s\n", validate_path.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    std::printf("OK: %s parses as Prometheus text exposition\n",
+                validate_path.c_str());
+    return 0;
+  }
+
+  if (baseline_path.empty()) return usage(argv[0]);
+
+  std::string baseline_text;
+  if (!read_file(baseline_path, baseline_text)) {
+    std::fprintf(stderr, "FAIL: cannot read %s\n", baseline_path.c_str());
+    return 1;
+  }
+  Value baseline_doc;
+  std::string err;
+  if (!upaq::obs::json::parse(baseline_text, baseline_doc, &err)) {
+    std::fprintf(stderr, "FAIL: %s: %s\n", baseline_path.c_str(), err.c_str());
+    return 1;
+  }
+  regress::Baseline baseline;
+  if (!regress::parse_baseline(baseline_doc, baseline, &err)) {
+    std::fprintf(stderr, "FAIL: %s: %s\n", baseline_path.c_str(), err.c_str());
+    return 1;
+  }
+
+  std::vector<Value> docs(current_paths.size());
+  std::vector<std::pair<std::string, const Value*>> current;
+  for (std::size_t i = 0; i < current_paths.size(); ++i) {
+    std::string text;
+    if (!read_file(current_paths[i].second, text)) {
+      std::fprintf(stderr, "FAIL: cannot read %s\n",
+                   current_paths[i].second.c_str());
+      return 1;
+    }
+    if (!upaq::obs::json::parse(text, docs[i], &err)) {
+      std::fprintf(stderr, "FAIL: %s: %s\n", current_paths[i].second.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    current.emplace_back(current_paths[i].first, &docs[i]);
+  }
+
+  const auto results = regress::compare(baseline, current);
+  std::fputs(regress::report(results).c_str(), stdout);
+  if (!regress::all_pass(results)) {
+    std::fprintf(stderr, "FAIL: bench regression vs %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  std::printf("PASS: all supplied metrics within baseline thresholds\n");
+  return 0;
+}

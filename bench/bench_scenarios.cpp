@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "core/qmodel.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "parallel/thread_pool.h"
 #include "zoo/experiment.h"
 #include "zoo/scenarios.h"
@@ -107,17 +109,26 @@ int main(int argc, char** argv) {
     print_report(reports.back());
   }
 
-  std::ofstream os(out_path);
-  os << zoo::scenario_suite_json(reports, cfg);
-  os.close();
-  std::printf("wrote %s\n", out_path.c_str());
-
-  // Critical-object recall gate: every compressed variant vs fp32.
+  // Critical-object recall gate first: every compressed variant vs fp32.
+  // Violations land in the obs event log, so the gate must run before the
+  // obs snapshot is embedded into the JSON below.
   std::vector<zoo::GateViolation> violations;
   for (std::size_t i = 1; i < reports.size(); ++i) {
     auto v = zoo::check_recall_gate(reports[0], reports[i], gate_cfg);
     violations.insert(violations.end(), v.begin(), v.end());
   }
+
+  // Splice the obs snapshot into the suite document (before its closing
+  // brace) so the file schema stays a superset of scenario_suite_json's.
+  std::string doc = zoo::scenario_suite_json(reports, cfg);
+  const auto close = doc.rfind('}');
+  if (close != std::string::npos)
+    doc.insert(close, ",\n  \"obs\": " +
+                          obs::snapshot_json(obs::snapshot()) + "\n");
+  std::ofstream os(out_path);
+  os << doc;
+  os.close();
+  std::printf("wrote %s\n", out_path.c_str());
   if (violations.empty()) {
     std::printf("recall gate: OK (no variant drops critical recall > %.2f "
                 "below fp32)\n", gate_cfg.margin);

@@ -21,6 +21,8 @@
 
 #include "data/scene.h"
 #include "detectors/pointpillars.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "parallel/thread_pool.h"
 #include "prof/prof.h"
 #include "serve/serve.h"
@@ -121,27 +123,8 @@ void print_report(const serve::LoadReport& r) {
 }
 
 void emit_report_json(FILE* json, const serve::LoadReport& r, bool last) {
-  std::fprintf(json,
-               "    {\"offered_hz\": %.4f, \"achieved_hz\": %.4f, "
-               "\"wall_ms\": %.4f,\n"
-               "     \"p50_ms\": %.4f, \"p90_ms\": %.4f, \"p99_ms\": %.4f, "
-               "\"p999_ms\": %.4f,\n"
-               "     \"submitted\": %llu, \"completed\": %llu, "
-               "\"shed_capacity\": %llu, \"shed_deadline\": %llu, "
-               "\"shed_rate\": %.4f,\n"
-               "     \"batches\": %llu, \"batch_hist\": [",
-               r.offered_hz, r.achieved_hz, r.wall_ms, r.p50_ms, r.p90_ms,
-               r.p99_ms, r.p999_ms,
-               static_cast<unsigned long long>(r.stats.submitted),
-               static_cast<unsigned long long>(r.stats.completed),
-               static_cast<unsigned long long>(r.stats.shed_capacity),
-               static_cast<unsigned long long>(r.stats.shed_deadline),
-               r.shed_rate,
-               static_cast<unsigned long long>(r.stats.batches));
-  for (std::size_t k = 0; k < r.stats.batch_hist.size(); ++k)
-    std::fprintf(json, "%s%llu", k ? ", " : "",
-                 static_cast<unsigned long long>(r.stats.batch_hist[k]));
-  std::fprintf(json, "]}%s\n", last ? "" : ",");
+  std::fprintf(json, "    %s%s\n", serve::load_report_json(r).c_str(),
+               last ? "" : ",");
 }
 
 }  // namespace
@@ -197,6 +180,9 @@ int main(int argc, char** argv) {
   std::printf("calibration: %.2f ms/scene serial -> capacity ~%.1f Hz\n",
               scene_ms, capacity_hz);
 
+  // The equivalence gate and calibration above ran detects of their own;
+  // reset obs so the embedded snapshot covers only the load sweep.
+  obs::reset();
   const std::vector<double> fractions =
       smoke ? std::vector<double>{0.25}
             : std::vector<double>{0.4, 0.8, 1.6, 3.2};
@@ -228,7 +214,8 @@ int main(int argc, char** argv) {
   std::fprintf(json, "  \"loads\": [\n");
   for (std::size_t i = 0; i < reports.size(); ++i)
     emit_report_json(json, reports[i], i + 1 == reports.size());
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n  \"obs\": %s\n}\n",
+               obs::snapshot_json(obs::snapshot()).c_str());
   std::fclose(json);
   std::printf("Wrote %s\n", out_path.c_str());
   return 0;

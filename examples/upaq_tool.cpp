@@ -6,15 +6,18 @@
 //             [--gamma G] [--cache DIR] [--no-finetune]
 //
 //   upaq_tool profile [--model pointpillars|smoke] [--scenes K] [--runs R]
-//                     [--trace FILE] [--packed]
+//                     [--trace FILE] [--packed] [--json]
 //
 //   upaq_tool serve [--scenes N] [--rate HZ] [--fixed] [--batch B]
 //                   [--capacity Q] [--deadline MS] [--no-pipeline]
-//                   [--seed S] [--trace FILE]
+//                   [--seed S] [--trace FILE] [--json]
 //
 //   upaq_tool scenarios [--scenes N] [--seed S] [--families a,b,...]
 //                       [--margin X] [--out FILE] [--fp32-only]
-//                       [--cache DIR]
+//                       [--cache DIR] [--json]
+//
+//   upaq_tool metrics [--scenes N] [--rate HZ] [--seed S] [--json]
+//                     [--out FILE] [--check]
 //
 // The default mode trains (or loads) the chosen detector, compresses it with
 // the requested configuration, optionally fine-tunes, and prints the
@@ -35,6 +38,13 @@
 // per-class AP, critical-object recall, detect latency) on the zoo variants
 // and applies the critical-recall compression gate — the interactive sibling
 // of bench/bench_scenarios, with family selection and gate margin exposed.
+//
+// `metrics` drives a short serve workload and emits the always-on obs
+// snapshot: Prometheus text exposition by default, the JSON form with
+// --json. --check self-validates the exposition (the CI metrics smoke).
+//
+// `--json` on profile / serve / scenarios switches stdout to a single JSON
+// document (the human tables go away), with the obs snapshot embedded.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +56,8 @@
 #include "core/qmodel.h"
 #include "core/upaq.h"
 #include "data/scene.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "detectors/pointpillars.h"
 #include "detectors/smoke.h"
 #include "parallel/thread_pool.h"
@@ -69,14 +81,16 @@ using namespace upaq;
                "          [--connectivity F] [--finetune ITERS]\n"
                "          [--alpha A] [--beta B] [--gamma G] [--cache DIR]\n"
                "       %s profile [--model pointpillars|smoke] [--scenes K]\n"
-               "          [--runs R] [--trace FILE] [--packed]\n"
+               "          [--runs R] [--trace FILE] [--packed] [--json]\n"
                "       %s serve [--scenes N] [--rate HZ] [--fixed]\n"
                "          [--batch B] [--capacity Q] [--deadline MS]\n"
-               "          [--no-pipeline] [--seed S] [--trace FILE]\n"
+               "          [--no-pipeline] [--seed S] [--trace FILE] [--json]\n"
                "       %s scenarios [--scenes N] [--seed S]\n"
                "          [--families a,b,...] [--margin X] [--out FILE]\n"
-               "          [--fp32-only] [--cache DIR]\n",
-               argv0, argv0, argv0, argv0);
+               "          [--fp32-only] [--cache DIR] [--json]\n"
+               "       %s metrics [--scenes N] [--rate HZ] [--seed S]\n"
+               "          [--json] [--out FILE] [--check]\n",
+               argv0, argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -87,7 +101,7 @@ int run_profile(int argc, char** argv) {
   std::string model_name = "pointpillars";
   std::string trace_path;
   int scenes = 4, runs = 3;
-  bool packed = false;
+  bool packed = false, json_out = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -104,6 +118,8 @@ int run_profile(int argc, char** argv) {
       trace_path = next();
     else if (arg == "--packed")
       packed = true;
+    else if (arg == "--json")
+      json_out = true;
     else
       usage(argv[0]);
   }
@@ -147,6 +163,7 @@ int run_profile(int argc, char** argv) {
   prof::set_enabled(true);
   std::size_t sink = target->detect(set.front()).size();
   prof::reset();
+  obs::reset();  // snapshot covers only the timed passes below
 
   const auto t0 = std::chrono::steady_clock::now();
   for (int r = 0; r < runs; ++r)
@@ -159,22 +176,27 @@ int run_profile(int argc, char** argv) {
 
   const auto events = prof::snapshot_events();
   const int passes = runs * scenes;
-  std::printf("%s profile: %d scene%s x %d run%s, %d thread%s\n\n",
-              target->model_name(), scenes, scenes == 1 ? "" : "s", runs,
-              runs == 1 ? "" : "s", threads, threads == 1 ? "" : "s");
-  std::printf("%s\n", prof::stats_table(prof::aggregate(events)).c_str());
+  if (!json_out) {
+    std::printf("%s profile: %d scene%s x %d run%s, %d thread%s\n\n",
+                target->model_name(), scenes, scenes == 1 ? "" : "s", runs,
+                runs == 1 ? "" : "s", threads, threads == 1 ? "" : "s");
+    std::printf("%s\n", prof::stats_table(prof::aggregate(events)).c_str());
 
-  const hw::CostModel cost_model(hw::device_spec(hw::Device::kJetsonOrinNano));
-  const auto cmp = prof::build_cost_report(events, cost_model,
-                                           target->cost_profile(), passes);
-  std::printf("measured (host CPU) vs modeled (Jetson Orin Nano), per pass:\n%s\n",
-              prof::cost_report_table(cmp).c_str());
+    const hw::CostModel cost_model(
+        hw::device_spec(hw::Device::kJetsonOrinNano));
+    const auto cmp = prof::build_cost_report(events, cost_model,
+                                             target->cost_profile(), passes);
+    std::printf(
+        "measured (host CPU) vs modeled (Jetson Orin Nano), per pass:\n%s\n",
+        prof::cost_report_table(cmp).c_str());
 
-  std::printf("counters:\n");
-  for (int c = 0; c < static_cast<int>(prof::Counter::kCount); ++c) {
-    const auto counter = static_cast<prof::Counter>(c);
-    std::printf("  %-22s %llu\n", prof::counter_name(counter),
-                static_cast<unsigned long long>(prof::counter_value(counter)));
+    std::printf("counters:\n");
+    for (int c = 0; c < static_cast<int>(prof::Counter::kCount); ++c) {
+      const auto counter = static_cast<prof::Counter>(c);
+      std::printf(
+          "  %-22s %llu\n", prof::counter_name(counter),
+          static_cast<unsigned long long>(prof::counter_value(counter)));
+    }
   }
 
   // Achieved float-GEMM throughput over the profiled window, plus the arena
@@ -195,38 +217,51 @@ int run_profile(int argc, char** argv) {
                 (wall_ms * 1e6)
           : 0.0;
   const workspace::Stats ws = workspace::stats();
-  std::printf("\ngemm throughput: %.2f GFLOP/s achieved over %.1f ms wall\n",
-              gflops, wall_ms);
-  if (igops > 0.0)
-    std::printf("integer gemm throughput: %.2f GOP/s achieved over the same "
-                "window\n",
-                igops);
-  std::printf("workspace: high-water %.1f KiB, %llu block allocs, "
-              "%llu arena reuses\n",
-              ws.high_water_bytes / 1024.0,
-              static_cast<unsigned long long>(ws.block_allocs),
-              static_cast<unsigned long long>(ws.reuses));
+  if (!json_out) {
+    std::printf("\ngemm throughput: %.2f GFLOP/s achieved over %.1f ms wall\n",
+                gflops, wall_ms);
+    if (igops > 0.0)
+      std::printf("integer gemm throughput: %.2f GOP/s achieved over the "
+                  "same window\n",
+                  igops);
+    std::printf("workspace: high-water %.1f KiB, %llu block allocs, "
+                "%llu arena reuses\n",
+                ws.high_water_bytes / 1024.0,
+                static_cast<unsigned long long>(ws.block_allocs),
+                static_cast<unsigned long long>(ws.reuses));
 
-  // Per-worker utilization: total pool.job time per thread. Lanes missing
-  // from the table never claimed a job in the profiled window.
-  std::map<std::uint64_t, double> lane_ms;
-  for (const auto& e : events)
-    if (e.name == "pool.job") lane_ms[e.tid] += e.dur_ns * 1e-6;
-  std::map<std::uint64_t, std::string> names;
-  for (const auto& [tid, name] : prof::thread_names()) names[tid] = name;
-  std::printf("\npool lanes (pool.job time across %d passes):\n", passes);
-  for (const auto& [tid, ms] : lane_ms) {
-    const auto it = names.find(tid);
-    std::printf("  tid %llu %-16s %8.2f ms\n",
-                static_cast<unsigned long long>(tid),
-                it == names.end() ? "(unnamed)" : it->second.c_str(), ms);
+    // Per-worker utilization: total pool.job time per thread. Lanes missing
+    // from the table never claimed a job in the profiled window.
+    std::map<std::uint64_t, double> lane_ms;
+    for (const auto& e : events)
+      if (e.name == "pool.job") lane_ms[e.tid] += e.dur_ns * 1e-6;
+    std::map<std::uint64_t, std::string> names;
+    for (const auto& [tid, name] : prof::thread_names()) names[tid] = name;
+    std::printf("\npool lanes (pool.job time across %d passes):\n", passes);
+    for (const auto& [tid, ms] : lane_ms) {
+      const auto it = names.find(tid);
+      std::printf("  tid %llu %-16s %8.2f ms\n",
+                  static_cast<unsigned long long>(tid),
+                  it == names.end() ? "(unnamed)" : it->second.c_str(), ms);
+    }
+    if (lane_ms.empty()) std::printf("  (no pool jobs recorded)\n");
+  } else {
+    std::printf(
+        "{\"model\": \"%s\", \"scenes\": %d, \"runs\": %d, "
+        "\"threads\": %d, \"packed\": %s, \"wall_ms\": %.4f, "
+        "\"gemm_gflops\": %.4f, \"int_gemm_gops\": %.4f, "
+        "\"workspace_high_water_bytes\": %llu,\n \"obs\": %s}\n",
+        target->model_name(), scenes, runs, threads,
+        packed ? "true" : "false", wall_ms, gflops, igops,
+        static_cast<unsigned long long>(ws.high_water_bytes),
+        obs::snapshot_json(obs::snapshot()).c_str());
   }
-  if (lane_ms.empty()) std::printf("  (no pool jobs recorded)\n");
 
   if (!trace_path.empty()) {
-    if (prof::write_chrome_trace(trace_path))
+    const bool ok = prof::write_chrome_trace(trace_path);
+    if (ok && !json_out)
       std::printf("\nwrote chrome trace to %s\n", trace_path.c_str());
-    else
+    if (!ok)
       std::fprintf(stderr, "\nfailed to write %s\n", trace_path.c_str());
   }
   return 0;
@@ -239,6 +274,7 @@ int run_serve(int argc, char** argv) {
   scfg.rate_hz = 40.0;
   serve::ServeConfig cfg;
   std::string trace_path;
+  bool json_out = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -263,6 +299,8 @@ int run_serve(int argc, char** argv) {
       cfg.pipeline = false;
     else if (arg == "--trace")
       trace_path = next();
+    else if (arg == "--json")
+      json_out = true;
     else
       usage(argv[0]);
   }
@@ -276,47 +314,58 @@ int run_serve(int argc, char** argv) {
   detectors::PointPillars model(detectors::PointPillarsConfig::scaled(), rng);
   model.set_training(false);
 
-  std::printf("serve: %d scene%s at %.1f Hz (%s arrivals), batch<=%d, "
-              "queue %d, deadline %s, pipeline %s, %d thread%s\n",
-              scfg.scenes, scfg.scenes == 1 ? "" : "s", scfg.rate_hz,
-              scfg.poisson ? "Poisson" : "fixed-rate", cfg.max_batch,
-              cfg.queue_capacity,
-              cfg.deadline_ms > 0.0
-                  ? (std::to_string(cfg.deadline_ms) + " ms").c_str()
-                  : "off",
-              cfg.pipeline ? "on" : "off", threads,
-              threads == 1 ? "" : "s");
+  if (!json_out)
+    std::printf("serve: %d scene%s at %.1f Hz (%s arrivals), batch<=%d, "
+                "queue %d, deadline %s, pipeline %s, %d thread%s\n",
+                scfg.scenes, scfg.scenes == 1 ? "" : "s", scfg.rate_hz,
+                scfg.poisson ? "Poisson" : "fixed-rate", cfg.max_batch,
+                cfg.queue_capacity,
+                cfg.deadline_ms > 0.0
+                    ? (std::to_string(cfg.deadline_ms) + " ms").c_str()
+                    : "off",
+                cfg.pipeline ? "on" : "off", threads,
+                threads == 1 ? "" : "s");
 
   const auto arrivals = serve::make_stream(scfg);
   // Warm-up: first-detect lazy allocation otherwise lands in the p99 tail.
   (void)model.detect(arrivals.front().scene);
   prof::set_enabled(true);
   prof::reset();
+  obs::reset();  // snapshot covers only the measured load below
   const auto rep = serve::run_open_loop(model, arrivals, cfg);
 
-  std::printf("\noffered %.1f Hz -> achieved %.1f Hz over %.1f ms wall\n",
-              rep.offered_hz, rep.achieved_hz, rep.wall_ms);
-  std::printf("latency (queue+pipeline): p50 %.2f  p90 %.2f  p99 %.2f  "
-              "p999 %.2f ms\n",
-              rep.p50_ms, rep.p90_ms, rep.p99_ms, rep.p999_ms);
-  std::printf("shed: %.1f%% (%llu capacity, %llu deadline) of %llu "
-              "submitted\n",
-              100.0 * rep.shed_rate,
-              static_cast<unsigned long long>(rep.stats.shed_capacity),
-              static_cast<unsigned long long>(rep.stats.shed_deadline),
-              static_cast<unsigned long long>(rep.stats.submitted));
-  std::printf("batches:");
-  for (std::size_t k = 1; k < rep.stats.batch_hist.size(); ++k)
-    std::printf(" size %zu x%llu", k,
-                static_cast<unsigned long long>(rep.stats.batch_hist[k]));
-  std::printf("\n\n%s\n",
-              prof::stats_table(prof::aggregate(prof::snapshot_events()), 14)
-                  .c_str());
+  if (json_out) {
+    std::printf("{\"threads\": %d, \"rate_hz\": %.4f, \"scenes\": %d,\n"
+                " \"load\": %s,\n \"obs\": %s}\n",
+                threads, scfg.rate_hz, scfg.scenes,
+                serve::load_report_json(rep).c_str(),
+                obs::snapshot_json(obs::snapshot()).c_str());
+  } else {
+    std::printf("\noffered %.1f Hz -> achieved %.1f Hz over %.1f ms wall\n",
+                rep.offered_hz, rep.achieved_hz, rep.wall_ms);
+    std::printf("latency (queue+pipeline): p50 %.2f  p90 %.2f  p99 %.2f  "
+                "p999 %.2f ms\n",
+                rep.p50_ms, rep.p90_ms, rep.p99_ms, rep.p999_ms);
+    std::printf("shed: %.1f%% (%llu capacity, %llu deadline) of %llu "
+                "submitted\n",
+                100.0 * rep.shed_rate,
+                static_cast<unsigned long long>(rep.stats.shed_capacity),
+                static_cast<unsigned long long>(rep.stats.shed_deadline),
+                static_cast<unsigned long long>(rep.stats.submitted));
+    std::printf("batches:");
+    for (std::size_t k = 1; k < rep.stats.batch_hist.size(); ++k)
+      std::printf(" size %zu x%llu", k,
+                  static_cast<unsigned long long>(rep.stats.batch_hist[k]));
+    std::printf("\n\n%s\n",
+                prof::stats_table(prof::aggregate(prof::snapshot_events()), 14)
+                    .c_str());
+  }
 
   if (!trace_path.empty()) {
-    if (prof::write_chrome_trace(trace_path))
+    const bool ok = prof::write_chrome_trace(trace_path);
+    if (ok && !json_out)
       std::printf("wrote chrome trace to %s\n", trace_path.c_str());
-    else
+    if (!ok)
       std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
   }
   return 0;
@@ -331,7 +380,7 @@ int run_scenarios(int argc, char** argv) {
   zoo::RecallGateConfig gate_cfg;
   zoo::ZooConfig zcfg;
   std::string out_path;
-  bool fp32_only = false;
+  bool fp32_only = false, json_out = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -366,6 +415,8 @@ int run_scenarios(int argc, char** argv) {
       fp32_only = true;
     } else if (arg == "--cache") {
       zcfg.cache_dir = next();
+    } else if (arg == "--json") {
+      json_out = true;
     } else {
       usage(argv[0]);
     }
@@ -374,7 +425,8 @@ int run_scenarios(int argc, char** argv) {
 
   zoo::Zoo z(zcfg);
   std::vector<zoo::VariantReport> reports;
-  auto print_report = [](const zoo::VariantReport& rep) {
+  auto print_report = [json_out](const zoo::VariantReport& rep) {
+    if (json_out) return;
     std::printf("%-16s %-14s %7s %7s %7s %7s %9s %8s %8s\n",
                 rep.variant.c_str(), "family", "mAP", "car", "ped", "cyc",
                 "recall", "p50ms", "p99ms");
@@ -410,32 +462,109 @@ int run_scenarios(int argc, char** argv) {
     }
   }
 
+  // Gate before the snapshot so violation events land in the embedded log.
+  std::vector<zoo::GateViolation> violations;
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    auto v = zoo::check_recall_gate(reports[0], reports[i], gate_cfg);
+    violations.insert(violations.end(), v.begin(), v.end());
+  }
+
+  std::string doc = zoo::scenario_suite_json(reports, scfg);
+  const auto close = doc.rfind('}');
+  if (close != std::string::npos)
+    doc.insert(close,
+               ",\n  \"obs\": " + obs::snapshot_json(obs::snapshot()) + "\n");
+
   if (!out_path.empty()) {
     std::FILE* f = std::fopen(out_path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "failed to open %s\n", out_path.c_str());
       return 1;
     }
-    const std::string json = zoo::scenario_suite_json(reports, scfg);
-    std::fwrite(json.data(), 1, json.size(), f);
+    std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
-    std::printf("wrote %s\n", out_path.c_str());
+    if (!json_out) std::printf("wrote %s\n", out_path.c_str());
   }
+  if (json_out) std::fputs(doc.c_str(), stdout);
 
-  std::vector<zoo::GateViolation> violations;
-  for (std::size_t i = 1; i < reports.size(); ++i) {
-    auto v = zoo::check_recall_gate(reports[0], reports[i], gate_cfg);
-    violations.insert(violations.end(), v.begin(), v.end());
-  }
   for (const auto& v : violations)
     std::fprintf(stderr,
                  "recall gate VIOLATION: %s/%s critical recall %.3f < fp32 "
                  "%.3f - margin %.2f\n",
                  v.variant.c_str(), v.family.c_str(), v.variant_recall,
                  v.base_recall, gate_cfg.margin);
-  if (violations.empty() && reports.size() > 1)
+  if (!json_out && violations.empty() && reports.size() > 1)
     std::printf("recall gate: OK (margin %.2f)\n", gate_cfg.margin);
   return violations.empty() ? 0 : 1;
+}
+
+/// `upaq_tool metrics`: drive a short serve workload so every metric family
+/// has data, then emit the obs snapshot — Prometheus text exposition by
+/// default, the JSON form with --json. --check self-validates the exposition
+/// instead of trusting it (the CI metrics-snapshot smoke path).
+int run_metrics(int argc, char** argv) {
+  serve::StreamConfig scfg;
+  scfg.scenes = 16;
+  scfg.rate_hz = 40.0;
+  bool json_out = false, check = false;
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--scenes")
+      scfg.scenes = std::atoi(next());
+    else if (arg == "--rate")
+      scfg.rate_hz = std::atof(next());
+    else if (arg == "--seed")
+      scfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--json")
+      json_out = true;
+    else if (arg == "--out")
+      out_path = next();
+    else if (arg == "--check")
+      check = true;
+    else
+      usage(argv[0]);
+  }
+  if (scfg.scenes < 1 || scfg.rate_hz <= 0.0) usage(argv[0]);
+
+  Rng rng(4242);
+  detectors::PointPillars model(detectors::PointPillarsConfig::scaled(), rng);
+  model.set_training(false);
+  const auto arrivals = serve::make_stream(scfg);
+  (void)model.detect(arrivals.front().scene);
+  obs::reset();
+  serve::ServeConfig cfg;
+  (void)serve::run_open_loop(model, arrivals, cfg);
+
+  const auto snap = obs::snapshot();
+  const std::string text =
+      json_out ? obs::snapshot_json(snap) + "\n" : obs::prometheus_text(snap);
+
+  if (check && !json_out) {
+    std::string err;
+    if (!obs::validate_prometheus(text, &err)) {
+      std::fprintf(stderr, "metrics check FAILED: %s\n", err.c_str());
+      return 1;
+    }
+  }
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed to open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  } else {
+    std::fputs(text.c_str(), stdout);
+  }
+  if (check && !json_out)
+    std::fprintf(stderr, "metrics check OK: exposition validates\n");
+  return 0;
 }
 
 std::vector<int> parse_bits(const std::string& arg) {
@@ -461,6 +590,8 @@ int main(int argc, char** argv) {
     return run_serve(argc, argv);
   if (argc > 1 && std::strcmp(argv[1], "scenarios") == 0)
     return run_scenarios(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "metrics") == 0)
+    return run_metrics(argc, argv);
 
   std::string model_name = "pointpillars";
   core::UpaqConfig cfg = core::UpaqConfig::lck();

@@ -79,6 +79,31 @@ echo "==> scenario smoke (critical-object recall gate hard-fails)"
 UPAQ_THREADS=4 "$BUILD_DIR"/bench/bench_scenarios --smoke --out "$BUILD_DIR"/bench_scenarios_smoke.json \
   || { echo "scenario smoke FAILED (critical recall gate)"; exit 1; }
 
+# Metrics smoke: the always-on obs layer must produce a snapshot that a
+# Prometheus scraper would accept. upaq_tool drives a short serve workload
+# and writes the exposition; bench_compare re-parses it with the strict
+# line-level validator (TYPE declarations, name charset, bucket
+# monotonicity, +Inf == _count).
+echo "==> metrics smoke (Prometheus exposition must validate)"
+UPAQ_THREADS=4 "$BUILD_DIR"/examples/upaq_tool metrics --scenes 8 \
+  --out "$BUILD_DIR"/metrics_smoke.prom \
+  || { echo "metrics smoke FAILED (snapshot emit)"; exit 1; }
+"$BUILD_DIR"/bench/bench_compare --validate-metrics "$BUILD_DIR"/metrics_smoke.prom \
+  || { echo "metrics smoke FAILED (exposition validation)"; exit 1; }
+
+# Bench-regression gate: diff the bench outputs this check just produced
+# (plus the committed fig4 file the ratchet refreshed above) against the
+# committed bench_baseline.json. Latency metrics carry generous relative
+# slack for the shared box; the speedup ratchet and critical-recall floors
+# are tight absolute bounds. Any metric past its limit — or missing from a
+# supplied file — exits non-zero and fails the check.
+echo "==> bench-regression gate (vs bench_baseline.json)"
+"$BUILD_DIR"/bench/bench_compare --baseline bench_baseline.json \
+  --current fig4=bench_fig4.json \
+  --current serve="$BUILD_DIR"/bench_serve_smoke.json \
+  --current scenarios="$BUILD_DIR"/bench_scenarios_smoke.json \
+  || { echo "bench-regression gate FAILED"; exit 1; }
+
 # The packed-integer path does raw bit twiddling (sign extension, packed
 # buffers) — run its suites under ASan/UBSan so memory and UB bugs in the
 # pack/unpack/GEMM code cannot slip past the plain Release gate. The prof
@@ -92,11 +117,14 @@ UPAQ_THREADS=4 "$BUILD_DIR"/bench/bench_scenarios --smoke --out "$BUILD_DIR"/ben
 echo "==> qnn + quant + prof + serve + scenarios + gemm/workspace suites under UPAQ_SANITIZE=address,undefined"
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$ASAN_DIR" -S . -DUPAQ_SANITIZE=address,undefined
-cmake --build "$ASAN_DIR" -j "$JOBS" --target test_qnn test_quant test_prof test_serve test_scenarios test_gemm_kernel test_qgemm_kernel
+cmake --build "$ASAN_DIR" -j "$JOBS" --target test_qnn test_quant test_prof test_obs test_serve test_scenarios test_gemm_kernel test_qgemm_kernel
 UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_qnn|test_quant|test_gemm_kernel|test_qgemm_kernel|test_scenarios' --output-on-failure
 # The serve pipeline overlaps stages across pool lanes and recycles batch
 # slots — ASan watches the slot/workspace lifetimes, and the traced run
 # keeps every span live while the stages overlap.
-UPAQ_TRACE=1 UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_prof|test_serve' --output-on-failure
+# test_obs rides with them: its histogram shards are hammered from four
+# plain threads and the serve integration test overlaps the obs record
+# sites with the pipeline, exactly where a lifetime bug would hide.
+UPAQ_TRACE=1 UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_prof|test_obs|test_serve' --output-on-failure
 
-echo "check.sh: OK (tier1 passed serial, 4-thread, and traced; perf + serve + scenario smokes, ratchet, recall gate, sanitizers green)"
+echo "check.sh: OK (tier1 passed serial, 4-thread, and traced; perf + serve + scenario + metrics smokes, ratchet, recall gate, bench-regression gate, sanitizers green)"

@@ -1,5 +1,6 @@
 #include "core/qmodel.h"
 
+#include "obs/obs.h"
 #include "qnn/qlayers.h"
 #include "tensor/check.h"
 
@@ -70,6 +71,10 @@ QuantizedModel::QuantizedModel(detectors::Detector3D& inner,
                  std::string(inner.model_name()));
   inner_.set_training(false);  // engines only fire in eval mode
   name_ = "Quantized(" + std::string(inner_.model_name()) + ")";
+  obs::log_event(obs::Level::kInfo, "model.lowered",
+                 {obs::fstr("model", name_),
+                  obs::fint("layers", lowered_),
+                  obs::fint("act_bits", act_bits)});
 }
 
 QuantizedModel::~QuantizedModel() { clear_engines(inner_); }

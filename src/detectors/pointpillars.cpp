@@ -5,6 +5,7 @@
 #include <limits>
 #include <string>
 
+#include "obs/obs.h"
 #include "parallel/thread_pool.h"
 #include "prof/prof.h"
 #include "tensor/check.h"
@@ -413,6 +414,8 @@ std::vector<eval::Box3D> PointPillars::decode(const Tensor& cls_logits,
 
 std::vector<eval::Box3D> PointPillars::detect(const data::Scene& scene) {
   prof::Span span("detect", "PointPillars");
+  obs::ScopedTimer timer(obs::Hist::kDetect);
+  obs::add(obs::Counter::kDetects);
   set_training(false);
   ForwardState state;
   forward(scene, state);

@@ -1,5 +1,6 @@
 #include "detectors/smoke.h"
 
+#include "obs/obs.h"
 #include "prof/prof.h"
 
 #include <algorithm>
@@ -271,6 +272,8 @@ std::vector<eval::Box3D> Smoke::decode(const Tensor& hm_logits,
 
 std::vector<eval::Box3D> Smoke::detect(const data::Scene& scene) {
   prof::Span span("detect", "SMOKE");
+  obs::ScopedTimer timer(obs::Hist::kDetect);
+  obs::add(obs::Counter::kDetects);
   set_training(false);
   ForwardState state;
   forward(render(scene), state);

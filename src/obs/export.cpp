@@ -1,0 +1,293 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace upaq::obs {
+
+namespace {
+
+void append_kv(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_kv(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+void append_hist_prom(std::string& out, const std::string& name,
+                      const HistSnapshot& h) {
+  append_kv(out, "# TYPE upaq_%s_ms histogram\n", name.c_str());
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kHistBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    cum += h.buckets[b];
+    // Upper edge of bucket b = lower edge of b+1 (the top bucket is
+    // unbounded and covered by +Inf below).
+    if (b + 1 < kHistBuckets) {
+      const double le_ms = static_cast<double>(bucket_floor(b + 1)) * 1e-6;
+      append_kv(out, "upaq_%s_ms_bucket{le=\"%.6g\"} %llu\n", name.c_str(),
+                le_ms, static_cast<unsigned long long>(cum));
+    }
+  }
+  append_kv(out, "upaq_%s_ms_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+            static_cast<unsigned long long>(h.count));
+  append_kv(out, "upaq_%s_ms_sum %.6f\n", name.c_str(),
+            static_cast<double>(h.sum_ns) * 1e-6);
+  append_kv(out, "upaq_%s_ms_count %llu\n", name.c_str(),
+            static_cast<unsigned long long>(h.count));
+}
+
+void append_trace_json(std::string& out, const RequestTrace& t) {
+  append_kv(out, "{\"req_id\": %llu, \"priority\": %d, \"batch\": %d, "
+                 "\"total_ms\": %.4f, \"spans\": [",
+            static_cast<unsigned long long>(t.req_id), t.priority, t.batch,
+            t.total_ms);
+  for (std::size_t i = 0; i < t.spans.size(); ++i) {
+    const TraceSpan& sp = t.spans[i];
+    out += i == 0 ? "" : ", ";
+    out += "{\"name\": \"";
+    json::escape(out, sp.name);
+    append_kv(out, "\", \"start_ms\": %.4f, \"dur_ms\": %.4f}", sp.start_ms,
+              sp.dur_ms);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string prometheus_text(const Snapshot& s) {
+  std::string out;
+  for (const auto& [name, v] : s.counters) {
+    append_kv(out, "# TYPE upaq_%s_total counter\n", name.c_str());
+    append_kv(out, "upaq_%s_total %llu\n", name.c_str(),
+              static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : s.gauges) {
+    append_kv(out, "# TYPE upaq_%s gauge\n", name.c_str());
+    append_kv(out, "upaq_%s %lld\n", name.c_str(), static_cast<long long>(v));
+  }
+  append_kv(out, "# TYPE upaq_shed_rate gauge\nupaq_shed_rate %.6f\n",
+            s.shed_rate);
+  for (const auto& nh : s.hists) append_hist_prom(out, nh.name, nh.hist);
+  return out;
+}
+
+std::string snapshot_json(const Snapshot& s) {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : s.counters) {
+    append_kv(out, "%s\"%s\": %llu", first ? "" : ", ", name.c_str(),
+              static_cast<unsigned long long>(v));
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : s.gauges) {
+    append_kv(out, "%s\"%s\": %lld", first ? "" : ", ", name.c_str(),
+              static_cast<long long>(v));
+    first = false;
+  }
+  append_kv(out, "}, \"shed_rate\": %.6f, \"histograms\": {", s.shed_rate);
+  first = true;
+  for (const auto& nh : s.hists) {
+    const HistSnapshot& h = nh.hist;
+    append_kv(out,
+              "%s\"%s\": {\"count\": %llu, \"sum_ms\": %.6f, "
+              "\"mean_ms\": %.6f, \"p50_ms\": %.6f, \"p90_ms\": %.6f, "
+              "\"p99_ms\": %.6f}",
+              first ? "" : ", ", nh.name.c_str(),
+              static_cast<unsigned long long>(h.count),
+              static_cast<double>(h.sum_ns) * 1e-6, h.mean_ms(),
+              h.quantile_ms(0.50), h.quantile_ms(0.90), h.quantile_ms(0.99));
+    first = false;
+  }
+  out += "}, \"exemplar\": ";
+  append_trace_json(out, s.exemplar);
+  append_kv(out, ", \"events_dropped\": %llu, \"events\": [",
+            static_cast<unsigned long long>(s.events_dropped));
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    const Event& e = s.events[i];
+    out += i == 0 ? "" : ", ";
+    append_kv(out, "{\"seq\": %llu, \"t_ms\": %.3f, \"level\": \"%s\", "
+                   "\"event\": \"",
+              static_cast<unsigned long long>(e.seq), e.t_ms,
+              level_name(e.level));
+    json::escape(out, e.name);
+    out += "\"";
+    for (const Field& f : e.fields) {
+      out += ", \"";
+      json::escape(out, f.key);
+      out += "\": ";
+      if (f.quoted) {
+        out += "\"";
+        json::escape(out, f.value);
+        out += "\"";
+      } else {
+        out += f.value;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+    const bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (!(alpha || c == '_' || c == ':' || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+struct HistCheck {
+  double last_le = -1.0;
+  std::uint64_t last_cum = 0;
+  bool saw_inf = false;
+  std::uint64_t inf_count = 0;
+  bool saw_count = false;
+  std::uint64_t count = 0;
+};
+
+}  // namespace
+
+bool validate_prometheus(const std::string& text, std::string* err) {
+  auto fail = [&](std::size_t lineno, const std::string& msg) {
+    if (err != nullptr) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "line %zu: ", lineno);
+      *err = buf + msg;
+    }
+    return false;
+  };
+
+  std::map<std::string, std::string> types;  // metric family -> type
+  std::map<std::string, HistCheck> hists;
+  std::size_t lineno = 0, pos = 0;
+  bool any_sample = false;
+  while (pos < text.size()) {
+    auto nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> <type>" or "# HELP ..." — anything else is noise.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const auto sp = rest.find(' ');
+        if (sp == std::string::npos)
+          return fail(lineno, "malformed TYPE line");
+        const std::string name = rest.substr(0, sp);
+        const std::string type = rest.substr(sp + 1);
+        if (!valid_metric_name(name))
+          return fail(lineno, "bad metric name in TYPE: " + name);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped")
+          return fail(lineno, "unknown metric type: " + type);
+        types[name] = type;
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    std::size_t name_end = 0;
+    while (name_end < line.size() && line[name_end] != '{' &&
+           line[name_end] != ' ')
+      ++name_end;
+    const std::string name = line.substr(0, name_end);
+    if (!valid_metric_name(name)) return fail(lineno, "bad sample name");
+    std::string le;
+    std::size_t value_start = name_end;
+    if (name_end < line.size() && line[name_end] == '{') {
+      const auto close = line.find('}', name_end);
+      if (close == std::string::npos) return fail(lineno, "unclosed labels");
+      const std::string labels = line.substr(name_end + 1, close - name_end - 1);
+      const auto eq = labels.find("le=\"");
+      if (eq != std::string::npos) {
+        const auto q = labels.find('"', eq + 4);
+        if (q == std::string::npos) return fail(lineno, "unclosed le label");
+        le = labels.substr(eq + 4, q - eq - 4);
+      }
+      value_start = close + 1;
+    }
+    if (value_start >= line.size() || line[value_start] != ' ')
+      return fail(lineno, "missing value");
+    const std::string value_str = line.substr(value_start + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_str.c_str(), &end);
+    if (end == value_str.c_str() || *end != '\0')
+      return fail(lineno, "non-numeric value: " + value_str);
+    any_sample = true;
+
+    // Family resolution: strip histogram sample suffixes.
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s = suffix;
+      if (family.size() > s.size() &&
+          family.compare(family.size() - s.size(), s.size(), s) == 0 &&
+          types.count(family.substr(0, family.size() - s.size())) > 0) {
+        family = family.substr(0, family.size() - s.size());
+        break;
+      }
+    }
+    const auto type_it = types.find(family);
+    if (type_it == types.end())
+      return fail(lineno, "sample without TYPE declaration: " + name);
+
+    if (type_it->second == "histogram") {
+      HistCheck& hc = hists[family];
+      if (name == family + "_bucket") {
+        if (le.empty()) return fail(lineno, "histogram bucket without le");
+        const std::uint64_t cum = static_cast<std::uint64_t>(value);
+        if (le == "+Inf") {
+          hc.saw_inf = true;
+          hc.inf_count = cum;
+        } else {
+          char* lend = nullptr;
+          const double le_v = std::strtod(le.c_str(), &lend);
+          if (lend == le.c_str() || *lend != '\0')
+            return fail(lineno, "non-numeric le: " + le);
+          if (hc.saw_inf) return fail(lineno, "bucket after +Inf");
+          if (le_v <= hc.last_le)
+            return fail(lineno, "le not strictly ascending");
+          if (cum < hc.last_cum)
+            return fail(lineno, "cumulative bucket count decreased");
+          hc.last_le = le_v;
+          hc.last_cum = cum;
+        }
+      } else if (name == family + "_count") {
+        hc.saw_count = true;
+        hc.count = static_cast<std::uint64_t>(value);
+      }
+    }
+  }
+  if (!any_sample) return fail(lineno, "no samples");
+  for (const auto& [family, hc] : hists) {
+    if (!hc.saw_inf)
+      return fail(lineno, "histogram " + family + " missing +Inf bucket");
+    if (hc.saw_count && hc.inf_count != hc.count)
+      return fail(lineno, "histogram " + family + " +Inf != _count");
+    if (hc.inf_count < hc.last_cum)
+      return fail(lineno, "histogram " + family + " +Inf below last bucket");
+  }
+  return true;
+}
+
+}  // namespace upaq::obs

@@ -1,0 +1,36 @@
+// Snapshot exporters: Prometheus text exposition and JSON.
+//
+// The same obs::Snapshot renders two ways:
+//
+//   - prometheus_text: the text exposition format scrape endpoints speak.
+//     Counters export as `upaq_<name>_total`, gauges as `upaq_<name>`,
+//     histograms as cumulative `upaq_<name>_ms_bucket{le="..."}` series in
+//     milliseconds (only buckets that gained counts are listed — cumulative
+//     semantics make elided empty buckets valid — plus the mandatory +Inf),
+//     with `_sum` / `_count` companions.
+//   - snapshot_json: everything the text form has plus what it cannot
+//     carry — per-histogram p50/p90/p99 convenience quantiles, the slowest-
+//     request exemplar span tree, and the retained structured events. This
+//     is the form embedded into bench_serve.json / bench_scenarios.json.
+//
+// validate_prometheus is the parse check the CI metrics smoke runs: a small
+// line-level parser enforcing TYPE declarations, name charset, numeric
+// values, and histogram bucket monotonicity (ascending le, non-decreasing
+// cumulative counts, trailing +Inf equal to _count).
+#pragma once
+
+#include <string>
+
+#include "obs/obs.h"
+
+namespace upaq::obs {
+
+std::string prometheus_text(const Snapshot& s);
+
+std::string snapshot_json(const Snapshot& s);
+
+/// True when `text` is well-formed Prometheus text exposition (per the
+/// checks above). On failure `err`, when non-null, names the first bad line.
+bool validate_prometheus(const std::string& text, std::string* err = nullptr);
+
+}  // namespace upaq::obs

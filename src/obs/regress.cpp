@@ -1,0 +1,141 @@
+#include "obs/regress.h"
+
+#include <cstdio>
+
+namespace upaq::obs::regress {
+
+double MetricSpec::limit() const {
+  if (has_abs) return abs_bound;
+  if (direction == Direction::kLowerBetter) return baseline * (1.0 + rel_slack);
+  return baseline * (1.0 - rel_slack);
+}
+
+bool parse_baseline(const json::Value& doc, Baseline& out, std::string* err) {
+  auto fail = [&](const std::string& msg) {
+    if (err != nullptr) *err = msg;
+    return false;
+  };
+  out.metrics.clear();
+  const json::Value* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_array())
+    return fail("baseline missing \"metrics\" array");
+  for (const json::Value& m : metrics->items) {
+    MetricSpec spec;
+    const json::Value* name = m.find("name");
+    const json::Value* file = m.find("file");
+    const json::Value* path = m.find("path");
+    const json::Value* baseline = m.find("baseline");
+    const json::Value* direction = m.find("direction");
+    if (name == nullptr || name->kind != json::Value::Kind::kString)
+      return fail("metric missing \"name\"");
+    spec.name = name->str;
+    if (file == nullptr || file->kind != json::Value::Kind::kString)
+      return fail(spec.name + ": missing \"file\"");
+    spec.file_key = file->str;
+    if (path == nullptr || path->kind != json::Value::Kind::kString)
+      return fail(spec.name + ": missing \"path\"");
+    spec.path = path->str;
+    if (baseline == nullptr || !baseline->is_number())
+      return fail(spec.name + ": missing numeric \"baseline\"");
+    spec.baseline = baseline->number;
+    if (direction == nullptr || direction->kind != json::Value::Kind::kString)
+      return fail(spec.name + ": missing \"direction\"");
+    if (direction->str == "lower_better") {
+      spec.direction = Direction::kLowerBetter;
+    } else if (direction->str == "higher_better") {
+      spec.direction = Direction::kHigherBetter;
+    } else {
+      return fail(spec.name + ": bad direction \"" + direction->str + "\"");
+    }
+    if (const json::Value* rel = m.find("rel_slack"); rel != nullptr) {
+      if (!rel->is_number() || rel->number < 0.0)
+        return fail(spec.name + ": bad rel_slack");
+      spec.rel_slack = rel->number;
+      spec.has_rel = true;
+    }
+    if (const json::Value* abs = m.find("abs_bound"); abs != nullptr) {
+      if (!abs->is_number()) return fail(spec.name + ": bad abs_bound");
+      spec.abs_bound = abs->number;
+      spec.has_abs = true;
+    }
+    if (!spec.has_rel && !spec.has_abs)
+      return fail(spec.name + ": needs rel_slack or abs_bound");
+    out.metrics.push_back(std::move(spec));
+  }
+  if (out.metrics.empty()) return fail("baseline has no metrics");
+  return true;
+}
+
+std::vector<MetricResult> compare(
+    const Baseline& baseline,
+    const std::vector<std::pair<std::string, const json::Value*>>& current) {
+  std::vector<MetricResult> results;
+  results.reserve(baseline.metrics.size());
+  for (const MetricSpec& spec : baseline.metrics) {
+    MetricResult r;
+    r.spec = spec;
+    r.limit = spec.limit();
+    const json::Value* doc = nullptr;
+    for (const auto& [key, value] : current)
+      if (key == spec.file_key) doc = value;
+    if (doc == nullptr) {
+      r.status = Status::kSkippedFile;
+      results.push_back(std::move(r));
+      continue;
+    }
+    const json::Value* v = doc->at_path(spec.path);
+    if (v == nullptr || !v->is_number()) {
+      r.status = Status::kMissingMetric;
+      results.push_back(std::move(r));
+      continue;
+    }
+    r.current = v->number;
+    const bool ok = spec.direction == Direction::kLowerBetter
+                        ? r.current <= r.limit
+                        : r.current >= r.limit;
+    r.status = ok ? Status::kPass : Status::kFail;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+bool all_pass(const std::vector<MetricResult>& results) {
+  for (const MetricResult& r : results)
+    if (r.status == Status::kFail || r.status == Status::kMissingMetric)
+      return false;
+  return true;
+}
+
+std::string report(const std::vector<MetricResult>& results) {
+  std::string out;
+  char buf[256];
+  for (const MetricResult& r : results) {
+    const char* dir =
+        r.spec.direction == Direction::kLowerBetter ? "<=" : ">=";
+    switch (r.status) {
+      case Status::kPass:
+        std::snprintf(buf, sizeof(buf), "PASS  %-28s %10.4f %s %10.4f\n",
+                      r.spec.name.c_str(), r.current, dir, r.limit);
+        break;
+      case Status::kFail:
+        std::snprintf(buf, sizeof(buf),
+                      "FAIL  %-28s %10.4f violates %s %.4f (baseline %.4f)\n",
+                      r.spec.name.c_str(), r.current, dir, r.limit,
+                      r.spec.baseline);
+        break;
+      case Status::kMissingMetric:
+        std::snprintf(buf, sizeof(buf), "MISS  %-28s path %s absent in %s\n",
+                      r.spec.name.c_str(), r.spec.path.c_str(),
+                      r.spec.file_key.c_str());
+        break;
+      case Status::kSkippedFile:
+        std::snprintf(buf, sizeof(buf), "SKIP  %-28s (%s not supplied)\n",
+                      r.spec.name.c_str(), r.spec.file_key.c_str());
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace upaq::obs::regress

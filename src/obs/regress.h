@@ -1,0 +1,88 @@
+// Bench-regression harness: compare current bench JSON against a committed
+// baseline with per-metric thresholds.
+//
+// The committed bench_baseline.json names, for each tracked metric, which
+// bench output file it lives in (`file`), where inside that file (`path`,
+// obs::json::at_path syntax), the baseline value, the good direction, and
+// the allowed slack:
+//
+//   {
+//     "metrics": [
+//       {"name": "fig4_detect_p50_ms", "file": "fig4",
+//        "path": "detect_ms_per_scene.p50_ms", "baseline": 6.69,
+//        "direction": "lower_better", "rel_slack": 0.75},
+//       {"name": "packed_vs_fp32_speedup", "file": "fig4",
+//        "path": "packed_vs_fp32_speedup", "baseline": 1.26,
+//        "direction": "higher_better", "abs_bound": 1.05}
+//     ]
+//   }
+//
+// Limit semantics: an absolute bound (`abs_bound`), when present, is
+// authoritative — it IS the pass/fail line. Otherwise the limit is
+// baseline*(1+rel_slack) for lower_better metrics and baseline*(1-rel_slack)
+// for higher_better ones. Latency metrics on a shared box get generous
+// relative slack; deterministic quality metrics (speedup ratchet, critical
+// recall) get tight absolute floors.
+//
+// Missing-data semantics: a metric whose `file` key was not supplied to
+// compare() is kSkippedFile (OK — lets the gate run on a subset of bench
+// outputs); a metric whose path is absent from a supplied file is
+// kMissingMetric (FAIL — a renamed or dropped metric must not silently pass).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace upaq::obs::regress {
+
+enum class Direction { kLowerBetter, kHigherBetter };
+
+struct MetricSpec {
+  std::string name;
+  std::string file_key;  ///< which bench output file this metric lives in
+  std::string path;      ///< json::at_path address inside that file
+  double baseline = 0.0;
+  Direction direction = Direction::kLowerBetter;
+  double rel_slack = 0.0;
+  bool has_rel = false;
+  double abs_bound = 0.0;
+  bool has_abs = false;
+
+  /// The pass/fail line implied by the slack fields (abs wins over rel).
+  double limit() const;
+};
+
+struct Baseline {
+  std::vector<MetricSpec> metrics;
+};
+
+/// Parses a baseline document. Unknown members are ignored; a metric missing
+/// any required field, or carrying neither rel_slack nor abs_bound, fails.
+bool parse_baseline(const json::Value& doc, Baseline& out,
+                    std::string* err = nullptr);
+
+enum class Status { kPass, kFail, kMissingMetric, kSkippedFile };
+
+struct MetricResult {
+  MetricSpec spec;
+  double current = 0.0;  ///< meaningful for kPass / kFail only
+  double limit = 0.0;
+  Status status = Status::kSkippedFile;
+};
+
+/// Evaluates every baseline metric against the supplied current files
+/// (file_key -> parsed document). Results come back in baseline order.
+std::vector<MetricResult> compare(
+    const Baseline& baseline,
+    const std::vector<std::pair<std::string, const json::Value*>>& current);
+
+/// True when no result is kFail or kMissingMetric (skipped files are OK).
+bool all_pass(const std::vector<MetricResult>& results);
+
+/// Human-readable table, one line per metric, PASS/FAIL/MISSING/SKIP tagged.
+std::string report(const std::vector<MetricResult>& results);
+
+}  // namespace upaq::obs::regress

@@ -1,5 +1,7 @@
 #include "prof/prof.h"
 
+#include "obs/json.h"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -70,23 +72,10 @@ std::map<std::string, std::string>& meta_map() {
   return *m;
 }
 
+// JSON string escaping lives in the obs layer (shared with the metric and
+// event exporters).
 void json_escape(std::string& out, const std::string& s) {
-  for (char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
+  obs::json::escape(out, s);
 }
 
 }  // namespace

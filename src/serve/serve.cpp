@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
+#include "obs/obs.h"
 #include "parallel/thread_pool.h"
 #include "prof/prof.h"
 #include "tensor/check.h"
@@ -27,10 +29,13 @@ Server::Server(detectors::PointPillars& model, ServeConfig cfg)
   UPAQ_CHECK(cfg_.queue_capacity >= 1, "serve: queue_capacity must be >= 1");
   clock_ = cfg_.clock ? cfg_.clock : Clock(&steady_ms);
   t0_ = clock_();
+  real_t0_ = steady_ms();
   stats_.batch_hist.assign(static_cast<std::size_t>(cfg_.max_batch) + 1, 0);
 }
 
 double Server::now_ms() const { return clock_() - t0_; }
+
+double Server::real_now_ms() const { return steady_ms() - real_t0_; }
 
 void Server::shed(Request req, double now, bool deadline) {
   Result r;
@@ -47,15 +52,25 @@ void Server::shed(Request req, double now, bool deadline) {
   else
     ++stats_.shed_capacity;
   prof::add(prof::Counter::kServeShed, 1);
+  obs::add(deadline ? obs::Counter::kShedDeadline
+                    : obs::Counter::kShedCapacity);
+  obs::log_event(obs::Level::kWarn, "serve.shed",
+                 {obs::fuint("req_id", req.id),
+                  obs::fint("priority", req.priority),
+                  obs::fuint("queue_depth", queue_.size()),
+                  obs::fstr("reason", deadline ? "deadline" : "capacity"),
+                  obs::fnum("queued_ms", now - req.arrival_ms)});
 }
 
 std::uint64_t Server::submit(data::Scene scene, int priority) {
   const double now = now_ms();
   ++stats_.submitted;
+  obs::add(obs::Counter::kSubmitted);
   Request r;
   r.id = next_id_++;
   r.priority = priority;
   r.arrival_ms = now;
+  r.real_arrival_ms = real_now_ms();
   r.scene = std::move(scene);
   const std::uint64_t id = r.id;
 
@@ -77,6 +92,8 @@ std::uint64_t Server::submit(data::Scene scene, int priority) {
     queue_.erase(victim);
   }
   queue_.push_back(std::move(r));
+  obs::gauge_set(obs::Gauge::kQueueDepth,
+                 static_cast<std::int64_t>(queue_.size()));
   return id;
 }
 
@@ -97,6 +114,7 @@ std::optional<Server::InFlight> Server::form_batch(double now) {
 
   InFlight b;
   b.start_ms = now;
+  b.real_start_ms = real_now_ms();
   while (static_cast<int>(b.reqs.size()) < cfg_.max_batch &&
          !queue_.empty()) {
     // Highest priority first; the strict '>' keeps the scan at the oldest
@@ -110,33 +128,50 @@ std::optional<Server::InFlight> Server::form_batch(double now) {
   ++stats_.batches;
   ++stats_.batch_hist[b.reqs.size()];
   prof::add(prof::Counter::kServeBatches, 1);
+  obs::add(obs::Counter::kBatches);
+  obs::gauge_set(obs::Gauge::kBatchFill,
+                 static_cast<std::int64_t>(b.reqs.size()));
+  obs::gauge_set(obs::Gauge::kQueueDepth,
+                 static_cast<std::int64_t>(queue_.size()));
   return b;
 }
 
 void Server::run_pre(InFlight& b) const {
   prof::Span span("serve.pre", std::to_string(b.reqs.size()) + " scenes");
+  obs::ScopedTimer timer(obs::Hist::kServePre);
+  b.pre_start_ms = real_now_ms();
   b.pillars.reserve(b.reqs.size());
   for (const Request& req : b.reqs)
     b.pillars.push_back(model_.pillarize(req.scene));
+  b.pre_dur_ms = real_now_ms() - b.pre_start_ms;
 }
 
 void Server::run_mid(InFlight& b) {
   prof::Span span("serve.detect", std::to_string(b.reqs.size()) + " scenes");
+  obs::ScopedTimer timer(obs::Hist::kServeDetect);
+  b.mid_start_ms = real_now_ms();
   std::vector<const detectors::PointPillars::Pillars*> ptrs;
   ptrs.reserve(b.pillars.size());
   for (const auto& p : b.pillars) ptrs.push_back(&p);
   b.heads = model_.forward_batch(ptrs);
+  b.mid_dur_ms = real_now_ms() - b.mid_start_ms;
 }
 
 void Server::run_post(InFlight& b) const {
   prof::Span span("serve.post", std::to_string(b.reqs.size()) + " scenes");
+  obs::ScopedTimer timer(obs::Hist::kServePost);
+  b.post_start_ms = real_now_ms();
   b.dets.reserve(b.heads.size());
   for (const auto& h : b.heads)
     b.dets.push_back(model_.decode(h.cls_logits, h.reg_out));
+  b.post_dur_ms = real_now_ms() - b.post_start_ms;
 }
 
 void Server::retire(InFlight& b, double now) {
   const int batch_size = static_cast<int>(b.reqs.size());
+  const double real_now = real_now_ms();
+  std::size_t slowest = 0;
+  double slowest_total = -1.0;
   for (std::size_t i = 0; i < b.reqs.size(); ++i) {
     Result r;
     r.id = b.reqs[i].id;
@@ -149,9 +184,38 @@ void Server::retire(InFlight& b, double now) {
     r.queue_ms = b.start_ms - r.arrival_ms;
     r.pipeline_ms = now - b.start_ms;
     r.total_ms = now - r.arrival_ms;
+    // Histograms use the configured clock (they must agree with Result and
+    // the virtual clocks tests drive); negative deltas can't happen with a
+    // monotonic clock but clamp anyway before the unsigned conversion.
+    obs::record(obs::Hist::kServeQueue,
+                static_cast<std::uint64_t>(std::max(r.queue_ms, 0.0) * 1e6));
+    obs::record(obs::Hist::kServeTotal,
+                static_cast<std::uint64_t>(std::max(r.total_ms, 0.0) * 1e6));
     done_.push_back(std::move(r));
     ++stats_.completed;
     prof::add(prof::Counter::kServeScenes, 1);
+    obs::add(obs::Counter::kCompleted);
+    const double real_total = real_now - b.reqs[i].real_arrival_ms;
+    if (real_total > slowest_total) {
+      slowest_total = real_total;
+      slowest = i;
+    }
+  }
+  if (!b.reqs.empty() && obs::enabled()) {
+    // Tail-biased exemplar: offer this batch's slowest member (real clock);
+    // the slot keeps the slowest request seen since the last reset.
+    const Request& req = b.reqs[slowest];
+    obs::RequestTrace t;
+    t.req_id = req.id;
+    t.priority = req.priority;
+    t.batch = batch_size;
+    t.total_ms = slowest_total;
+    t.spans = {{"queue", req.real_arrival_ms,
+                b.real_start_ms - req.real_arrival_ms},
+               {"pre", b.pre_start_ms, b.pre_dur_ms},
+               {"detect", b.mid_start_ms, b.mid_dur_ms},
+               {"post", b.post_start_ms, b.post_dur_ms}};
+    obs::offer_exemplar(t);
   }
 }
 
@@ -244,6 +308,33 @@ LoadReport run_open_loop(detectors::PointPillars& model,
   rep.p99_ms = prof::percentile(lat, 0.99);
   rep.p999_ms = prof::percentile(lat, 0.999);
   return rep;
+}
+
+std::string load_report_json(const LoadReport& rep) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"offered_hz\": %.4f, \"achieved_hz\": %.4f, "
+                "\"wall_ms\": %.4f, \"p50_ms\": %.4f, \"p90_ms\": %.4f, "
+                "\"p99_ms\": %.4f, \"p999_ms\": %.4f, \"submitted\": %llu, "
+                "\"completed\": %llu, \"shed_capacity\": %llu, "
+                "\"shed_deadline\": %llu, \"shed_rate\": %.4f, "
+                "\"batches\": %llu, \"batch_hist\": [",
+                rep.offered_hz, rep.achieved_hz, rep.wall_ms, rep.p50_ms,
+                rep.p90_ms, rep.p99_ms, rep.p999_ms,
+                static_cast<unsigned long long>(rep.stats.submitted),
+                static_cast<unsigned long long>(rep.stats.completed),
+                static_cast<unsigned long long>(rep.stats.shed_capacity),
+                static_cast<unsigned long long>(rep.stats.shed_deadline),
+                rep.shed_rate,
+                static_cast<unsigned long long>(rep.stats.batches));
+  std::string out = buf;
+  for (std::size_t k = 0; k < rep.stats.batch_hist.size(); ++k) {
+    std::snprintf(buf, sizeof(buf), "%s%llu", k ? ", " : "",
+                  static_cast<unsigned long long>(rep.stats.batch_hist[k]));
+    out += buf;
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace upaq::serve

@@ -32,6 +32,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "detectors/pointpillars.h"
@@ -112,13 +113,22 @@ class Server {
   struct Request {
     std::uint64_t id = 0;
     int priority = 0;
-    double arrival_ms = 0.0;
+    double arrival_ms = 0.0;       ///< configured clock (drives semantics)
+    double real_arrival_ms = 0.0;  ///< steady clock (drives obs exemplars)
     data::Scene scene;
   };
   /// One cross-scene batch moving through the stage slots.
   struct InFlight {
     std::vector<Request> reqs;
     double start_ms = 0.0;
+    // Real (steady-clock) stage timings, independent of cfg.clock so the
+    // obs exemplar span tree stays physically meaningful under the virtual
+    // clocks tests inject. Each stage writes only its own pair, and the
+    // three concurrent stages hold different InFlight objects.
+    double real_start_ms = 0.0;
+    double pre_start_ms = 0.0, pre_dur_ms = 0.0;
+    double mid_start_ms = 0.0, mid_dur_ms = 0.0;
+    double post_start_ms = 0.0, post_dur_ms = 0.0;
     std::vector<detectors::PointPillars::Pillars> pillars;   // after pre
     std::vector<detectors::PointPillars::HeadOutput> heads;  // after detect
     std::vector<std::vector<eval::Box3D>> dets;              // after post
@@ -131,10 +141,13 @@ class Server {
   void run_post(InFlight& b) const;
   void retire(InFlight& b, double now);
 
+  double real_now_ms() const;  ///< steady clock since construction
+
   detectors::PointPillars& model_;
   ServeConfig cfg_;
   Clock clock_;
   double t0_ = 0.0;
+  double real_t0_ = 0.0;
   std::uint64_t next_id_ = 1;
 
   std::deque<Request> queue_;  ///< FIFO by arrival; priority read at pull
@@ -162,5 +175,10 @@ struct LoadReport {
 LoadReport run_open_loop(detectors::PointPillars& model,
                          const std::vector<Arrival>& arrivals,
                          const ServeConfig& cfg);
+
+/// One LoadReport as a JSON object (throughput, tail latencies, shed
+/// accounting, batch histogram) — the per-load schema bench_serve.json uses,
+/// shared with `upaq_tool serve --json`.
+std::string load_report_json(const LoadReport& rep);
 
 }  // namespace upaq::serve

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/obs.h"
 #include "prof/prof.h"
 #include "tensor/check.h"
 
@@ -81,7 +82,13 @@ void* Arena::alloc(std::size_t bytes, std::size_t align) {
   // sequence regardless of where alignment padding lands.
   live_ += bytes + align;
   const std::uint64_t hw = r.high_water.load(std::memory_order_relaxed);
-  if (live_ > hw) r.high_water.store(live_, std::memory_order_relaxed);
+  if (live_ > hw) {
+    r.high_water.store(live_, std::memory_order_relaxed);
+    // Process-wide ratchet: the gauge keeps the largest per-thread arena
+    // high-water mark (the sizing number a coalesced block needs).
+    obs::gauge_max(obs::Gauge::kArenaHighWater,
+                   static_cast<std::int64_t>(live_));
+  }
 
   while (cur_ < r.blocks.size()) {
     const std::size_t off = align_up(off_, align);

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/obs.h"
 #include "prof/prof.h"
 #include "tensor/check.h"
 
@@ -90,6 +91,12 @@ std::vector<GateViolation> check_recall_gate(const VariantReport& base,
     const double var_recall = vf->critical.recall();
     if (var_recall < base_recall - cfg.margin) {
       out.push_back({variant.variant, bf.family, base_recall, var_recall});
+      obs::log_event(obs::Level::kError, "gate.recall_violation",
+                     {obs::fstr("variant", variant.variant),
+                      obs::fstr("family", bf.family),
+                      obs::fnum("base_recall", base_recall),
+                      obs::fnum("variant_recall", var_recall),
+                      obs::fnum("margin", cfg.margin)});
     }
   }
   return out;
