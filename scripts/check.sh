@@ -41,25 +41,75 @@ UPAQ_THREADS=4 "$BUILD_DIR"/bench/bench_ablation_micro \
 # so it is the natural place for the sanitizers to catch a lifetime bug.
 # test_gemm_kernel joins them: the panel packer and workspace arena do raw
 # pointer arithmetic over reused blocks, exactly where ASan earns its keep.
-# Packed-vs-fp32 ratchet: the whole point of the panel kernel is that the
+# Packed-vs-fp32 ratchet: the whole point of the panel kernels is that the
 # integer path beats the float path on the same compressed model. The bench
 # recomputes bench_fig4.json; the p50-based ratio must stay above the floor.
-# The floor is deliberately below the measured ~1.25-1.35x: this box is
-# shared, and the ratchet exists to catch "quantized slower than fp32 again"
-# regressions, not to police scheduler noise.
-PACKED_SPEEDUP_FLOOR="1.05"
-echo "==> packed-vs-fp32 speedup ratchet (floor ${PACKED_SPEEDUP_FLOOR}x)"
-UPAQ_THREADS=1 "$BUILD_DIR"/bench/bench_fig4_speedup > /dev/null
-SPEEDUP="$(sed -n 's/.*"packed_vs_fp32_speedup": \([0-9.]*\).*/\1/p' bench_fig4.json)"
-if [ -z "$SPEEDUP" ]; then
-  echo "ratchet FAILED: packed_vs_fp32_speedup missing from bench_fig4.json"
-  exit 1
-fi
+# The target on quiet/dedicated hardware is 1.30x — run with
+# UPAQ_SPEEDUP_FLOOR=1.30 there. The default floor is calibrated to this
+# shared, contended CI box, where the whole-scene ratio swings 1.1-1.4x run
+# to run from host noise alone (the auto-tuner's in-context demotion only
+# guarantees the per-LAYER floor below; the whole-scene number also carries
+# the never-lowered layers and the non-GEMM pipeline). The ratchet exists to
+# catch "quantized slower than fp32 again" step-regressions, not to police
+# scheduler noise.
+PACKED_SPEEDUP_FLOOR="${UPAQ_SPEEDUP_FLOOR:-1.10}"
+# A contention burst on this shared box can sink one whole bench run's
+# whole-scene ratio below any useful floor (observed: 1.03 and 1.37 within
+# the same hour, per-layer gates green both times). Transient noise passes
+# on a retry; a genuine "quantized slower than fp32" regression fails all
+# attempts. bench_fig4.json keeps the last attempt's numbers either way.
+RATCHET_ATTEMPTS="${UPAQ_RATCHET_ATTEMPTS:-3}"
+echo "==> packed-vs-fp32 speedup ratchet (floor ${PACKED_SPEEDUP_FLOOR}x, <= ${RATCHET_ATTEMPTS} attempts)"
+SPEEDUP=""
+for attempt in $(seq 1 "$RATCHET_ATTEMPTS"); do
+  UPAQ_THREADS=1 "$BUILD_DIR"/bench/bench_fig4_speedup > /dev/null
+  SPEEDUP="$(sed -n 's/.*"packed_vs_fp32_speedup": \([0-9.]*\).*/\1/p' bench_fig4.json)"
+  if [ -z "$SPEEDUP" ]; then
+    echo "ratchet FAILED: packed_vs_fp32_speedup missing from bench_fig4.json"
+    exit 1
+  fi
+  if awk -v s="$SPEEDUP" -v f="$PACKED_SPEEDUP_FLOOR" 'BEGIN { exit !(s >= f) }'; then
+    break
+  fi
+  echo "ratchet attempt ${attempt}/${RATCHET_ATTEMPTS}: packed_vs_fp32_speedup=${SPEEDUP} < floor ${PACKED_SPEEDUP_FLOOR}"
+done
 if ! awk -v s="$SPEEDUP" -v f="$PACKED_SPEEDUP_FLOOR" 'BEGIN { exit !(s >= f) }'; then
-  echo "ratchet FAILED: packed_vs_fp32_speedup=${SPEEDUP} < floor ${PACKED_SPEEDUP_FLOOR}"
+  echo "ratchet FAILED: packed_vs_fp32_speedup=${SPEEDUP} < floor ${PACKED_SPEEDUP_FLOOR} after ${RATCHET_ATTEMPTS} attempts"
   exit 1
 fi
 echo "packed_vs_fp32_speedup=${SPEEDUP} (>= ${PACKED_SPEEDUP_FLOOR})"
+
+# Per-layer floor: the auto-tuner's final arbiter demotes any lowered layer
+# that fails to measure >= 1.0x against its own fp32 run in the validation
+# sweep, so every row left on the integer path must beat float. A value
+# below 1.0 here means the demotion machinery itself broke.
+INT_MIN="$(sed -n 's/.*"int_speedup_min": \([0-9.]*\).*/\1/p' bench_fig4.json)"
+if [ -z "$INT_MIN" ]; then
+  echo "per-layer gate FAILED: int_speedup_min missing from bench_fig4.json"
+  exit 1
+fi
+if ! awk -v s="$INT_MIN" 'BEGIN { exit !(s >= 1.0) }'; then
+  echo "per-layer gate FAILED: int_speedup_min=${INT_MIN} < 1.0"
+  exit 1
+fi
+echo "int_speedup_min=${INT_MIN} (>= 1.0)"
+
+# 4-bit floor: geometric mean of the measured speedups over the surviving
+# bits<=4 rows (the nibble-packed int4 panel / segment kernels). Quiet-box
+# runs measure ~1.2-1.35x; the floor keeps margin below that because the
+# probe demotes 4-bit rows under 1.10x but the final sweep can legitimately
+# land a survivor just above 1.0x on a contended host.
+INT4_GEOMEAN_FLOOR="${UPAQ_INT4_GEOMEAN_FLOOR:-1.05}"
+INT4_GEO="$(sed -n 's/.*"int4_geomean_speedup": \([0-9.]*\).*/\1/p' bench_fig4.json)"
+if [ -z "$INT4_GEO" ]; then
+  echo "int4 gate FAILED: int4_geomean_speedup missing from bench_fig4.json"
+  exit 1
+fi
+if ! awk -v s="$INT4_GEO" -v f="$INT4_GEOMEAN_FLOOR" 'BEGIN { exit !(s >= f) }'; then
+  echo "int4 gate FAILED: int4_geomean_speedup=${INT4_GEO} < floor ${INT4_GEOMEAN_FLOOR}"
+  exit 1
+fi
+echo "int4_geomean_speedup=${INT4_GEO} (>= ${INT4_GEOMEAN_FLOOR})"
 
 # Serve smoke: bench_serve --smoke runs the hard equivalence gate first —
 # the streaming server draining a fixed scene stream must produce
@@ -114,11 +164,14 @@ echo "==> bench-regression gate (vs bench_baseline.json)"
 # test_qgemm_kernel covers the interleaved int8 panel kernel the same way.
 # test_scenarios rides along too: the corruption passes (occlusion shadow
 # walk, dropout filter) and the suite's report assembly are fresh code.
-echo "==> qnn + quant + prof + serve + scenarios + gemm/workspace suites under UPAQ_SANITIZE=address,undefined"
+# test_autotune joins with the int4 additions in test_qgemm_kernel: the
+# nibble packer and the tuner's cache-eviction / scripted-timer paths are
+# exactly the raw-buffer code the sanitizers are here for.
+echo "==> qnn + quant + prof + serve + scenarios + gemm/workspace + autotune suites under UPAQ_SANITIZE=address,undefined"
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$ASAN_DIR" -S . -DUPAQ_SANITIZE=address,undefined
-cmake --build "$ASAN_DIR" -j "$JOBS" --target test_qnn test_quant test_prof test_obs test_serve test_scenarios test_gemm_kernel test_qgemm_kernel
-UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_qnn|test_quant|test_gemm_kernel|test_qgemm_kernel|test_scenarios' --output-on-failure
+cmake --build "$ASAN_DIR" -j "$JOBS" --target test_qnn test_quant test_prof test_obs test_serve test_scenarios test_gemm_kernel test_qgemm_kernel test_autotune
+UPAQ_THREADS=4 ctest --test-dir "$ASAN_DIR" -R 'test_qnn|test_quant|test_gemm_kernel|test_qgemm_kernel|test_scenarios|test_autotune' --output-on-failure
 # The serve pipeline overlaps stages across pool lanes and recycles batch
 # slots — ASan watches the slot/workspace lifetimes, and the traced run
 # keeps every span live while the stages overlap.

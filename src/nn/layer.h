@@ -126,6 +126,13 @@ class Layer {
   }
   ForwardEngine* engine() const { return engine_.get(); }
 
+  /// Detaches and returns the engine without destroying it, so callers can
+  /// park a packed engine, run the float path, and re-attach — an A/B flip
+  /// that costs two pointer moves instead of a re-pack.
+  std::unique_ptr<ForwardEngine> release_engine() {
+    return std::move(engine_);
+  }
+
  protected:
   virtual Tensor do_forward(const Tensor& x) = 0;
   virtual Tensor do_backward(const Tensor& grad_out) = 0;

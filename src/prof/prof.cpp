@@ -105,6 +105,7 @@ const char* counter_name(Counter c) {
     case Counter::kServeBatches: return "serve_batches";
     case Counter::kServeScenes: return "serve_scenes";
     case Counter::kServeShed: return "serve_shed";
+    case Counter::kPanelBuilds: return "panel_builds";
     case Counter::kCount: break;
   }
   return "?";

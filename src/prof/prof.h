@@ -57,6 +57,7 @@ enum class Counter : int {
   kServeBatches,      ///< serve: cross-scene batches formed
   kServeScenes,       ///< serve: scenes completed through the pipeline
   kServeShed,         ///< serve: requests shed (capacity overflow + deadline)
+  kPanelBuilds,       ///< packed-weight panel decodes/packs (qnn cache misses)
   kCount,
 };
 

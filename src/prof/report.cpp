@@ -75,16 +75,28 @@ std::string cost_report_table(const CostComparison& cmp) {
 
 namespace {
 
-/// Per-name mean span latency (ms per pass) over an event list.
-std::map<std::string, std::pair<std::int64_t, double>> mean_by_name(
+/// Per-name MEDIAN span latency, scaled to ms per pass. The packed-vs-fp32
+/// comparison divides two of these per layer; a mean would let a single
+/// scheduler-preemption burst during one sweep swing a layer's ratio by
+/// tens of percent on a shared box, while the median ignores bursts
+/// entirely (both sweeps sample the same steady-state distribution).
+std::map<std::string, std::pair<std::int64_t, double>> median_by_name(
     const std::vector<Event>& events, int passes) {
+  std::map<std::string, std::vector<double>> durs;
+  for (const auto& e : events)
+    durs[e.name].push_back(static_cast<double>(e.dur_ns) * 1e-6);
   std::map<std::string, std::pair<std::int64_t, double>> out;
-  for (const auto& e : events) {
-    auto& [count, total_ms] = out[e.name];
-    ++count;
-    total_ms += static_cast<double>(e.dur_ns) * 1e-6;
+  for (auto& [name, d] : durs) {
+    std::sort(d.begin(), d.end());
+    const std::size_t n = d.size();
+    const double median =
+        n % 2 == 1 ? d[n / 2] : 0.5 * (d[n / 2 - 1] + d[n / 2]);
+    // Layers called multiple times per pass (e.g. the PFN on pillar
+    // batches) keep per-pass totals: median per call x calls per pass.
+    const double calls_per_pass =
+        static_cast<double>(n) / static_cast<double>(passes);
+    out[name] = {static_cast<std::int64_t>(n), median * calls_per_pass};
   }
-  for (auto& [name, v] : out) v.second /= static_cast<double>(passes);
   return out;
 }
 
@@ -93,15 +105,19 @@ std::map<std::string, std::pair<std::int64_t, double>> mean_by_name(
 IntSpeedupReport build_int_speedup_report(
     const std::vector<Event>& fp32_events,
     const std::vector<Event>& packed_events, const hw::DeviceSpec& spec,
-    const std::vector<hw::LayerProfile>& profile, int passes) {
+    const std::vector<hw::LayerProfile>& profile, int passes,
+    const std::map<std::string, std::string>* pinned_kernels) {
   IntSpeedupReport rep;
   const int p_ = std::max(passes, 1);
-  const auto fp32 = mean_by_name(fp32_events, p_);
-  const auto packed = mean_by_name(packed_events, p_);
+  const auto fp32 = median_by_name(fp32_events, p_);
+  const auto packed = median_by_name(packed_events, p_);
   for (const auto& p : profile) {
     if (!p.integer_path) continue;
     IntSpeedupRow row;
     row.name = p.name;
+    if (pinned_kernels != nullptr)
+      if (auto it = pinned_kernels->find(p.name); it != pinned_kernels->end())
+        row.kernel = it->second;
     row.weight_bits = p.weight_bits;
     row.modeled = spec.int_gemm_speedup(p.weight_bits);
     const auto f = fp32.find(p.name);
@@ -127,20 +143,22 @@ IntSpeedupReport build_int_speedup_report(
 std::string int_speedup_table(const IntSpeedupReport& rep) {
   std::string out;
   char line[256];
-  std::snprintf(line, sizeof(line), "%-20s %5s %12s %12s %10s %9s %8s\n",
-                "layer", "bits", "fp32 ms", "packed ms", "measured", "modeled",
-                "drift");
+  std::snprintf(line, sizeof(line), "%-20s %5s %-11s %12s %12s %10s %9s %8s\n",
+                "layer", "bits", "kernel", "fp32 ms", "packed ms", "measured",
+                "modeled", "drift");
   out += line;
   for (const auto& r : rep.rows) {
+    const char* kernel = r.kernel.empty() ? "-" : r.kernel.c_str();
     if (r.spans > 0) {
       std::snprintf(line, sizeof(line),
-                    "%-20s %5d %12.4f %12.4f %9.2fx %8.2fx %7.2fx\n",
-                    r.name.c_str(), r.weight_bits, r.fp32_ms, r.packed_ms,
-                    r.measured, r.modeled, r.drift);
+                    "%-20s %5d %-11s %12.4f %12.4f %9.2fx %8.2fx %7.2fx\n",
+                    r.name.c_str(), r.weight_bits, kernel, r.fp32_ms,
+                    r.packed_ms, r.measured, r.modeled, r.drift);
     } else {
-      std::snprintf(line, sizeof(line), "%-20s %5d %12s %12s %10s %8.2fx %8s\n",
-                    r.name.c_str(), r.weight_bits, "-", "-", "-", r.modeled,
-                    "-");
+      std::snprintf(line, sizeof(line),
+                    "%-20s %5d %-11s %12s %12s %10s %8.2fx %8s\n",
+                    r.name.c_str(), r.weight_bits, kernel, "-", "-", "-",
+                    r.modeled, "-");
     }
     out += line;
   }

@@ -16,6 +16,7 @@
 // tensor/parallel, which themselves link the core prof library.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -60,10 +61,11 @@ std::string cost_report_table(const CostComparison& cmp);
 /// are named after the layer in both runs, so the join is a name lookup.
 struct IntSpeedupRow {
   std::string name;
+  std::string kernel;      ///< auto-tuner pinned kernel ("" when untuned)
   int weight_bits = 32;    ///< planned weight bitwidth (sets the model anchor)
   std::int64_t spans = 0;  ///< packed-run span count (0 = not observed)
-  double fp32_ms = 0.0;    ///< mean float-path latency per pass
-  double packed_ms = 0.0;  ///< mean packed-path latency per pass
+  double fp32_ms = 0.0;    ///< median float-path latency per pass
+  double packed_ms = 0.0;  ///< median packed-path latency per pass
   double measured = 0.0;   ///< fp32_ms / packed_ms (0 when unmeasurable)
   double modeled = 0.0;    ///< hw::DeviceSpec::int_gemm_speedup(weight_bits)
   double drift = 0.0;      ///< measured / modeled (0 when unmeasurable)
@@ -82,11 +84,14 @@ struct IntSpeedupReport {
 /// integer_path are compared; both event sets must cover `passes` forward
 /// passes. The drift column says how far this host's integer-path reality is
 /// from the modeled device anchor — as with the cost report, consistency
-/// across layers matters more than the absolute level.
+/// across layers matters more than the absolute level. `pinned_kernels`
+/// (optional, layer name -> kernel name from the auto-tuner) annotates each
+/// row with the kernel the layer actually ran.
 IntSpeedupReport build_int_speedup_report(
     const std::vector<Event>& fp32_events,
     const std::vector<Event>& packed_events, const hw::DeviceSpec& spec,
-    const std::vector<hw::LayerProfile>& profile, int passes);
+    const std::vector<hw::LayerProfile>& profile, int passes,
+    const std::map<std::string, std::string>* pinned_kernels = nullptr);
 
 /// Fixed-width text rendering of the integer-speedup comparison.
 std::string int_speedup_table(const IntSpeedupReport& rep);

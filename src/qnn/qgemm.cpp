@@ -109,23 +109,32 @@ PackedGemm::PackedGemm(const PackedTensor& w, std::int64_t rows, std::int64_t k,
         static_cast<std::int64_t>(segs_.size());
 
   // Density dispatch (PanelMode docs): dense-ish int8-representable weights
-  // get the blocked panel kernel; pattern-pruned matrices keep the segment
-  // kernels where the zeros cost nothing.
+  // get a blocked panel kernel — the native nibble kernel when the codes fit
+  // 4 bits — while pattern-pruned matrices keep the segment kernels where
+  // the zeros cost nothing. The force modes pin one kernel for the tuner's
+  // candidate timings and the cross-kernel equivalence tests.
   const bool fits_i8 = bits_ <= 8;
+  const bool fits_i4 = bits_ <= 4;
   const double zero_frac =
       1.0 - static_cast<double>(entry_count()) / static_cast<double>(rows * k);
   const bool want_panel =
-      mode == PanelMode::kForcePanel ||
+      mode == PanelMode::kForcePanel || mode == PanelMode::kForceInt8 ||
+      mode == PanelMode::kForceInt4 ||
       (mode == PanelMode::kAuto && fits_i8 &&
        zero_frac <= gemm::kSparseZeroFraction);
   if (want_panel) {
     UPAQ_CHECK(fits_i8, "PackedGemm: panel path needs weight bits <= 8, got " +
                             std::to_string(bits_));
-    build_panel(g);
+    const bool four = mode == PanelMode::kForceInt4 ||
+                      (mode != PanelMode::kForceInt8 && fits_i4);
+    UPAQ_CHECK(!four || fits_i4,
+               "PackedGemm: int4 panel needs weight bits <= 4, got " +
+                   std::to_string(bits_));
+    build_panel(g, four);
   }
 }
 
-void PackedGemm::build_panel(std::int64_t group) {
+void PackedGemm::build_panel(std::int64_t group, bool four) {
   // Decode the surviving codes ONCE into a dense row-major int8 matrix
   // (bits_ <= 8 guarantees |code| <= 127) — steady-state run() calls never
   // touch the bit-packed representation again.
@@ -147,14 +156,19 @@ void PackedGemm::build_panel(std::int64_t group) {
   const std::int64_t period = (group > 0 && k_ % group == 0) ? group : k_;
   const std::int64_t slab =
       std::min(k_, std::max(period, (gemm::kQKC / period) * period));
-  gemm::q8_pack_a(dense.data(), rows_, k_, slab, panel_);
+  if (four) {
+    gemm::q4_pack_a(dense.data(), rows_, k_, slab, panel4_);
+  } else {
+    gemm::q8_pack_a(dense.data(), rows_, k_, slab, panel_);
+  }
   // Requantization schedule: one flush event per segment, firing at the
   // column after the segment's last entry. All-zero groups yield no segment
   // and thus no event — exactly like the segment engine, which never
   // requantizes them (flushing an all-zero accumulator could still flip a
   // -0.0 bias fill to +0.0).
+  auto& events = four ? panel4_.events : panel_.events;
   const std::int64_t panels = (rows_ + gemm::kQMR - 1) / gemm::kQMR;
-  panel_.events.assign(static_cast<std::size_t>(panels), {});
+  events.assign(static_cast<std::size_t>(panels), {});
   for (std::int64_t r = 0; r < rows_; ++r)
     for (std::int64_t si = row_segs_[static_cast<std::size_t>(r)];
          si < row_segs_[static_cast<std::size_t>(r) + 1]; ++si) {
@@ -163,12 +177,12 @@ void PackedGemm::build_panel(std::int64_t group) {
       ev.col = cols_[static_cast<std::size_t>(seg.end - 1)] + 1;
       ev.row = static_cast<std::int32_t>(r % gemm::kQMR);
       ev.scale = seg.scale;
-      panel_.events[static_cast<std::size_t>(r / gemm::kQMR)].push_back(ev);
+      events[static_cast<std::size_t>(r / gemm::kQMR)].push_back(ev);
     }
   // Per-row event columns are strictly increasing (entry columns ascend), so
   // sorting by (col, row) is a total order — the kernel replays each row's
   // segments in exactly the segment engine's ascending order.
-  for (auto& evs : panel_.events)
+  for (auto& evs : events)
     std::sort(evs.begin(), evs.end(),
               [](const gemm::QFlush& a, const gemm::QFlush& b) {
                 if (a.col != b.col) return a.col < b.col;
@@ -192,10 +206,10 @@ void PackedGemm::run(const std::int8_t* qx, float sx, std::int64_t n,
   prof::add(prof::Counter::kQgemmMacs,
             static_cast<std::uint64_t>(entry_count()) *
                 static_cast<std::uint64_t>(n));
-  if (!panel_.empty()) {
+  if (panel_active()) {
     // Bias prefill mirrors the segment path's per-row fill; the panel kernel
     // then requantizes into it with the same per-element operation order, so
-    // the two paths are bitwise identical (tests/test_qgemm_kernel.cpp).
+    // the paths are bitwise identical (tests/test_qgemm_kernel.cpp).
     auto fill = [&](std::int64_t r0, std::int64_t r1) {
       for (std::int64_t r = r0; r < r1; ++r) {
         float* yrow = py + r * n;
@@ -207,7 +221,11 @@ void PackedGemm::run(const std::int8_t* qx, float sx, std::int64_t n,
     } else {
       parallel::parallel_for(0, rows_, kRowGrain, fill);
     }
-    gemm::q8_gemm_panel(panel_, qx, sx, n, py);
+    if (!panel4_.empty()) {
+      gemm::q4_gemm_panel(panel4_, qx, sx, n, py);
+    } else {
+      gemm::q8_gemm_panel(panel_, qx, sx, n, py);
+    }
     return;
   }
   // Entry-skipping segment sweep, hosted wholesale in the -march=native
@@ -216,7 +234,8 @@ void PackedGemm::run(const std::int8_t* qx, float sx, std::int64_t n,
   // segments in order) is a pure function of the entry layout, never of the
   // thread count or blocking.
   gemm::s8_gemm_segments(cols_.data(), codes_.data(), segs_.data(),
-                         row_segs_.data(), rows_, k_, qx, sx, n, bias, py);
+                         row_segs_.data(), rows_, k_, qx, sx, n, bias, py,
+                         /*codes_fit_i8=*/bits_ <= 8);
 }
 
 void PackedGemm::run_t(const QuantizedActs& x, const float* bias,

@@ -61,12 +61,19 @@ class PackedGemm {
  public:
   /// run() execution strategy. kAuto picks per matrix: codes that fit int8
   /// (weight bits <= 8) and are dense enough (zero fraction at or below
-  /// gemm::kSparseZeroFraction) take the blocked panel kernel; pattern-pruned
-  /// high-sparsity matrices keep the entry-skipping segment kernels, where
-  /// the zeros are never touched. The force modes exist for the equivalence
-  /// tests — both paths are bitwise identical by construction, so forcing is
-  /// never needed for correctness.
-  enum class PanelMode { kAuto, kForcePanel, kForceSegment };
+  /// gemm::kSparseZeroFraction) take a blocked panel kernel — the native
+  /// nibble-packed int4 panel when bits <= 4, the pair-interleaved int8
+  /// panel otherwise; pattern-pruned high-sparsity matrices keep the
+  /// entry-skipping segment kernels, where the zeros are never touched.
+  /// kForcePanel follows the same bit-width split; kForceInt8 / kForceInt4
+  /// pin one specific panel kernel (the auto-tuner's candidates, and the
+  /// cross-kernel equivalence tests). All paths are bitwise identical by
+  /// construction, so forcing is never needed for correctness.
+  enum class PanelMode { kAuto, kForcePanel, kForceSegment, kForceInt8,
+                         kForceInt4 };
+
+  /// Which kernel run() dispatches to (the auto-tuner's vocabulary).
+  enum class KernelKind { kSegment, kInt8Panel, kInt4Panel };
 
   /// Interprets `w` as a (rows, k) row-major 2-D weight; rows * k must equal
   /// w's element count. Scale groups that straddle row boundaries are split
@@ -105,20 +112,27 @@ class PackedGemm {
   /// Largest per-group weight scale: max_scale * act_scale is the coarsest
   /// requantization step of an output (the equivalence tolerance unit).
   float max_weight_scale() const { return max_scale_; }
-  /// True when run() dispatches to the blocked panel kernel.
-  bool panel_active() const { return !panel_.empty(); }
+  /// True when run() dispatches to one of the blocked panel kernels.
+  bool panel_active() const { return !panel_.empty() || !panel4_.empty(); }
+  /// The kernel run() dispatches to.
+  KernelKind kernel_kind() const {
+    if (!panel4_.empty()) return KernelKind::kInt4Panel;
+    if (!panel_.empty()) return KernelKind::kInt8Panel;
+    return KernelKind::kSegment;
+  }
 
  private:
   /// Weight scale + entry range [begin, end) of one group slice of a row.
   using Segment = gemm::QSegment;
 
-  void build_panel(std::int64_t group);
+  void build_panel(std::int64_t group, bool four);
 
   std::vector<std::int32_t> cols_;   ///< per entry: column index in [0, k)
   std::vector<std::int32_t> codes_;  ///< per entry: weight code (never 0)
   std::vector<Segment> segs_;
   std::vector<std::int64_t> row_segs_;  ///< rows_+1 offsets into segs_
-  gemm::QPanelA panel_;  ///< non-empty iff run() takes the panel kernel
+  gemm::QPanelA panel_;    ///< non-empty iff run() takes the int8 panel kernel
+  gemm::Q4PanelA panel4_;  ///< non-empty iff run() takes the int4 panel kernel
   std::int64_t rows_ = 0, k_ = 0;
   int bits_ = 8;
   float max_scale_ = 0.0f;

@@ -5,6 +5,7 @@
 
 #include "parallel/thread_pool.h"
 #include "prof/prof.h"
+#include "qnn/qcache.h"
 #include "tensor/gemm_kernel.h"
 #include "tensor/ops.h"
 #include "tensor/workspace.h"
@@ -41,16 +42,29 @@ PackedConv2d::PackedConv2d(const nn::Conv2d& conv, const LowerSpec& spec)
       kernel_(conv.kernel()),
       stride_(conv.stride()),
       pad_(conv.pad()),
-      gemm_(pack(conv.weight().value, spec.weight_bits, spec.group_size,
-                 spec.format, conv.weight().mask),
-            conv.out_channels(),
-            conv.in_channels() * conv.kernel() * conv.kernel()),
+      weight_(&conv.weight()),
+      spec_(spec),
+      gemm_(PanelCache::instance().get_or_build(
+          conv.weight(), conv.out_channels(),
+          conv.in_channels() * conv.kernel() * conv.kernel(),
+          spec.weight_bits, spec.group_size, spec.format, spec.mode)),
+      packed_version_(conv.weight().version),
       act_bits_(spec.act_bits) {
   if (const nn::Parameter* b = conv.bias()) bias_ = b->value;
 }
 
+void PackedConv2d::refresh() {
+  gemm_ = PanelCache::instance().get_or_build(
+      *weight_, out_c_, in_c_ * kernel_ * kernel_, spec_.weight_bits,
+      spec_.group_size, spec_.format, spec_.mode);
+  packed_version_ = weight_->version;
+}
+
 Tensor PackedConv2d::forward(const Tensor& x) {
   prof::Span span(engine_name());
+  // Staleness check runs serially, before the batch fan-out: a weight
+  // mutated after lowering repacks exactly once through the cache.
+  if (weight_->version != packed_version_) refresh();
   UPAQ_CHECK(x.rank() == 4 && x.dim(1) == in_c_,
              "PackedConv2d expects (N," + std::to_string(in_c_) + ",H,W)");
   const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
@@ -79,7 +93,7 @@ Tensor PackedConv2d::forward(const Tensor& x) {
       if (kernel_ == 1 && stride_ == 1 && pad_ == 0) {
         // 1x1 conv: the column matrix IS the quantized map; no gather.
         prof::Span gspan("qnn.qgemm");
-        gemm_.run(qcodes, sx, oh * ow, bias, ys);
+        gemm_->run(qcodes, sx, oh * ow, bias, ys);
       } else {
         std::int8_t* cols =
             ws.i8(in_c_ * kernel_ * kernel_ * oh * ow);
@@ -88,7 +102,7 @@ Tensor PackedConv2d::forward(const Tensor& x) {
           im2col_codes_into(qcodes, in_c_, h, w, kernel_, stride_, pad_, cols);
         }
         prof::Span gspan("qnn.qgemm");
-        gemm_.run(cols, sx, oh * ow, bias, ys);
+        gemm_->run(cols, sx, oh * ow, bias, ys);
       }
     }
   });
@@ -98,22 +112,34 @@ Tensor PackedConv2d::forward(const Tensor& x) {
 PackedLinear::PackedLinear(const nn::Linear& linear, const LowerSpec& spec)
     : in_f_(linear.in_features()),
       out_f_(linear.out_features()),
-      gemm_(pack(linear.weight().value, spec.weight_bits, spec.group_size,
-                 spec.format, linear.weight().mask),
-            linear.out_features(), linear.in_features()),
+      weight_(&linear.weight()),
+      spec_(spec),
+      gemm_(PanelCache::instance().get_or_build(
+          linear.weight(), linear.out_features(), linear.in_features(),
+          spec.weight_bits, spec.group_size, spec.format, spec.mode)),
+      packed_version_(linear.weight().version),
       act_bits_(spec.act_bits) {
   if (const nn::Parameter* b = linear.bias()) bias_ = b->value;
 }
 
+void PackedLinear::refresh() {
+  gemm_ = PanelCache::instance().get_or_build(*weight_, out_f_, in_f_,
+                                              spec_.weight_bits,
+                                              spec_.group_size, spec_.format,
+                                              spec_.mode);
+  packed_version_ = weight_->version;
+}
+
 Tensor PackedLinear::forward(const Tensor& x) {
   prof::Span span(engine_name());
+  if (weight_->version != packed_version_) refresh();
   UPAQ_CHECK(x.rank() == 2 && x.dim(1) == in_f_,
              "PackedLinear expects (N," + std::to_string(in_f_) + ")");
   Tensor out({x.dim(0), out_f_});
   workspace::Scope ws;
   std::int8_t* qcodes = ws.i8(x.numel());
   const float sx = quantize_acts_into(x.data(), x.numel(), act_bits_, qcodes);
-  gemm_.run_t(qcodes, sx, x.dim(0), bias_.empty() ? nullptr : bias_.data(),
+  gemm_->run_t(qcodes, sx, x.dim(0), bias_.empty() ? nullptr : bias_.data(),
               out.data());
   return out;
 }

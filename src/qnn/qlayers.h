@@ -20,26 +20,36 @@ struct LowerSpec {
   std::int64_t group_size = 0;  ///< scale granularity (0 = per tensor)
   quant::StorageFormat format = quant::StorageFormat::kDense;
   int act_bits = 8;             ///< activation code width (2..8)
+  /// Kernel selection for the packed GEMM. kAuto applies the density rule;
+  /// the auto-tuner pins an explicit force mode per layer.
+  PackedGemm::PanelMode mode = PackedGemm::PanelMode::kAuto;
 };
 
 class PackedConv2d final : public nn::ForwardEngine {
  public:
-  /// Packs the conv's current weight (honouring its pruning mask) and
-  /// captures geometry + bias. The engine snapshots the weights: mutate the
-  /// layer afterwards and the packed codes go stale.
+  /// Packs the conv's current weight (honouring its pruning mask) through
+  /// the process-wide PanelCache and captures geometry + bias. The packed
+  /// codes track the weight parameter: forward() revalidates against
+  /// Parameter::version and rebuilds through the cache when the weight was
+  /// mutated after lowering.
   PackedConv2d(const nn::Conv2d& conv, const LowerSpec& spec);
 
   Tensor forward(const Tensor& x) override;
   const char* engine_name() const override { return "qnn.packed_conv2d"; }
 
-  const PackedGemm& gemm() const { return gemm_; }
+  const PackedGemm& gemm() const { return *gemm_; }
   int act_bits() const { return act_bits_; }
 
  private:
+  void refresh();
+
   std::int64_t in_c_, out_c_;
   int kernel_, stride_, pad_;
   Tensor bias_;  ///< empty when the conv has none
-  PackedGemm gemm_;
+  const nn::Parameter* weight_;
+  LowerSpec spec_;
+  std::shared_ptr<const PackedGemm> gemm_;
+  std::uint64_t packed_version_;
   int act_bits_;
 };
 
@@ -50,13 +60,18 @@ class PackedLinear final : public nn::ForwardEngine {
   Tensor forward(const Tensor& x) override;
   const char* engine_name() const override { return "qnn.packed_linear"; }
 
-  const PackedGemm& gemm() const { return gemm_; }
+  const PackedGemm& gemm() const { return *gemm_; }
   int act_bits() const { return act_bits_; }
 
  private:
+  void refresh();
+
   std::int64_t in_f_, out_f_;
   Tensor bias_;
-  PackedGemm gemm_;
+  const nn::Parameter* weight_;
+  LowerSpec spec_;
+  std::shared_ptr<const PackedGemm> gemm_;
+  std::uint64_t packed_version_;
   int act_bits_;
 };
 

@@ -150,6 +150,131 @@ TEST(QgemmKernel, AutoDispatchFollowsDensityRule) {
   }
 }
 
+/// Shapes chosen for the nibble-packed int4 panel: odd k (the phantom
+/// high-nibble tail of the last pair), k just past one packing slab
+/// (k > kQKC = 512), and group sizes {9, 7, 5, 3} that do and do not divide
+/// k — non-divisors force the single-slab layout with drifting scale
+/// boundaries, divisors exercise the period-multiple slab rule.
+TEST(QgemmKernel, Int4PanelMatchesSegmentAndInt8PanelBitwise) {
+  Rng rng(2024);
+  const Case cases[] = {
+      {6, 47, 16},    // odd k: nibble tail inside one micro-tile row
+      {11, 129, 24},  // odd k, several row panels
+      {13, 520, 40},  // multi-slab k > kQKC
+      {9, 515, 18},   // odd multi-slab k with group-5 divisor
+  };
+  for (const auto& c : cases) {
+    for (std::int64_t group : {std::int64_t{9}, std::int64_t{7},
+                               std::int64_t{5}, std::int64_t{3}}) {
+      for (int bits : {2, 3, 4}) {
+        const Tensor w = make_weight(c.rows, c.k, 0.2, rng);
+        const auto packed =
+            qnn::pack(w, bits, group, quant::StorageFormat::kDense);
+        PackedGemm i4(packed, c.rows, c.k, PanelMode::kForceInt4);
+        PackedGemm i8(packed, c.rows, c.k, PanelMode::kForceInt8);
+        PackedGemm seg(packed, c.rows, c.k, PanelMode::kForceSegment);
+        ASSERT_EQ(i4.kernel_kind(), PackedGemm::KernelKind::kInt4Panel);
+        ASSERT_EQ(i8.kernel_kind(), PackedGemm::KernelKind::kInt8Panel);
+        ASSERT_EQ(seg.kernel_kind(), PackedGemm::KernelKind::kSegment);
+
+        const Tensor x = Tensor::uniform({c.k, c.n}, rng);
+        const qnn::QuantizedActs qa = qnn::quantize_acts(x, 8);
+        std::vector<float> bias(static_cast<std::size_t>(c.rows));
+        for (auto& b : bias) b = rng.uniform(-1.0f, 1.0f);
+        char what[128];
+        std::snprintf(what, sizeof(what),
+                      "int4 m=%lld k=%lld n=%lld bits=%d group=%lld",
+                      static_cast<long long>(c.rows),
+                      static_cast<long long>(c.k),
+                      static_cast<long long>(c.n), bits,
+                      static_cast<long long>(group));
+
+        Tensor y4({c.rows, c.n}), y8({c.rows, c.n}), ysg({c.rows, c.n});
+        i4.run(qa, bias.data(), y4);
+        i8.run(qa, bias.data(), y8);
+        seg.run(qa, bias.data(), ysg);
+        expect_bitwise_equal(y4, ysg, what);
+        expect_bitwise_equal(y4, y8, what);
+      }
+    }
+  }
+}
+
+TEST(QgemmKernel, Int4PanelThreadCountInvariantBitwise) {
+  // Multi-stripe n and several row panels so the parallel dispatch splits
+  // work across lanes; the nibble kernel's flush order is a property of the
+  // panel layout, so 1-thread and 4-thread runs must be bitwise equal.
+  Rng rng(4321);
+  const std::int64_t rows = 27, k = 131, n = 530;
+  const Tensor w = make_weight(rows, k, 0.15, rng);
+  const auto packed = qnn::pack(w, 4, 7, quant::StorageFormat::kDense);
+  const Tensor x = Tensor::uniform({k, n}, rng);
+  const qnn::QuantizedActs qa = qnn::quantize_acts(x, 8);
+  std::vector<float> bias(static_cast<std::size_t>(rows), -0.375f);
+
+  PackedGemm g(packed, rows, k, PanelMode::kForceInt4);
+  ASSERT_EQ(g.kernel_kind(), PackedGemm::KernelKind::kInt4Panel);
+  parallel::set_thread_count(1);
+  Tensor y1({rows, n});
+  g.run(qa, bias.data(), y1);
+  parallel::set_thread_count(4);
+  Tensor y4({rows, n});
+  g.run(qa, bias.data(), y4);
+  parallel::set_thread_count(1);
+  expect_bitwise_equal(y1, y4, "int4 panel thread-count divergence");
+}
+
+TEST(QgemmKernel, Int4PanelSteadyStateRunsDoNotGrowArena) {
+  // Same zero-allocation contract as the int8 panel: the nibble-packed
+  // B-pack scratch must come from the workspace arena once warm.
+  parallel::set_thread_count(1);
+  { workspace::Scope flush; }
+  Rng rng(888);
+  const std::int64_t rows = 18, k = 260, n = 290;
+  const Tensor w = make_weight(rows, k, 0.0, rng);
+  const auto packed = qnn::pack(w, 4, 0, quant::StorageFormat::kDense);
+  PackedGemm g(packed, rows, k, PanelMode::kForceInt4);
+  ASSERT_EQ(g.kernel_kind(), PackedGemm::KernelKind::kInt4Panel);
+  const Tensor x = Tensor::uniform({k, n}, rng);
+  const qnn::QuantizedActs qa = qnn::quantize_acts(x, 8);
+  Tensor y({rows, n});
+
+  for (int i = 0; i < 2; ++i) g.run(qa, nullptr, y);  // warm-up
+  const workspace::Stats warm = workspace::stats();
+  for (int i = 0; i < 5; ++i) g.run(qa, nullptr, y);
+  const workspace::Stats steady = workspace::stats();
+  EXPECT_EQ(steady.block_allocs, warm.block_allocs)
+      << "steady-state int4 panel run() grew the workspace arena";
+  EXPECT_GT(steady.reuses, warm.reuses)
+      << "int4 panel run() did not route its pack scratch through the arena";
+}
+
+TEST(QgemmKernel, AutoDispatchPrefersInt4PanelForNarrowCodes) {
+  Rng rng(64);
+  const std::int64_t rows = 10, k = 72;
+  // Dense narrow codes: the nibble panel.
+  {
+    const Tensor w = make_weight(rows, k, 0.0, rng);
+    const auto p = qnn::pack(w, 4, 8, quant::StorageFormat::kDense);
+    EXPECT_EQ(PackedGemm(p, rows, k).kernel_kind(),
+              PackedGemm::KernelKind::kInt4Panel);
+  }
+  // Dense 8-bit codes cannot use nibbles: the pair-interleaved panel.
+  {
+    const Tensor w = make_weight(rows, k, 0.0, rng);
+    const auto p = qnn::pack(w, 8, 8, quant::StorageFormat::kDense);
+    EXPECT_EQ(PackedGemm(p, rows, k).kernel_kind(),
+              PackedGemm::KernelKind::kInt8Panel);
+  }
+  // High sparsity keeps the entry-skip segment kernel even at 4 bits.
+  {
+    const Tensor w = make_weight(rows, k, 0.8, rng);
+    const auto p = qnn::pack(w, 4, 8, quant::StorageFormat::kDense);
+    EXPECT_EQ(PackedGemm(p, rows, k).kernel_kind(),
+              PackedGemm::KernelKind::kSegment);
+  }
+}
+
 TEST(QgemmKernel, ThreadCountInvariantBitwise) {
   // Multi-stripe n and several row panels so the parallel dispatch actually
   // splits work; 1-thread and 4-thread runs must be bitwise equal on both
