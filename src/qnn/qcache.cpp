@@ -7,8 +7,9 @@
 namespace upaq::qnn {
 
 bool PanelCache::Key::operator<(const Key& o) const {
-  return std::tie(param, rows, k, bits, group, format, mode) <
-         std::tie(o.param, o.rows, o.k, o.bits, o.group, o.format, o.mode);
+  return std::tie(param, rows, k, bits, group, format, mode, taps) <
+         std::tie(o.param, o.rows, o.k, o.bits, o.group, o.format, o.mode,
+                  o.taps);
 }
 
 PanelCache& PanelCache::instance() {
@@ -26,7 +27,8 @@ std::shared_ptr<const PackedGemm> PanelCache::get_or_build(
                 weight_bits,
                 group_size,
                 static_cast<int>(format),
-                static_cast<int>(mode)};
+                static_cast<int>(mode),
+                tap_signature(w.value)};
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);

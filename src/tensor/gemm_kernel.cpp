@@ -1336,6 +1336,44 @@ float s8_quantize(const float* src, std::int64_t n, int bits,
   return scale;
 }
 
+namespace {
+
+// Gathers one im2col row (one channel + kernel offset (ky, kx)) into `dst`
+// (oh*ow codes): per output row, zero the out-of-bounds flanks and copy the
+// in-bounds interior with no per-element bounds checks (memcpy at stride 1,
+// a tight strided gather otherwise).
+void s8_im2col_row(const std::int8_t* in, std::int64_t ch, std::int64_t h,
+                   std::int64_t w, int ky, int kx, int stride, int pad,
+                   std::int64_t oh, std::int64_t ow, std::int8_t* dst) {
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    const std::int64_t iy = oy * stride - pad + ky;
+    std::int8_t* drow = dst + oy * ow;
+    if (iy < 0 || iy >= h) {
+      std::memset(drow, 0, static_cast<std::size_t>(ow));
+      continue;
+    }
+    const std::int8_t* src = in + (ch * h + iy) * w;
+    // In-bounds ox range for ix = ox * stride + off.
+    const std::int64_t off = kx - pad;
+    const std::int64_t x0 = std::clamp<std::int64_t>(
+        off < 0 ? (-off + stride - 1) / stride : 0, 0, ow);
+    const std::int64_t x1 =
+        std::clamp<std::int64_t>((w - off + stride - 1) / stride, x0, ow);
+    if (x0 > 0) std::memset(drow, 0, static_cast<std::size_t>(x0));
+    if (stride == 1) {
+      if (x1 > x0)
+        std::memcpy(drow + x0, src + x0 + off,
+                    static_cast<std::size_t>(x1 - x0));
+    } else {
+      const std::int8_t* s = src + x0 * stride + off;
+      for (std::int64_t ox = x0; ox < x1; ++ox, s += stride) drow[ox] = *s;
+    }
+    if (x1 < ow) std::memset(drow + x1, 0, static_cast<std::size_t>(ow - x1));
+  }
+}
+
+}  // namespace
+
 void s8_im2col(const std::int8_t* in, std::int64_t c, std::int64_t h,
                std::int64_t w, int k, int stride, int pad, std::int64_t oh,
                std::int64_t ow, std::int8_t* out) {
@@ -1345,36 +1383,30 @@ void s8_im2col(const std::int8_t* in, std::int64_t c, std::int64_t h,
       const std::int64_t ch = row / (k * k);
       const int ky = static_cast<int>((row / k) % k);
       const int kx = static_cast<int>(row % k);
-      std::int8_t* dst = out + row * oh * ow;
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        const std::int64_t iy = oy * stride - pad + ky;
-        std::int8_t* drow = dst + oy * ow;
-        if (iy < 0 || iy >= h) {
-          std::memset(drow, 0, static_cast<std::size_t>(ow));
-          continue;
-        }
-        const std::int8_t* src = in + (ch * h + iy) * w;
-        // In-bounds ox range for ix = ox * stride + off: zero the flanks,
-        // then copy the interior run with no per-element bounds checks
-        // (memcpy at stride 1, a tight strided gather otherwise).
-        const std::int64_t off = kx - pad;
-        const std::int64_t x0 = std::clamp<std::int64_t>(
-            off < 0 ? (-off + stride - 1) / stride : 0, 0, ow);
-        const std::int64_t x1 =
-            std::clamp<std::int64_t>((w - off + stride - 1) / stride, x0, ow);
-        if (x0 > 0) std::memset(drow, 0, static_cast<std::size_t>(x0));
-        if (stride == 1) {
-          if (x1 > x0)
-            std::memcpy(drow + x0, src + x0 + off,
-                        static_cast<std::size_t>(x1 - x0));
-        } else {
-          const std::int8_t* s = src + x0 * stride + off;
-          for (std::int64_t ox = x0; ox < x1; ++ox, s += stride)
-            drow[ox] = *s;
-        }
-        if (x1 < ow)
-          std::memset(drow + x1, 0, static_cast<std::size_t>(ow - x1));
-      }
+      s8_im2col_row(in, ch, h, w, ky, kx, stride, pad, oh, ow,
+                    out + row * oh * ow);
+    }
+  };
+  if (rows * oh * ow < kMinParallelWork) {
+    fill_rows(0, rows);
+  } else {
+    parallel::parallel_for(0, rows, 4, fill_rows);
+  }
+}
+
+void s8_im2col_taps(const std::int8_t* in, std::int64_t c, std::int64_t h,
+                    std::int64_t w, int k, int stride, int pad,
+                    std::int64_t oh, std::int64_t ow, const std::int32_t* taps,
+                    std::int64_t ntaps, std::int8_t* out) {
+  const std::int64_t rows = c * ntaps;
+  auto fill_rows = [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t row = r0; row < r1; ++row) {
+      const std::int64_t ch = row / ntaps;
+      const std::int32_t tap = taps[row % ntaps];
+      const int ky = tap / k;
+      const int kx = tap % k;
+      s8_im2col_row(in, ch, h, w, ky, kx, stride, pad, oh, ow,
+                    out + row * oh * ow);
     }
   };
   if (rows * oh * ow < kMinParallelWork) {

@@ -260,4 +260,18 @@ void s8_im2col(const std::int8_t* in, std::int64_t c, std::int64_t h,
                std::int64_t w, int k, int stride, int pad, std::int64_t oh,
                std::int64_t ow, std::int8_t* out);
 
+/// Tap-compacted int8 im2col gather for pattern-pruned convs: only the
+/// `ntaps` surviving kernel slots (`taps[t]` = ky*k + kx, ascending) are
+/// gathered per input channel, so the column matrix has c*ntaps rows instead
+/// of c*k*k — the k-dimension shrinks by the pruned fraction before the GEMM
+/// ever runs. Row r of `out` is exactly row (r/ntaps)*k*k + taps[r%ntaps] of
+/// the full s8_im2col matrix (same byte moves, same padding-zero fills), so
+/// feeding the compacted matrix to a weight panel whose columns were
+/// compacted by the same tap list is bitwise identical to the full gather.
+/// `out` must hold (c*ntaps, oh*ow) codes.
+void s8_im2col_taps(const std::int8_t* in, std::int64_t c, std::int64_t h,
+                    std::int64_t w, int k, int stride, int pad,
+                    std::int64_t oh, std::int64_t ow, const std::int32_t* taps,
+                    std::int64_t ntaps, std::int8_t* out);
+
 }  // namespace upaq::gemm

@@ -134,6 +134,95 @@ TEST(Pattern, ExpandKernelMaskTilesEveryKernel) {
                std::invalid_argument);
 }
 
+TEST(Pattern, AllPatternsOneByOneKernelCollapsesToTheSinglePosition) {
+  // 1x1 kernels have exactly one slot, so every type degenerates to {(0,0)}:
+  // 2 diagonals + 1 row + 1 column, all with the same position set. These
+  // feed the pattern panel's tap derivation, which must then see a full tap
+  // union (1 of 1) and never compact a 1x1 conv.
+  const auto all = prune::all_patterns(1, 1);
+  EXPECT_EQ(all.size(), 4u);
+  for (const auto& p : all) {
+    ASSERT_EQ(p.positions.size(), 1u);
+    EXPECT_EQ(p.positions[0], (std::pair<int, int>{0, 0}));
+    EXPECT_EQ(p.d, 1);
+    EXPECT_DOUBLE_EQ(p.sparsity(), 0.0);
+  }
+}
+
+TEST(Pattern, AllPatternsDegenerateDiagonalsAtNEqualsD) {
+  // n == d: the diagonals use every (j, j) / (j, d-1-j) position — the
+  // longest patterns the generator can emit, and the widest tap lists the
+  // pattern kernels compact to.
+  for (int d : {3, 5}) {
+    const auto all = prune::all_patterns(d, d);
+    const auto& main_d = all[0];
+    const auto& anti_d = all[1];
+    EXPECT_EQ(main_d.type, PatternType::kMainDiagonal);
+    EXPECT_EQ(anti_d.type, PatternType::kAntiDiagonal);
+    ASSERT_EQ(main_d.nonzeros(), d);
+    ASSERT_EQ(anti_d.nonzeros(), d);
+    for (int j = 0; j < d; ++j) {
+      EXPECT_EQ(main_d.positions[static_cast<std::size_t>(j)],
+                (std::pair<int, int>{j, j}));
+      EXPECT_EQ(anti_d.positions[static_cast<std::size_t>(j)],
+                (std::pair<int, int>{j, d - 1 - j}));
+    }
+  }
+}
+
+TEST(Pattern, AllPatternsRowColumnSegmentsStayInsideTheKernelBorder) {
+  // Every enumerated row/column segment of length n must satisfy
+  // start + n <= d — the last legal start (start + n == d) is present, and
+  // no segment pokes past the border. Border starts matter to the tap
+  // lists: slot d*d - 1 (bottom-right) is reachable only from them.
+  const int n = 2, d = 5;
+  const auto all = prune::all_patterns(n, d);
+  bool saw_last_row_start = false, saw_last_col_start = false;
+  for (const auto& p : all) {
+    if (p.type == PatternType::kRow) {
+      const int start = p.positions.front().second;
+      EXPECT_LE(start + n, d);
+      EXPECT_EQ(p.positions.back().second, start + n - 1);
+      if (start + n == d) saw_last_row_start = true;
+    } else if (p.type == PatternType::kColumn) {
+      const int start = p.positions.front().first;
+      EXPECT_LE(start + n, d);
+      EXPECT_EQ(p.positions.back().first, start + n - 1);
+      if (start + n == d) saw_last_col_start = true;
+    }
+    for (const auto& [r, c] : p.positions) {
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, d);
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, d);
+    }
+  }
+  EXPECT_TRUE(saw_last_row_start) << "missing the border-abutting row start";
+  EXPECT_TRUE(saw_last_col_start) << "missing the border-abutting col start";
+}
+
+TEST(Pattern, ExpandKernelMaskOnOneByOneKernels) {
+  // 1x1 weight shape: the mask is all ones (the only slot is kept) and the
+  // shape contract still holds — d must match the pattern's d exactly.
+  const auto all = prune::all_patterns(1, 1);
+  const Shape wshape{4, 6, 1, 1};
+  const Tensor mask = prune::expand_kernel_mask(all.front(), wshape);
+  EXPECT_EQ(mask.shape(), wshape);
+  EXPECT_EQ(mask.count_nonzero(), 4 * 6);
+  EXPECT_THROW(prune::expand_kernel_mask(all.front(), {4, 6, 3, 3}),
+               std::invalid_argument);
+}
+
+TEST(Pattern, ExpandKernelMaskRejectsNonConvShapes) {
+  Rng rng(43);
+  const KernelPattern p = prune::generate_pattern(2, 3, rng);
+  // Rank != 4.
+  EXPECT_THROW(prune::expand_kernel_mask(p, {4, 3, 3}), std::invalid_argument);
+  // Non-square spatial dims.
+  EXPECT_THROW(prune::expand_kernel_mask(p, {4, 3, 3, 5}),
+               std::invalid_argument);
+}
+
 TEST(Pattern, TensorSparsity) {
   Tensor t({4}, std::vector<float>{0, 1, 0, 2});
   EXPECT_NEAR(prune::tensor_sparsity(t), 0.5, 1e-12);

@@ -11,14 +11,18 @@
 //   - the qgemm_macs counter (surviving entries x columns, both paths).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <vector>
 
+#include "nn/conv.h"
 #include "parallel/thread_pool.h"
 #include "prof/prof.h"
+#include "prune/pattern.h"
 #include "qnn/packed.h"
 #include "qnn/qgemm.h"
+#include "qnn/qlayers.h"
 #include "quant/quantize.h"
 #include "tensor/gemm_kernel.h"
 #include "tensor/rng.h"
@@ -326,6 +330,291 @@ TEST(QgemmKernel, SteadyStatePanelRunsDoNotGrowArena) {
       << "steady-state panel run() grew the workspace arena";
   EXPECT_GT(steady.reuses, warm.reuses)
       << "panel run() did not route its pack scratch through the arena";
+}
+
+/// Conv-shaped weight (out_c, in_c, d, d) with a kernel pattern stamped onto
+/// every kernel via expand_kernel_mask — exactly how Algorithm 3 applies a
+/// root's pattern to a layer, and the input geometry the pattern panel's tap
+/// derivation reads from the packed shape.
+Tensor make_pattern_weight(std::int64_t out_c, std::int64_t in_c,
+                           const prune::KernelPattern& p, Rng& rng) {
+  Tensor w = Tensor::normal({out_c, in_c, p.d, p.d}, rng);
+  const Tensor m = prune::expand_kernel_mask(p, w.shape());
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] *= m[i];
+  return w;
+}
+
+/// Full-k to tap-compacted activation gather, mirroring the contract
+/// s8_im2col_taps implements for convs: compacted row r holds full row
+/// (r / ntaps) * period + taps[r % ntaps].
+std::vector<std::int8_t> compact_acts(const qnn::QuantizedActs& qa,
+                                      const PackedGemm& g, std::int64_t n) {
+  const auto& taps = *g.pattern_taps();
+  const std::int64_t ntaps = static_cast<std::int64_t>(taps.size());
+  const std::int64_t period = g.pattern_period();
+  std::vector<std::int8_t> cx(static_cast<std::size_t>(g.k_compact() * n));
+  for (std::int64_t r = 0; r < g.k_compact(); ++r) {
+    const std::int64_t full = (r / ntaps) * period + taps[r % ntaps];
+    std::copy_n(qa.codes.data() + full * n, n, cx.data() + r * n);
+  }
+  return cx;
+}
+
+TEST(QgemmKernel, PatternPanelMatchesSegmentAndIntPanelsBitwise) {
+  // The whole pattern grid: every PatternType all_patterns enumerates for
+  // the case's (n_kept, d), against the segment kernel AND the full-k int
+  // panel, at 4 and 8 weight bits, with group sizes that are one tap period
+  // (UPAQ's per-kernel groups), per-tensor, and an odd non-divisor (forcing
+  // the single-slab compacted layout). The 60-channel 3x3 case compacts
+  // from k = 540 (> kQKC = 512, multi-slab) down to 60 * n_kept.
+  Rng rng(20260);
+  struct PCase {
+    std::int64_t out_c, in_c;
+    int n_kept, d;
+    std::int64_t n;
+  };
+  const PCase cases[] = {
+      {7, 4, 2, 3, 33},    // ragged everything, 2-tap patterns
+      {13, 60, 3, 3, 40},  // multi-slab full k = 540, diag/row/col of 3
+      {6, 5, 4, 5, 18},    // 5x5 kernels, 4-tap segments off the border
+  };
+  for (const auto& c : cases) {
+    const std::vector<prune::KernelPattern> patterns =
+        prune::all_patterns(c.n_kept, c.d);
+    ASSERT_FALSE(patterns.empty());
+    for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+      const prune::KernelPattern& p = patterns[pi];
+      const std::int64_t period = static_cast<std::int64_t>(c.d) * c.d;
+      for (std::int64_t group :
+           {std::int64_t{0}, period, std::int64_t{7}}) {
+        for (int bits : {4, 8}) {
+          const Tensor w = make_pattern_weight(c.out_c, c.in_c, p, rng);
+          const auto packed =
+              qnn::pack(w, bits, group, quant::StorageFormat::kDense);
+          const std::int64_t rows = c.out_c, k = c.in_c * period;
+          PackedGemm pat(packed, rows, k, PanelMode::kForcePattern);
+          PackedGemm seg(packed, rows, k, PanelMode::kForceSegment);
+          PackedGemm full(packed, rows, k,
+                          bits <= 4 ? PanelMode::kForceInt4
+                                    : PanelMode::kForceInt8);
+          ASSERT_EQ(pat.kernel_kind(), PackedGemm::KernelKind::kPatternPanel);
+          ASSERT_TRUE(pat.pattern_active());
+          ASSERT_EQ(pat.pattern_period(), period);
+          ASSERT_LE(static_cast<std::int64_t>(pat.pattern_taps()->size()),
+                    std::int64_t{c.n_kept});
+          ASSERT_EQ(pat.k_compact(),
+                    (k / period) *
+                        static_cast<std::int64_t>(pat.pattern_taps()->size()));
+
+          const Tensor x = Tensor::uniform({k, c.n}, rng);
+          const qnn::QuantizedActs qa = qnn::quantize_acts(x, 8);
+          std::vector<float> bias(static_cast<std::size_t>(rows));
+          for (auto& b : bias) b = rng.uniform(-1.0f, 1.0f);
+          char what[160];
+          std::snprintf(what, sizeof(what),
+                        "pattern %s out_c=%lld in_c=%lld bits=%d group=%lld",
+                        p.key().c_str(), static_cast<long long>(c.out_c),
+                        static_cast<long long>(c.in_c), bits,
+                        static_cast<long long>(group));
+
+          Tensor yp({rows, c.n}), ysg({rows, c.n}), yf({rows, c.n});
+          pat.run(qa, bias.data(), yp);
+          seg.run(qa, bias.data(), ysg);
+          full.run(qa, bias.data(), yf);
+          expect_bitwise_equal(yp, ysg, what);
+          expect_bitwise_equal(yp, yf, what);
+
+          // run_compact on a pre-gathered tap matrix is the same kernel
+          // without the internal gather — bitwise equal by the compaction
+          // contract.
+          const std::vector<std::int8_t> cx = compact_acts(qa, pat, c.n);
+          Tensor yc({rows, c.n});
+          pat.run_compact(cx.data(), qa.scale, c.n, bias.data(), yc.data());
+          expect_bitwise_equal(yp, yc, what);
+        }
+      }
+    }
+  }
+}
+
+TEST(QgemmKernel, AutoDispatchRoutesPatternSparsityToPatternPanel) {
+  Rng rng(606);
+  const std::vector<prune::KernelPattern> diag3 = prune::all_patterns(3, 3);
+  const prune::KernelPattern& diag = diag3.front();  // main diagonal of 3x3
+  // Pattern-pruned conv shape (6/9 slots masked, zero_frac ~0.67 above the
+  // density threshold): the pattern panel.
+  {
+    const Tensor w = make_pattern_weight(8, 6, diag, rng);
+    const auto p = qnn::pack(w, 4, 9, quant::StorageFormat::kDense);
+    PackedGemm g(p, 8, 6 * 9);
+    EXPECT_EQ(g.kernel_kind(), PackedGemm::KernelKind::kPatternPanel);
+    EXPECT_EQ(g.k_compact(), 6 * 3);
+  }
+  // Dense conv shape: the ordinary int panel (no taps to drop).
+  {
+    Tensor w = Tensor::normal({8, 6, 3, 3}, rng);
+    const auto p = qnn::pack(w, 4, 9, quant::StorageFormat::kDense);
+    EXPECT_EQ(PackedGemm(p, 8, 6 * 9).kernel_kind(),
+              PackedGemm::KernelKind::kInt4Panel);
+  }
+  // Same sparsity in a rank-2 weight (no conv geometry): the segment kernel
+  // keeps it — there is no tap period to compact.
+  {
+    const Tensor w = make_weight(8, 54, 0.67, rng);
+    const auto p = qnn::pack(w, 4, 9, quant::StorageFormat::kDense);
+    EXPECT_EQ(PackedGemm(p, 8, 54).kernel_kind(),
+              PackedGemm::KernelKind::kSegment);
+  }
+  // 1x1 conv shape: degenerate kernel, nothing to compact.
+  {
+    Tensor w = Tensor::normal({8, 16, 1, 1}, rng);
+    for (std::int64_t i = 0; i < w.numel(); ++i)
+      if (i % 3 != 0) w[i] = 0.0f;
+    const auto p = qnn::pack(w, 4, 0, quant::StorageFormat::kDense);
+    EXPECT_NE(PackedGemm(p, 8, 16).kernel_kind(),
+              PackedGemm::KernelKind::kPatternPanel);
+  }
+}
+
+TEST(QgemmKernel, PatternPanelThreadCountInvariantBitwise) {
+  // Multi-stripe n and enough rows that both the gather and the panel kernel
+  // split across lanes; the compacted layout is a property of the tap list,
+  // so 1-thread and 4-thread runs must be bitwise equal.
+  Rng rng(1717);
+  const std::vector<prune::KernelPattern> pats = prune::all_patterns(2, 3);
+  const Tensor w = make_pattern_weight(27, 21, pats[3], rng);
+  const auto packed = qnn::pack(w, 4, 9, quant::StorageFormat::kDense);
+  const std::int64_t rows = 27, k = 21 * 9, n = 530;
+  const Tensor x = Tensor::uniform({k, n}, rng);
+  const qnn::QuantizedActs qa = qnn::quantize_acts(x, 8);
+  std::vector<float> bias(static_cast<std::size_t>(rows), 0.375f);
+
+  PackedGemm g(packed, rows, k, PanelMode::kForcePattern);
+  ASSERT_EQ(g.kernel_kind(), PackedGemm::KernelKind::kPatternPanel);
+  parallel::set_thread_count(1);
+  Tensor y1({rows, n});
+  g.run(qa, bias.data(), y1);
+  parallel::set_thread_count(4);
+  Tensor y4({rows, n});
+  g.run(qa, bias.data(), y4);
+  parallel::set_thread_count(1);
+  expect_bitwise_equal(y1, y4, "pattern panel thread-count divergence");
+}
+
+TEST(QgemmKernel, PatternPanelSteadyStateRunsDoNotGrowArena) {
+  // The full-k entry's tap gather and the panel's B-pack scratch both come
+  // from the workspace arena — once warm, repeated run() calls allocate
+  // nothing.
+  parallel::set_thread_count(1);
+  { workspace::Scope flush; }
+  Rng rng(99);
+  const std::vector<prune::KernelPattern> pats = prune::all_patterns(3, 3);
+  const Tensor w = make_pattern_weight(18, 30, pats[0], rng);
+  const auto packed = qnn::pack(w, 4, 9, quant::StorageFormat::kDense);
+  const std::int64_t rows = 18, k = 30 * 9, n = 290;
+  PackedGemm g(packed, rows, k, PanelMode::kForcePattern);
+  ASSERT_EQ(g.kernel_kind(), PackedGemm::KernelKind::kPatternPanel);
+  const Tensor x = Tensor::uniform({k, n}, rng);
+  const qnn::QuantizedActs qa = qnn::quantize_acts(x, 8);
+  Tensor y({rows, n});
+
+  for (int i = 0; i < 2; ++i) g.run(qa, nullptr, y);  // warm-up
+  const workspace::Stats warm = workspace::stats();
+  for (int i = 0; i < 5; ++i) g.run(qa, nullptr, y);
+  const workspace::Stats steady = workspace::stats();
+  EXPECT_EQ(steady.block_allocs, warm.block_allocs)
+      << "steady-state pattern panel run() grew the workspace arena";
+  EXPECT_GT(steady.reuses, warm.reuses)
+      << "pattern panel run() did not route its scratch through the arena";
+}
+
+TEST(QgemmKernel, PatternTapsSkippedCounterChargesElidedPositions) {
+  // pattern_taps_skipped = dropped k rows x output columns per forward;
+  // qgemm_macs stays surviving entries x columns on every kernel, and the
+  // non-pattern kernels charge no taps at all.
+  Rng rng(4040);
+  const std::vector<prune::KernelPattern> pats = prune::all_patterns(3, 3);
+  const Tensor w = make_pattern_weight(11, 8, pats[1], rng);
+  const auto packed = qnn::pack(w, 8, 9, quant::StorageFormat::kDense);
+  const std::int64_t rows = 11, k = 8 * 9, n = 23;
+  const Tensor x = Tensor::uniform({k, n}, rng);
+  const qnn::QuantizedActs qa = qnn::quantize_acts(x, 8);
+  Tensor y({rows, n});
+
+  prof::set_enabled(true);
+  {
+    PackedGemm g(packed, rows, k, PanelMode::kForcePattern);
+    const std::uint64_t macs0 = prof::counter_value(prof::Counter::kQgemmMacs);
+    const std::uint64_t taps0 =
+        prof::counter_value(prof::Counter::kPatternTapsSkipped);
+    g.run(qa, nullptr, y);
+    EXPECT_EQ(prof::counter_value(prof::Counter::kQgemmMacs) - macs0,
+              static_cast<std::uint64_t>(g.entry_count()) *
+                  static_cast<std::uint64_t>(n));
+    EXPECT_EQ(
+        prof::counter_value(prof::Counter::kPatternTapsSkipped) - taps0,
+        static_cast<std::uint64_t>(k - g.k_compact()) *
+            static_cast<std::uint64_t>(n));
+  }
+  {
+    PackedGemm g(packed, rows, k, PanelMode::kForceSegment);
+    const std::uint64_t taps0 =
+        prof::counter_value(prof::Counter::kPatternTapsSkipped);
+    g.run(qa, nullptr, y);
+    EXPECT_EQ(prof::counter_value(prof::Counter::kPatternTapsSkipped), taps0);
+  }
+  prof::set_enabled(false);
+}
+
+TEST(QgemmKernel, LayersSharingARootPatternShareOneTapList) {
+  // Pattern fusion: leaf layers stamped from one root pattern derive the
+  // same (period, taps) and must intern ONE immutable tap list — pointer
+  // equality, not just value equality.
+  Rng rng(505);
+  const std::vector<prune::KernelPattern> pats = prune::all_patterns(3, 3);
+  const Tensor wa = make_pattern_weight(9, 4, pats[0], rng);
+  const Tensor wb = make_pattern_weight(17, 12, pats[0], rng);  // other shape
+  const Tensor wc = make_pattern_weight(9, 4, pats[1], rng);  // other pattern
+  PackedGemm ga(qnn::pack(wa, 8, 9, quant::StorageFormat::kDense), 9, 36,
+                PanelMode::kForcePattern);
+  PackedGemm gb(qnn::pack(wb, 8, 9, quant::StorageFormat::kDense), 17, 108,
+                PanelMode::kForcePattern);
+  PackedGemm gc(qnn::pack(wc, 8, 9, quant::StorageFormat::kDense), 9, 36,
+                PanelMode::kForcePattern);
+  ASSERT_TRUE(ga.pattern_taps() && gb.pattern_taps() && gc.pattern_taps());
+  EXPECT_EQ(ga.pattern_taps().get(), gb.pattern_taps().get());
+  EXPECT_NE(ga.pattern_taps().get(), gc.pattern_taps().get());
+}
+
+TEST(QgemmKernel, PackedConv2dPatternForwardMatchesSegmentBitwise) {
+  // End to end through the conv engine: the forced-pattern engine runs the
+  // tap-compacted im2col (s8_im2col_taps) + run_compact, the forced-segment
+  // engine the full gather + entry-skip kernel — identical outputs, bitwise,
+  // including padding rows (masked taps never materialize on the pattern
+  // side, padded positions are zero codes on both).
+  Rng rng(31337);
+  nn::Conv2d conv(6, 10, 3, 2, 1, true, rng, "pat_conv");
+  const std::vector<prune::KernelPattern> pats = prune::all_patterns(2, 3);
+  const Tensor mask =
+      prune::expand_kernel_mask(pats[5], conv.weight().value.shape());
+  for (std::int64_t i = 0; i < conv.weight().value.numel(); ++i)
+    conv.weight().value[i] *= mask[i];
+  conv.weight().mark_mutated();
+
+  qnn::LowerSpec spec;
+  spec.weight_bits = 4;
+  spec.group_size = 9;
+  spec.mode = PanelMode::kForcePattern;
+  qnn::PackedConv2d pat(conv, spec);
+  spec.mode = PanelMode::kForceSegment;
+  qnn::PackedConv2d seg(conv, spec);
+  ASSERT_EQ(pat.gemm().kernel_kind(), PackedGemm::KernelKind::kPatternPanel);
+  ASSERT_EQ(seg.gemm().kernel_kind(), PackedGemm::KernelKind::kSegment);
+
+  const Tensor x = Tensor::uniform({2, 6, 13, 11}, rng);
+  const Tensor yp = pat.forward(x);
+  const Tensor ys = seg.forward(x);
+  expect_bitwise_equal(yp, ys, "conv pattern-vs-segment forward");
 }
 
 TEST(QgemmKernel, QgemmMacsCounterCountsEntriesTimesColumns) {
